@@ -1,0 +1,89 @@
+// Ablation study: which of HiPa's ingredients buys what.
+//
+// The paper argues three mechanisms (§3): NUMA-aware placement,
+// thread-data pinning (vs FCFS claiming), and persistent threads
+// (Algorithm 2 vs Algorithm 1). This harness removes them one at a
+// time from the full configuration — the gap each removal opens is that
+// ingredient's contribution. Also contrasts 20-thread (physical only)
+// vs 40-thread (full SMT) operation, the paper's §3.3 motivation.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "engines/pcpm_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipa;
+  const bench::Flags flags = bench::Flags::parse(argc, argv);
+  const unsigned iters =
+      flags.iterations != 0 ? flags.iterations : (flags.quick ? 2 : 4);
+
+  bench::print_banner("Ablation: HiPa design choices", "paper Section 3");
+  const std::string name = flags.dataset.empty() ? "journal" : flags.dataset;
+  const unsigned scale =
+      graph::recommended_scale(name) * (flags.quick ? 16 : 2);
+  const graph::Graph g = graph::make_dataset(name, scale);
+  const std::uint64_t part_bytes =
+      std::max<std::uint64_t>(256 * 1024 / scale, sizeof(rank_t));
+  std::printf("graph=%s 1/N=%u V=%u E=%llu, %u iterations, 256K-eq "
+              "partitions\n\n",
+              name.c_str(), scale, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), iters);
+
+  struct Variant {
+    const char* label;
+    engine::PcpmOptions opt;
+  };
+  auto base = engine::PcpmOptions::hipa(40, 2, part_bytes);
+
+  std::vector<Variant> variants;
+  variants.push_back({"HiPa (full)", base});
+  {
+    auto v = base;
+    v.numa_aware = false;
+    variants.push_back({"- NUMA placement (interleaved)", v});
+  }
+  {
+    auto v = base;
+    v.pinned_partitions = false;
+    variants.push_back({"- pinning (FCFS claiming)", v});
+  }
+  {
+    auto v = base;
+    v.persistent_threads = false;
+    variants.push_back({"- persistent threads (Alg. 1)", v});
+  }
+  {
+    auto v = base;
+    v.num_threads = 20;
+    variants.push_back({"- SMT (20 threads)", v});
+  }
+  {
+    auto v = base;
+    v.numa_aware = false;
+    v.pinned_partitions = false;
+    v.persistent_threads = false;
+    v.num_threads = 16;
+    variants.push_back({"none of it (== p-PR @16)", v});
+  }
+
+  std::printf("%-32s %10s %9s %9s %11s\n", "variant", "time (s)",
+              "vs full", "remote%", "migrations");
+  double full_seconds = 0.0;
+  for (const Variant& v : variants) {
+    sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
+    engine::SimBackend backend(machine);
+    engine::PcpmEngine<engine::SimBackend> eng(g, v.opt, backend);
+    const auto report = eng.run_pagerank(
+        {.iterations = iters, .damping = 0.85f});
+    if (full_seconds == 0.0) full_seconds = report.seconds;
+    std::printf("%-32s %10.4f %8.2fx %8.1f%% %11llu\n", v.label,
+                report.seconds, report.seconds / full_seconds,
+                report.stats.remote_fraction() * 100.0,
+                static_cast<unsigned long long>(
+                    report.stats.thread_migrations));
+  }
+  std::printf("\n(each \"-\" row removes one ingredient from full HiPa; "
+              "its slowdown factor is\n that ingredient's contribution "
+              "on this graph)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 6: execution time vs thread count on journal,
+// each methodology normalized by its own 40-thread time.
+//
+// Expected shape (paper): HiPa, v-PR and Polymer improve monotonically
+// up to 40 threads (normalized curves approach 1 from above); p-PR and
+// GPOP bottom out around 16-20 threads and are ~2x worse than their
+// best point when all 40 logical cores are used (their normalized
+// curves dip below 1 in the middle).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipa;
+  const bench::Flags flags = bench::Flags::parse(argc, argv);
+  const unsigned iters =
+      flags.iterations != 0 ? flags.iterations : (flags.quick ? 2 : 3);
+
+  bench::print_banner("Fig. 6: thread scalability on journal",
+                      "paper Fig. 6");
+  // One extra scale notch on journal keeps the 45-run sweep tractable.
+  const std::string name = flags.dataset.empty() ? "journal" : flags.dataset;
+  const unsigned scale =
+      graph::recommended_scale(name) * (flags.quick ? 16 : 2);
+  const graph::Graph g = graph::make_dataset(name, scale);
+  std::printf("graph=%s 1/N=%u V=%u E=%llu, %u iterations\n\n",
+              name.c_str(), scale, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), iters);
+
+  const std::vector<unsigned> threads = {2, 4, 8, 12, 16, 20, 24, 32, 40};
+  std::printf("%8s | %8s %8s %8s %8s %8s\n", "threads", "HiPa", "p-PR",
+              "v-PR", "GPOP", "Polymer");
+
+  // Collect raw seconds, then normalize per method by the 40-thread row.
+  std::vector<std::array<double, 5>> secs(threads.size());
+  for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+    int i = 0;
+    for (algo::Method m : algo::all_methods()) {
+      sim::SimMachine machine = bench::make_machine(scale);
+      algo::MethodParams params;
+      params.iterations = iters;
+      params.scale_denom = scale;
+      params.threads = threads[ti];
+      const auto report = algo::run_method_sim(m, g, machine, params);
+      secs[ti][i++] = report.seconds;
+    }
+  }
+  const auto& last = secs.back();
+  for (std::size_t ti = 0; ti < threads.size(); ++ti) {
+    std::printf("%8u |", threads[ti]);
+    for (int i = 0; i < 5; ++i) {
+      std::printf(" %8.2f", secs[ti][i] / last[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(normalized by each methodology's own 40-thread time; "
+              "values < 1 in the middle\n of a column mean that "
+              "methodology DEGRADES when all SMT threads are used —\n "
+              "the paper observes this for p-PR and GPOP, best at ~16-20 "
+              "threads)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 7: LLC hits (and HiPa's LLC hit ratio) plus
+// execution time across partition sizes 16 KB .. 8 MB on journal.
+//
+// Expected shape (paper): execution time is U-shaped with the minimum
+// at 256 KB (a quarter of the Skylake L2); LLC hits surge once the
+// partition spills out of L2 (>= 512 KB); very small partitions lose to
+// uncompressed inter-edges.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipa;
+  const bench::Flags flags = bench::Flags::parse(argc, argv);
+  const unsigned iters =
+      flags.iterations != 0 ? flags.iterations : (flags.quick ? 2 : 3);
+
+  bench::print_banner("Fig. 7: partition size sensitivity on journal",
+                      "paper Fig. 7");
+  const std::string name = flags.dataset.empty() ? "journal" : flags.dataset;
+  const unsigned scale =
+      graph::recommended_scale(name) * (flags.quick ? 16 : 2);
+  const graph::Graph g = graph::make_dataset(name, scale);
+  std::printf("graph=%s 1/N=%u (partition sizes below are paper-equivalent;"
+              " actual = size/N)\n\n", name.c_str(), scale);
+
+  const std::vector<std::uint64_t> sizes_eq = {
+      16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10,
+      512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20};
+  const algo::Method methods[] = {algo::Method::kHipa, algo::Method::kPpr,
+                                  algo::Method::kGpop};
+
+  std::printf("%9s | %28s | %28s\n", "", "time (s)", "LLC hits (M)");
+  std::printf("%9s | %8s %8s %8s | %8s %8s %8s | %s\n", "size-eq", "HiPa",
+              "p-PR", "GPOP", "HiPa", "p-PR", "GPOP", "HiPa LLC hit%");
+
+  for (std::uint64_t sz : sizes_eq) {
+    const std::uint64_t actual =
+        std::max<std::uint64_t>(sz / scale, sizeof(rank_t));
+    double secs[3] = {};
+    double llc_hits[3] = {};
+    double hipa_ratio = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      sim::SimMachine machine = bench::make_machine(scale);
+      algo::MethodParams params;
+      params.iterations = iters;
+      params.scale_denom = scale;
+      params.partition_bytes = actual;
+      const auto report =
+          algo::run_method_sim(methods[i], g, machine, params);
+      secs[i] = report.seconds;
+      llc_hits[i] = static_cast<double>(report.stats.llc_hits) / 1e6;
+      if (i == 0) hipa_ratio = report.stats.llc_hit_ratio() * 100.0;
+    }
+    const char* label =
+        sz >= (1 << 20)
+            ? (sz >= (8 << 20) ? "8M" : sz >= (4 << 20) ? "4M"
+               : sz >= (2 << 20) ? "2M" : "1M")
+            : nullptr;
+    if (label != nullptr) {
+      std::printf("%9s |", label);
+    } else {
+      std::printf("%8lluK |", static_cast<unsigned long long>(sz >> 10));
+    }
+    std::printf(" %8.4f %8.4f %8.4f | %8.2f %8.2f %8.2f |   %5.1f%%\n",
+                secs[0], secs[1], secs[2], llc_hits[0], llc_hits[1],
+                llc_hits[2], hipa_ratio);
+  }
+  std::printf("\npaper Fig. 7: HiPa minimum at 256K (quarter of L2); all "
+              "methods decelerate\n sharply past 512K as partitions spill "
+              "into LLC; LLC hits/ratio climb with size.\n");
+  return 0;
+}

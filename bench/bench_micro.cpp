@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark): hot paths of the substrate.
+#include <benchmark/benchmark.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "partition/plan.hpp"
+#include "pcp/bins.hpp"
+#include "sim/cache.hpp"
+#include "algos/pagerank.hpp"
+
+namespace {
+
+using namespace hipa;
+
+const graph::Graph& bench_graph() {
+  static const graph::Graph g = graph::build_graph(
+      1 << 16, graph::generate_zipf({.num_vertices = 1 << 16,
+                                     .num_edges = 1 << 19,
+                                     .exponent = 1.2,
+                                     .seed = 42}));
+  return g;
+}
+
+void BM_CacheModelAccess(benchmark::State& state) {
+  sim::CacheModel cache({1 << 20, 16, 64});
+  Xoshiro256 rng(1);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = rng.next() & ((1 << 24) - 1);
+    benchmark::DoNotOptimize(cache.access(addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void BM_BuildHierarchicalPlan(benchmark::State& state) {
+  const auto& g = bench_graph();
+  part::PlanConfig cfg;
+  cfg.partition_bytes = 16 * 1024;
+  cfg.num_nodes = 2;
+  cfg.threads_per_node = {20, 20};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::build_hierarchical_plan(g.out, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BuildHierarchicalPlan);
+
+void BM_BuildPcpmBins(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const part::CachePartitioning parts(g.num_vertices(),
+                                      static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pcp::build_bins(g.out, parts));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_BuildPcpmBins)->Arg(4 << 10)->Arg(64 << 10);
+
+void BM_NativePagerankHipa(benchmark::State& state) {
+  const auto& g = bench_graph();
+  for (auto _ : state) {
+    algo::MethodParams params;
+    params.iterations = 2;
+    params.threads = 2;
+    params.scale_denom = 64;
+    benchmark::DoNotOptimize(
+        algo::run_method_native(algo::Method::kHipa, g, params));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+}
+BENCHMARK(BM_NativePagerankHipa)->Unit(benchmark::kMillisecond);
+
+void BM_ReferencePagerank(benchmark::State& state) {
+  const auto& g = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::pagerank_reference(g, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+}
+BENCHMARK(BM_ReferencePagerank)->Unit(benchmark::kMillisecond);
+
+}  // namespace

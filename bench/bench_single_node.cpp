@@ -1,0 +1,62 @@
+// Reproduces paper §4.5's closing experiment: HiPa confined to a single
+// NUMA node (all 20 threads on one socket) vs 2-node HiPa and the
+// NUMA-oblivious partition-centric baselines at the same thread count.
+//
+// Expected shape (paper, journal, 20 threads, 20 iterations): 1-node
+// HiPa 0.44 s is *slower* than 2-node HiPa 0.39 s and p-PR 0.41 s —
+// concentrating all contention on one node hurts — while GPOP trails
+// far behind at 1.14 s.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hipa;
+  const bench::Flags flags = bench::Flags::parse(argc, argv);
+  const unsigned iters =
+      flags.iterations != 0 ? flags.iterations : (flags.quick ? 3 : 5);
+
+  bench::print_banner("Single-node vs 2-node HiPa (20 threads)",
+                      "paper Section 4.5");
+  const std::string name = flags.dataset.empty() ? "journal" : flags.dataset;
+  const unsigned scale =
+      graph::recommended_scale(name) * (flags.quick ? 8 : 1);
+  const graph::Graph g = graph::make_dataset(name, scale);
+  std::printf("graph=%s 1/N=%u, %u iterations, 20 threads everywhere\n\n",
+              name.c_str(), scale, iters);
+
+  algo::MethodParams params;
+  params.iterations = iters;
+  params.scale_denom = scale;
+  params.threads = 20;
+
+  // 1-node HiPa: single-socket topology, all contention on one node.
+  sim::SimMachine one(sim::Topology::skylake_1s().scaled(scale));
+  const auto hipa1 =
+      algo::run_method_sim(algo::Method::kHipa, g, one, params);
+
+  sim::SimMachine two = bench::make_machine(scale);
+  const auto hipa2 =
+      algo::run_method_sim(algo::Method::kHipa, g, two, params);
+
+  sim::SimMachine m3 = bench::make_machine(scale);
+  const auto ppr = algo::run_method_sim(algo::Method::kPpr, g, m3, params);
+
+  sim::SimMachine m4 = bench::make_machine(scale);
+  const auto gpop =
+      algo::run_method_sim(algo::Method::kGpop, g, m4, params);
+
+  std::printf("%-22s %10s %14s\n", "configuration", "time (s)",
+              "vs 2-node HiPa");
+  auto row = [&](const char* label, double s) {
+    std::printf("%-22s %10.4f %13.2fx\n", label, s, s / hipa2.seconds);
+  };
+  row("HiPa, 1 node", hipa1.seconds);
+  row("HiPa, 2 nodes", hipa2.seconds);
+  row("p-PR, 2 nodes", ppr.seconds);
+  row("GPOP, 2 nodes", gpop.seconds);
+
+  std::printf("\npaper (journal, 20 iters): 1-node HiPa 0.44s, 2-node HiPa "
+              "0.39s, p-PR 0.41s, GPOP 1.14s\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared plumbing for the paper-reproduction bench binaries: flag
+// parsing, dataset/machine construction at matched scale, table
+// formatting.
+//
+// Every binary prints (a) the substitution banner — scale factors and
+// what they mean — and (b) rows shaped like the paper's table/figure so
+// EXPERIMENTS.md can be filled by direct comparison.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algos/pagerank.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+
+namespace hipa::bench {
+
+/// Common CLI flags: --iters=N, --quick (tiny sizes for smoke runs),
+/// --dataset=name (restrict to one), --help.
+struct Flags {
+  unsigned iterations = 0;  ///< 0 = per-bench default
+  bool quick = false;
+  std::string dataset;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--iters=", 8) == 0) {
+        f.iterations = static_cast<unsigned>(std::atoi(a + 8));
+      } else if (std::strcmp(a, "--quick") == 0) {
+        // Smoke mode: 8x extra shrink. Degenerate caches distort shapes;
+        // use default scales for reproduction-quality numbers.
+        f.quick = true;
+      } else if (std::strncmp(a, "--dataset=", 10) == 0) {
+        f.dataset = a + 10;
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::printf(
+            "flags: --iters=N  --quick  --dataset=<name>\n"
+            "datasets: journal pld wiki kron twitter mpi\n");
+        std::exit(0);
+      }
+    }
+    return f;
+  }
+};
+
+/// One dataset instantiated at its matched scale, with the simulated
+/// machine shrunk by the same factor.
+struct ScaledDataset {
+  std::string name;
+  unsigned scale = 1;
+  graph::Graph graph;
+};
+
+/// Load one dataset at its recommended (or quick) scale.
+inline ScaledDataset load_scaled(const std::string& name, bool quick) {
+  ScaledDataset d;
+  d.name = name;
+  d.scale = graph::recommended_scale(name) * (quick ? 8 : 1);
+  d.graph = graph::make_dataset(name, d.scale);
+  return d;
+}
+
+/// All six paper datasets (or the one named by flags).
+inline std::vector<ScaledDataset> load_datasets(const Flags& flags) {
+  std::vector<ScaledDataset> out;
+  for (const auto& info : graph::paper_datasets()) {
+    if (!flags.dataset.empty() && flags.dataset != info.name) continue;
+    out.push_back(load_scaled(info.name, flags.quick));
+  }
+  return out;
+}
+
+/// Fresh simulated Skylake testbed scaled to match a dataset.
+inline sim::SimMachine make_machine(unsigned scale,
+                                    std::uint64_t seed = 1) {
+  return sim::SimMachine(sim::Topology::skylake_2s().scaled(scale), {},
+                         seed);
+}
+
+inline void print_banner(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("substitution: simulated 2-socket Skylake (2x10 cores x2 SMT);\n");
+  std::printf("datasets are synthetic stand-ins scaled 1/N with caches and\n");
+  std::printf("partition sizes scaled by the same N (printed per row).\n");
+  std::printf("shapes (orderings, ratios, crossovers) are the reproduction\n");
+  std::printf("target, not absolute seconds. See DESIGN.md / EXPERIMENTS.md.\n");
+  std::printf("================================================================\n");
+}
+
+/// MApE per iteration — the paper's Fig. 5 metric.
+inline double mape_per_iter(const engine::RunReport& r, eid_t edges) {
+  return r.iterations == 0
+             ? 0.0
+             : r.stats.mape(edges) / static_cast<double>(r.iterations);
+}
+
+}  // namespace hipa::bench

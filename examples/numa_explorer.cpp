@@ -1,0 +1,78 @@
+// NUMA placement explorer: uses the simulated machine directly to show
+// why data placement matters — the experiment behind the paper's §2.2
+// observation that a remote sequential read costs ~7x a local one.
+//
+// Then demonstrates the partition-size tradeoff of §4.5 on one graph.
+#include <cstdio>
+
+#include "algos/pagerank.hpp"
+#include "common/aligned_buffer.hpp"
+#include "graph/datasets.hpp"
+#include "sim/machine.hpp"
+
+int main() {
+  using namespace hipa;
+
+  // --- part 1: the raw local/remote gap ----------------------------------
+  std::printf("=== local vs remote sequential read (paper §2.2) ===\n");
+  const std::size_t count = 8u << 20;  // 32 MB of floats
+  AlignedBuffer<float> data(count);
+  for (const unsigned data_node : {0u, 1u}) {
+    sim::SimMachine machine(sim::Topology::skylake_2s());
+    machine.numa().register_range(data.data(), count * sizeof(float),
+                                  sim::Placement::kNode, data_node);
+    // One thread on node 0 streams the whole buffer.
+    sim::PlacementVec placement{machine.topology().lcid_of(0, 0, 0)};
+    machine.run_phase(placement, [&](unsigned, sim::SimMem& mem) {
+      mem.stream_read(data.data(), count);
+    });
+    std::printf("  data on node %u, reader on node 0: %.4f s per 32 MB "
+                "(%.2f GB/s)\n",
+                data_node, machine.seconds(),
+                count * sizeof(float) / machine.seconds() / 1e9);
+  }
+
+  // --- part 2: placement policies under PageRank -------------------------
+  std::printf("\n=== HiPa vs placement policies on journal ===\n");
+  const unsigned scale = graph::recommended_scale("journal") * 2;
+  const graph::Graph g = graph::make_dataset("journal", scale);
+  std::printf("graph: %u vertices, %llu edges (1/%u scale)\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), scale);
+
+  struct Config {
+    const char* label;
+    algo::Method method;
+  };
+  for (const Config& c :
+       {Config{"HiPa (NUMA-aware, pinned)", algo::Method::kHipa},
+        Config{"p-PR (oblivious, FCFS)", algo::Method::kPpr}}) {
+    sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
+    algo::MethodParams params;
+    params.iterations = 4;
+    params.scale_denom = scale;
+    const auto r = algo::run_method_sim(c.method, g, machine, params);
+    std::printf("  %-28s %.4f s, %4.1f%% remote traffic\n", c.label,
+                r.seconds, r.stats.remote_fraction() * 100.0);
+  }
+
+  // --- part 3: the partition-size tradeoff (paper §4.5) ------------------
+  std::printf("\n=== partition size tradeoff (paper-equivalent sizes) ===\n");
+  for (const std::uint64_t size_eq :
+       {32ull << 10, 256ull << 10, 2048ull << 10}) {
+    sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
+    algo::MethodParams params;
+    params.iterations = 4;
+    params.scale_denom = scale;
+    params.partition_bytes =
+        std::max<std::uint64_t>(size_eq / scale, sizeof(rank_t));
+    const auto r =
+        algo::run_method_sim(algo::Method::kHipa, g, machine, params);
+    std::printf("  %5lluK-eq partitions: %.4f s, LLC hit ratio %4.1f%%\n",
+                static_cast<unsigned long long>(size_eq >> 10), r.seconds,
+                r.stats.llc_hit_ratio() * 100.0);
+  }
+  std::printf("\n(256K — a quarter of the L2 — is the paper's sweet spot; "
+              "smaller loses\n compression, larger spills into LLC)\n");
+  return 0;
+}

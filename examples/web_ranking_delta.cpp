@@ -1,0 +1,45 @@
+// Incremental web ranking with PageRank-Delta (paper §6 extension).
+//
+// On a web-hyperlink stand-in, compares fixed-iteration PageRank
+// against PageRank-Delta at several convergence thresholds: the delta
+// variant performs a fraction of the edge work for the same ranking.
+#include <cstdio>
+
+#include "algos/pagerank.hpp"
+#include "algos/pagerank_delta.hpp"
+#include "graph/datasets.hpp"
+
+int main() {
+  using namespace hipa;
+
+  std::printf("building the web-hyperlink stand-in...\n");
+  const graph::Graph g = graph::make_dataset("wiki", 128);
+  std::printf("graph: %u pages, %llu links\n\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // Baseline: 30 fixed iterations of plain PageRank.
+  const auto plain = algo::pagerank_reference(g, 30);
+  const std::uint64_t plain_work =
+      30ull * g.num_edges();  // every edge, every iteration
+
+  std::printf("%-12s %10s %12s %14s %12s\n", "epsilon", "rounds",
+              "edge pushes", "vs plain work", "L1 error");
+  for (const double eps : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    algo::DeltaOptions opt;
+    opt.epsilon = eps;
+    opt.max_iterations = 200;
+    opt.threads = 4;
+    engine::NativeBackend backend;
+    const auto r = algo::pagerank_delta(g, opt, backend);
+    std::printf("%-12.0e %10u %12llu %13.1f%% %12.2e\n", eps,
+                r.iterations,
+                static_cast<unsigned long long>(r.total_pushes),
+                100.0 * static_cast<double>(r.total_pushes) /
+                    static_cast<double>(plain_work),
+                algo::l1_distance(r.ranks, plain));
+  }
+  std::printf("\n(tighter epsilon -> more pushes, smaller error; even "
+              "1e-4 needs a fraction\n of the fixed-iteration edge "
+              "traversals)\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "algos/pagerank.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "engines/polymer_engine.hpp"
+#include "engines/vpr_engine.hpp"
+#include "runtime/affinity.hpp"
+
+namespace hipa::algo {
+
+std::vector<rank_t> pagerank_reference(const graph::Graph& g,
+                                       unsigned iterations, rank_t damping) {
+  const vid_t n = g.num_vertices();
+  HIPA_CHECK(n > 0, "empty graph");
+  std::vector<rank_t> rank(n, static_cast<rank_t>(1.0 / n));
+  std::vector<rank_t> contrib(n);
+  const auto base = static_cast<rank_t>((1.0 - damping) / n);
+  for (unsigned it = 0; it < iterations; ++it) {
+    for (vid_t v = 0; v < n; ++v) {
+      const vid_t d = g.out.degree(v);
+      contrib[v] = d == 0 ? 0.0f : rank[v] / static_cast<rank_t>(d);
+    }
+    for (vid_t v = 0; v < n; ++v) {
+      rank_t sum = 0.0f;
+      for (vid_t u : g.in.neighbors(v)) sum += contrib[u];
+      rank[v] = base + damping * sum;
+    }
+  }
+  return rank;
+}
+
+double l1_distance(std::span<const rank_t> a, std::span<const rank_t> b) {
+  HIPA_CHECK(a.size() == b.size(), "rank vector size mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return d;
+}
+
+std::vector<vid_t> top_k(std::span<const rank_t> ranks, std::size_t k) {
+  std::vector<vid_t> ids(ranks.size());
+  std::iota(ids.begin(), ids.end(), vid_t{0});
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(k),
+                    ids.end(), [&](vid_t a, vid_t b) {
+                      if (ranks[a] != ranks[b]) return ranks[a] > ranks[b];
+                      return a < b;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+std::span<const Method> all_methods() {
+  static constexpr std::array<Method, 5> kAll = {
+      Method::kHipa, Method::kPpr, Method::kVpr, Method::kGpop,
+      Method::kPolymer};
+  return kAll;
+}
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kHipa:
+      return "HiPa";
+    case Method::kPpr:
+      return "p-PR";
+    case Method::kVpr:
+      return "v-PR";
+    case Method::kGpop:
+      return "GPOP";
+    case Method::kPolymer:
+      return "Polymer";
+  }
+  return "?";
+}
+
+unsigned default_threads(Method m, const sim::Topology& topo) {
+  switch (m) {
+    case Method::kHipa:
+    case Method::kVpr:
+    case Method::kPolymer:
+      return topo.num_logical_cores();
+    case Method::kPpr:
+      // The paper finds p-PR peaks at 16 threads on 20 physical cores.
+      return std::max(1u, topo.num_physical_cores() * 4 / 5);
+    case Method::kGpop:
+      return topo.num_physical_cores();
+  }
+  return 1;
+}
+
+std::uint64_t default_partition_bytes(Method m, unsigned scale_denom) {
+  HIPA_CHECK(scale_denom >= 1);
+  switch (m) {
+    case Method::kHipa:
+    case Method::kPpr:
+      return std::max<std::uint64_t>(256 * 1024 / scale_denom, 256);
+    case Method::kGpop:
+      return std::max<std::uint64_t>(1024 * 1024 / scale_denom, 1024);
+    case Method::kVpr:
+    case Method::kPolymer:
+      return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+template <class Backend>
+engine::RunReport dispatch(Method m, const graph::Graph& g, Backend& backend,
+                           unsigned threads, std::uint64_t part_bytes,
+                           unsigned num_nodes, const MethodParams& params,
+                           std::vector<rank_t>* ranks) {
+  const engine::PageRankOptions pr{params.iterations, params.damping};
+  switch (m) {
+    case Method::kHipa: {
+      auto opt = engine::PcpmOptions::hipa(threads, num_nodes, part_bytes);
+      engine::PcpmEngine<Backend> eng(g, opt, backend);
+      return eng.run_pagerank(pr, ranks);
+    }
+    case Method::kPpr: {
+      auto opt = engine::PcpmOptions::ppr(threads, num_nodes, part_bytes);
+      engine::PcpmEngine<Backend> eng(g, opt, backend);
+      return eng.run_pagerank(pr, ranks);
+    }
+    case Method::kGpop: {
+      auto opt = engine::PcpmOptions::gpop(threads, num_nodes, part_bytes);
+      engine::PcpmEngine<Backend> eng(g, opt, backend);
+      return eng.run_pagerank(pr, ranks);
+    }
+    case Method::kVpr: {
+      engine::VprOptions opt;
+      opt.num_threads = threads;
+      engine::VprEngine<Backend> eng(g, opt, backend);
+      return eng.run_pagerank(pr, ranks);
+    }
+    case Method::kPolymer: {
+      engine::PolymerOptions opt;
+      opt.num_threads = threads;
+      opt.num_nodes = num_nodes;
+      engine::PolymerEngine<Backend> eng(g, opt, backend);
+      return eng.run_pagerank(pr, ranks);
+    }
+  }
+  HIPA_CHECK(false, "unknown method");
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+engine::RunReport run_method_sim(Method m, const graph::Graph& g,
+                                 sim::SimMachine& machine,
+                                 const MethodParams& params,
+                                 std::vector<rank_t>* ranks) {
+  engine::SimBackend backend(machine);
+  const unsigned threads = params.threads != 0
+                               ? params.threads
+                               : default_threads(m, machine.topology());
+  const std::uint64_t part_bytes =
+      params.partition_bytes != 0
+          ? params.partition_bytes
+          : default_partition_bytes(m, params.scale_denom);
+  return dispatch(m, g, backend, threads, part_bytes,
+                  machine.topology().num_nodes, params, ranks);
+}
+
+engine::RunReport run_method_native(Method m, const graph::Graph& g,
+                                    const MethodParams& params,
+                                    std::vector<rank_t>* ranks) {
+  engine::NativeBackend backend;
+  const unsigned cpus = runtime::available_cpus();
+  const unsigned threads = params.threads != 0 ? params.threads : cpus;
+  std::uint64_t part_bytes = params.partition_bytes;
+  if (part_bytes == 0) {
+    part_bytes = default_partition_bytes(m, params.scale_denom);
+    if (part_bytes == 0) part_bytes = 256 * 1024;  // vertex-centric: unused
+  }
+  // Native runs on this host: treat it as one NUMA node.
+  return dispatch(m, g, backend, threads, part_bytes, 1, params, ranks);
+}
+
+}  // namespace hipa::algo

@@ -1,0 +1,71 @@
+// PageRank front door: reference implementation, the five paper
+// methodologies behind one runner API, and result-comparison helpers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engines/backend.hpp"
+#include "engines/pcpm_engine.hpp"
+#include "graph/csr.hpp"
+#include "sim/machine.hpp"
+
+namespace hipa::algo {
+
+/// Serial textbook PageRank (paper Eq. 1), the correctness oracle for
+/// every engine.
+[[nodiscard]] std::vector<rank_t> pagerank_reference(const graph::Graph& g,
+                                                     unsigned iterations,
+                                                     rank_t damping = 0.85f);
+
+/// Sum of |a[i] - b[i]|.
+[[nodiscard]] double l1_distance(std::span<const rank_t> a,
+                                 std::span<const rank_t> b);
+
+/// Indices of the k largest ranks, descending (ties by smaller id).
+[[nodiscard]] std::vector<vid_t> top_k(std::span<const rank_t> ranks,
+                                       std::size_t k);
+
+/// The five methodologies evaluated in the paper.
+enum class Method { kHipa, kPpr, kVpr, kGpop, kPolymer };
+
+[[nodiscard]] std::span<const Method> all_methods();
+[[nodiscard]] const char* method_name(Method m);
+
+/// Parameters common to every runner. Zeros mean "paper default for
+/// this methodology on this machine".
+struct MethodParams {
+  unsigned threads = 0;
+  std::uint64_t partition_bytes = 0;
+  /// Divide default partition sizes by this (must track the machine's
+  /// cache scaling; see DatasetInfo::recommended_scale).
+  unsigned scale_denom = 1;
+  unsigned iterations = 20;
+  rank_t damping = 0.85f;
+};
+
+/// Paper-default thread count of a methodology on a topology
+/// (HiPa/v-PR/Polymer use all logical cores; p-PR and GPOP stay at or
+/// below the physical core count — paper §4.1).
+[[nodiscard]] unsigned default_threads(Method m, const sim::Topology& topo);
+
+/// Paper-default partition size (HiPa/p-PR 256 KB, GPOP 1 MB) divided
+/// by scale_denom; 0 for vertex-centric methods.
+[[nodiscard]] std::uint64_t default_partition_bytes(Method m,
+                                                    unsigned scale_denom);
+
+/// Run methodology `m` on the simulated machine. Preprocessing and
+/// iteration costs both land in the machine's cycle counter; the
+/// returned report carries this run's stats delta.
+engine::RunReport run_method_sim(Method m, const graph::Graph& g,
+                                 sim::SimMachine& machine,
+                                 const MethodParams& params,
+                                 std::vector<rank_t>* ranks = nullptr);
+
+/// Run methodology `m` natively (real threads, wall-clock timing).
+engine::RunReport run_method_native(Method m, const graph::Graph& g,
+                                    const MethodParams& params,
+                                    std::vector<rank_t>* ranks = nullptr);
+
+}  // namespace hipa::algo

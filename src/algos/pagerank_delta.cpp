@@ -1,0 +1,46 @@
+#include "algos/pagerank_delta.hpp"
+
+#include <cmath>
+
+namespace hipa::algo {
+
+DeltaResult pagerank_delta_reference(const graph::Graph& g,
+                                     const DeltaOptions& opt) {
+  const vid_t n = g.num_vertices();
+  HIPA_CHECK(n > 0, "empty graph");
+  const auto base =
+      static_cast<rank_t>((1.0 - opt.damping) / static_cast<double>(n));
+  const auto threshold =
+      static_cast<rank_t>(opt.epsilon / static_cast<double>(n));
+
+  // Rank accumulates from zero; the teleport mass starts as residual.
+  std::vector<rank_t> rank(n, 0.0f);
+  std::vector<rank_t> residual(n, base);
+  DeltaResult result;
+
+  unsigned iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    std::uint64_t active = 0;
+    // Synchronous rounds: snapshot the residuals, then push.
+    std::vector<rank_t> pending(n, 0.0f);
+    for (vid_t v = 0; v < n; ++v) {
+      const rank_t res = residual[v];
+      if (std::abs(res) < threshold) continue;
+      ++active;
+      residual[v] = 0.0f;
+      rank[v] += res;
+      const vid_t d = g.out.degree(v);
+      if (d == 0) continue;
+      const rank_t push = opt.damping * res / static_cast<rank_t>(d);
+      for (vid_t u : g.out.neighbors(v)) pending[u] += push;
+      result.total_pushes += d;
+    }
+    if (active == 0) break;
+    for (vid_t v = 0; v < n; ++v) residual[v] += pending[v];
+  }
+  result.iterations = iter;
+  result.ranks = std::move(rank);
+  return result;
+}
+
+}  // namespace hipa::algo

@@ -1,0 +1,33 @@
+#include "algos/spmv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hipa::algo {
+
+std::vector<rank_t> spmv_reference(const graph::Graph& g,
+                                   std::span<const rank_t> x) {
+  const vid_t n = g.num_vertices();
+  HIPA_CHECK(x.size() == n, "vector length mismatch");
+  std::vector<rank_t> y(n, 0.0f);
+  for (vid_t v = 0; v < n; ++v) {
+    rank_t sum = 0.0f;
+    for (vid_t u : g.in.neighbors(v)) sum += x[u];
+    y[v] = sum;
+  }
+  return y;
+}
+
+double linf_distance(std::span<const rank_t> a, std::span<const rank_t> b) {
+  HIPA_CHECK(a.size() == b.size(), "vector length mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) -
+                             static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+}  // namespace hipa::algo

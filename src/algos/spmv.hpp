@@ -1,0 +1,21 @@
+// Sparse matrix-vector multiplication over the graph adjacency matrix
+// (paper §1: "the computation of PageRank can be interpreted as
+// iterative SpMV"; §6 lists SpMV as the first extension target).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hipa::algo {
+
+/// Serial reference: y[v] = sum of x[u] over edges u -> v.
+[[nodiscard]] std::vector<rank_t> spmv_reference(const graph::Graph& g,
+                                                 std::span<const rank_t> x);
+
+/// Largest |a[i] - b[i]|.
+[[nodiscard]] double linf_distance(std::span<const rank_t> a,
+                                   std::span<const rank_t> b);
+
+}  // namespace hipa::algo

@@ -1,0 +1,57 @@
+#include "algos/wcc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace hipa::algo {
+
+namespace {
+
+/// Path-halving union-find.
+class UnionFind {
+ public:
+  explicit UnionFind(vid_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), vid_t{0});
+  }
+
+  vid_t find(vid_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void unite(vid_t a, vid_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Smaller id becomes the root so labels are canonical minima.
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<vid_t> parent_;
+};
+
+}  // namespace
+
+std::vector<vid_t> wcc_reference(const graph::Graph& g) {
+  const vid_t n = g.num_vertices();
+  UnionFind uf(n);
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t u : g.out.neighbors(v)) uf.unite(v, u);
+  }
+  std::vector<vid_t> labels(n);
+  for (vid_t v = 0; v < n; ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+std::size_t count_components(std::span<const vid_t> labels) {
+  std::unordered_set<vid_t> roots(labels.begin(), labels.end());
+  return roots.size();
+}
+
+}  // namespace hipa::algo

@@ -1,0 +1,21 @@
+#include "common/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "common/numeric.hpp"
+
+namespace hipa::detail {
+
+void* aligned_allocate(std::size_t bytes, std::size_t alignment) {
+  HIPA_CHECK(is_pow2(alignment), "alignment must be a power of two");
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, padded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void aligned_deallocate(void* p) noexcept { std::free(p); }
+
+}  // namespace hipa::detail

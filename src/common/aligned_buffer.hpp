@@ -1,0 +1,96 @@
+// Cache-line / page aligned typed buffer.
+//
+// Graph arrays must be (a) aligned so the simulator's line/page math is
+// exact and (b) free of std::vector's value-initialization cost on
+// multi-GB allocations. AlignedBuffer is a move-only RAII array with
+// explicit alignment and *no* implicit zeroing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace hipa {
+
+namespace detail {
+void* aligned_allocate(std::size_t bytes, std::size_t alignment);
+void aligned_deallocate(void* p) noexcept;
+}  // namespace detail
+
+/// Move-only aligned array of trivially-copyable T.
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer holds POD-like graph data only");
+
+ public:
+  AlignedBuffer() = default;
+
+  /// Allocate `count` elements aligned to `alignment` bytes
+  /// (default: one cache line). Contents are uninitialized.
+  explicit AlignedBuffer(std::size_t count,
+                         std::size_t alignment = kCacheLine)
+      : size_(count) {
+    if (count > 0) {
+      data_ = static_cast<T*>(
+          detail::aligned_allocate(count * sizeof(T), alignment));
+    }
+  }
+
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { reset(); }
+
+  void reset() noexcept {
+    detail::aligned_deallocate(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Set every element to value-initialized T (memset for PODs).
+  void fill_zero();
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() { return {data_, size_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+template <class T>
+void AlignedBuffer<T>::fill_zero() {
+  for (std::size_t i = 0; i < size_; ++i) data_[i] = T{};
+}
+
+}  // namespace hipa

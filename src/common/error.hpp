@@ -1,0 +1,43 @@
+// Checked-error helpers.
+//
+// Library invariants are enforced with HIPA_CHECK (always on, throws
+// hipa::Error) so misuse is diagnosed identically in Release and Debug —
+// graph preprocessing bugs otherwise surface as silent wrong ranks.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hipa {
+
+/// Exception thrown on violated preconditions / invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "HIPA_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace hipa
+
+/// Always-on invariant check. Usage:
+///   HIPA_CHECK(a < b, "partition " << p << " out of range");
+#define HIPA_CHECK(expr, ...)                                              \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      std::ostringstream hipa_check_os_;                                   \
+      hipa_check_os_ << "" __VA_ARGS__;                                    \
+      ::hipa::detail::raise_check_failure(#expr, __FILE__, __LINE__,       \
+                                          hipa_check_os_.str());           \
+    }                                                                      \
+  } while (false)

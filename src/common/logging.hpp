@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// Bench harnesses print their tables on stdout; diagnostics go through
+// this logger on stderr so table output stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hipa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace hipa
+
+#define HIPA_LOG(level, ...)                                      \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::hipa::log_level())) {                  \
+      std::ostringstream hipa_log_os_;                            \
+      hipa_log_os_ << __VA_ARGS__;                                \
+      ::hipa::detail::log_emit(level, hipa_log_os_.str());        \
+    }                                                             \
+  } while (false)
+
+#define HIPA_DEBUG(...) HIPA_LOG(::hipa::LogLevel::kDebug, __VA_ARGS__)
+#define HIPA_INFO(...) HIPA_LOG(::hipa::LogLevel::kInfo, __VA_ARGS__)
+#define HIPA_WARN(...) HIPA_LOG(::hipa::LogLevel::kWarn, __VA_ARGS__)
+#define HIPA_ERROR(...) HIPA_LOG(::hipa::LogLevel::kError, __VA_ARGS__)

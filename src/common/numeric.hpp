@@ -1,0 +1,65 @@
+// Small numeric helpers used across partitioning and layout code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hipa {
+
+/// ceil(a / b) for unsigned integers; b must be nonzero.
+template <class T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `a` up to the next multiple of `m` (m nonzero).
+template <class T>
+[[nodiscard]] constexpr T round_up(T a, T m) {
+  return ceil_div(a, m) * m;
+}
+
+/// True iff `x` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Exclusive prefix sum: out[i] = sum(in[0..i)), out.size() == in.size()+1.
+template <class In, class Out>
+void exclusive_scan(std::span<const In> in, std::vector<Out>& out) {
+  out.resize(in.size() + 1);
+  Out acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += static_cast<Out>(in[i]);
+  }
+  out[in.size()] = acc;
+}
+
+/// Split [0, n) into `parts` half-open chunks as evenly as possible;
+/// returns the `parts + 1` boundaries.
+template <class T>
+[[nodiscard]] std::vector<T> even_chunks(T n, std::size_t parts) {
+  HIPA_CHECK(parts > 0);
+  std::vector<T> bounds(parts + 1);
+  const T base = n / static_cast<T>(parts);
+  const T rem = n % static_cast<T>(parts);
+  T pos = 0;
+  for (std::size_t i = 0; i <= parts; ++i) {
+    bounds[i] = pos;
+    if (i < parts) pos += base + (static_cast<T>(i) < rem ? 1 : 0);
+  }
+  return bounds;
+}
+
+}  // namespace hipa

@@ -1,0 +1,29 @@
+// Wall-clock timer for the native backend and preprocessing phases.
+#pragma once
+
+#include <chrono>
+
+namespace hipa {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hipa

@@ -1,0 +1,52 @@
+// Fundamental fixed-width types shared by every HiPa module.
+//
+// The paper (Section 4.1) fixes vertex ids, edge payloads and PageRank
+// values at 4 bytes each; edge *counts* need 64 bits because the
+// evaluated graphs reach 2.1 B edges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hipa {
+
+/// Vertex identifier (4 bytes, as in the paper).
+using vid_t = std::uint32_t;
+
+/// Edge index / edge count (graphs can exceed 2^32 edges).
+using eid_t = std::uint64_t;
+
+/// PageRank value / generic vertex attribute (4 bytes, as in the paper).
+using rank_t = float;
+
+/// Invalid-vertex sentinel.
+inline constexpr vid_t kInvalidVid = static_cast<vid_t>(-1);
+
+/// Cache line size assumed throughout (both evaluated Xeons use 64 B).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Small-page size used by the simulated NUMA page map.
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Half-open range of vertices [begin, end).
+struct VertexRange {
+  vid_t begin = 0;
+  vid_t end = 0;
+
+  [[nodiscard]] constexpr vid_t size() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return begin == end; }
+  [[nodiscard]] constexpr bool contains(vid_t v) const {
+    return v >= begin && v < end;
+  }
+  friend constexpr bool operator==(const VertexRange&,
+                                   const VertexRange&) = default;
+};
+
+/// A directed edge (source, destination).
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace hipa

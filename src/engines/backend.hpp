@@ -1,0 +1,236 @@
+// Execution backends.
+//
+// Engines are written once against a small backend concept and run
+// either natively (real threads, zero-overhead no-op instrumentation)
+// or on the simulated NUMA machine (every data access modeled). The
+// backend owns three concerns:
+//   * allocation + NUMA placement registration,
+//   * the thread team model (persistent Algorithm-2 teams vs
+//     per-phase Algorithm-1 regions; binding policy),
+//   * phase execution and time measurement.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/machine.hpp"
+
+namespace hipa::engine {
+
+/// Where a buffer's pages live (mirrors sim::Placement; the native
+/// backend treats it as advisory).
+enum class DataPlacement {
+  kNode,        ///< bound to one NUMA node
+  kInterleave,  ///< round-robin pages
+  kScatter,     ///< wherever first touch lands (NUMA-oblivious)
+};
+
+/// Thread team description.
+struct ThreadTeamSpec {
+  unsigned num_threads = 1;
+  /// Algorithm 2 (persistent, created once) vs Algorithm 1 (fresh
+  /// threads per parallel region).
+  bool persistent = true;
+  enum class Binding {
+    kNodeBlocked,  ///< bound to nodes per threads_per_node (NUMA-aware)
+    kSpread,       ///< round-robin over physical cores (good scheduler)
+    kRandom,       ///< arbitrary logical cores (paper §3.3.1's OS model)
+  } binding = Binding::kSpread;
+  /// Required for kNodeBlocked; one entry per node.
+  std::vector<unsigned> threads_per_node;
+};
+
+// ---------------------------------------------------------------------------
+// Native backend
+// ---------------------------------------------------------------------------
+
+/// Zero-cost instrumentation: plain loads/stores; atomics are real.
+class NoopMem {
+ public:
+  explicit NoopMem(unsigned tid) : tid_(tid) {}
+
+  template <class T>
+  [[nodiscard]] T load(const T* p) const {
+    return *p;
+  }
+  template <class T>
+  void store(T* p, T v) const {
+    *p = v;
+  }
+  template <class T>
+  void atomic_add(T* p, T v) const {
+    std::atomic_ref<T>(*p).fetch_add(v, std::memory_order_relaxed);
+  }
+  template <class T>
+  void stream_read(const T*, std::size_t) const {}
+  template <class T>
+  void stream_write(const T*, std::size_t) const {}
+  void work(std::uint64_t) const {}
+  [[nodiscard]] unsigned tid() const { return tid_; }
+  [[nodiscard]] unsigned node() const { return 0; }
+
+ private:
+  unsigned tid_;
+};
+
+/// Real-thread execution. Phase time contributes to wall-clock
+/// `now_seconds()`; placement hints map to CPU pinning (best effort).
+class NativeBackend {
+ public:
+  using Mem = NoopMem;
+  static constexpr bool kSimulated = false;
+
+  template <class T>
+  [[nodiscard]] AlignedBuffer<T> alloc(std::size_t n, DataPlacement,
+                                       unsigned /*node*/ = 0) {
+    return AlignedBuffer<T>(n);
+  }
+  void register_buffer(const void*, std::size_t, DataPlacement,
+                       unsigned /*node*/ = 0) {}
+
+  [[nodiscard]] unsigned num_nodes() const { return 1; }
+
+  void start_team(const ThreadTeamSpec& spec) {
+    spec_ = spec;
+    if (spec.persistent) {
+      team_ = std::make_unique<runtime::PersistentTeam>(spec.num_threads);
+    }
+  }
+
+  template <class F>
+  void phase(F&& kernel) {
+    const unsigned threads =
+        team_ ? team_->size() : spec_.num_threads;
+    auto body = [&](unsigned t) {
+      NoopMem mem(t);
+      kernel(t, mem);
+    };
+    if (team_) {
+      team_->run(body);
+    } else {
+      runtime::fork_join_run(threads, body);
+    }
+  }
+
+  void end_team() { team_.reset(); }
+
+  [[nodiscard]] double now_seconds() const { return timer_.seconds(); }
+
+ private:
+  ThreadTeamSpec spec_;
+  std::unique_ptr<runtime::PersistentTeam> team_;
+  Timer timer_;
+};
+
+// ---------------------------------------------------------------------------
+// Simulated backend
+// ---------------------------------------------------------------------------
+
+/// Runs phases on a sim::SimMachine; allocation registers NUMA
+/// placement; team lifecycle charges thread creation/migration.
+class SimBackend {
+ public:
+  using Mem = sim::SimMem;
+  static constexpr bool kSimulated = true;
+
+  explicit SimBackend(sim::SimMachine& machine) : machine_(&machine) {}
+
+  [[nodiscard]] sim::SimMachine& machine() { return *machine_; }
+  [[nodiscard]] unsigned num_nodes() const {
+    return machine_->topology().num_nodes;
+  }
+
+  template <class T>
+  [[nodiscard]] AlignedBuffer<T> alloc(std::size_t n, DataPlacement pl,
+                                       unsigned node = 0) {
+    AlignedBuffer<T> buf(n);
+    register_buffer(buf.data(), n * sizeof(T), pl, node);
+    return buf;
+  }
+
+  void register_buffer(const void* p, std::size_t bytes, DataPlacement pl,
+                       unsigned node = 0) {
+    machine_->numa().register_range(p, bytes, to_sim(pl), node);
+  }
+
+  void start_team(const ThreadTeamSpec& spec) {
+    spec_ = spec;
+    machine_->charge_thread_creations(spec.num_threads);
+    if (spec.persistent) {
+      placement_ = make_placement();
+      if (spec.binding == ThreadTeamSpec::Binding::kNodeBlocked) {
+        // Worst-case binding: every thread might start on the wrong
+        // node; the paper bounds migrations by the team size (§3.3.2).
+        machine_->charge_thread_migrations(spec.num_threads / 2, true);
+      }
+    }
+  }
+
+  template <class F>
+  void phase(F&& kernel) {
+    if (!spec_.persistent) {
+      machine_->charge_thread_creations(spec_.num_threads);
+      placement_ = make_placement();
+      if (spec_.binding == ThreadTeamSpec::Binding::kNodeBlocked) {
+        // Algorithm 1 + NUMA binding: threads spawn anywhere, then get
+        // migrated to their node — (1 - 1/N) expected per thread.
+        const unsigned n = machine_->topology().num_nodes;
+        machine_->charge_thread_migrations(
+            spec_.num_threads - spec_.num_threads / n, true);
+      }
+    }
+    machine_->run_phase(placement_,
+                        [&](unsigned t, sim::SimMem& mem) { kernel(t, mem); });
+  }
+
+  void end_team() {}
+
+  [[nodiscard]] double now_seconds() const { return machine_->seconds(); }
+
+ private:
+  [[nodiscard]] static sim::Placement to_sim(DataPlacement pl) {
+    switch (pl) {
+      case DataPlacement::kNode:
+        return sim::Placement::kNode;
+      case DataPlacement::kInterleave:
+        return sim::Placement::kInterleave;
+      case DataPlacement::kScatter:
+        return sim::Placement::kScatter;
+    }
+    return sim::Placement::kScatter;
+  }
+
+  [[nodiscard]] sim::PlacementVec make_placement() {
+    switch (spec_.binding) {
+      case ThreadTeamSpec::Binding::kNodeBlocked:
+        return machine_->placement_node_blocked(spec_.threads_per_node);
+      case ThreadTeamSpec::Binding::kSpread:
+        return machine_->placement_spread(spec_.num_threads);
+      case ThreadTeamSpec::Binding::kRandom:
+        return machine_->placement_random(spec_.num_threads);
+    }
+    HIPA_CHECK(false, "unknown binding");
+    __builtin_unreachable();
+  }
+
+  sim::SimMachine* machine_;
+  ThreadTeamSpec spec_;
+  sim::PlacementVec placement_;
+};
+
+/// Result of one engine run.
+struct RunReport {
+  double seconds = 0.0;                ///< iteration time
+  double preprocessing_seconds = 0.0;  ///< partitioning + bins + layout
+  unsigned iterations = 0;
+  sim::SimStats stats;  ///< simulated backends only (zero for native)
+};
+
+}  // namespace hipa::engine

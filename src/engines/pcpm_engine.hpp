@@ -1,0 +1,668 @@
+// Partition-centric scatter-gather engine (PCPM machinery).
+//
+// One engine body covers the three partition-centric methodologies of
+// the paper through policy switches:
+//
+//   HiPa  — numa_aware + persistent_threads + pinned_partitions
+//           (Algorithm 2: hierarchical plan, thread–data pinning,
+//           NUMA-placed layout, all SMT threads usable)
+//   p-PR  — NUMA-oblivious, per-phase thread regions, FCFS dynamic
+//           partition queue (Algorithm 1; paper's hand-tuned baseline)
+//   GPOP  — like p-PR with 1 MB partitions plus framework state
+//           (per-partition Flags/State fields, extra indirection)
+//
+// PageRank per iteration is two parallel regions (paper Algorithm 1/2):
+//   scatter: for each owned source partition, stream its message
+//            sources, read the cache-resident scaled ranks, stream the
+//            values into destination bins;
+//   gather : for each owned destination partition, stream its inbox and
+//            propagate each message to its destination vertices through
+//            intra-partition edges; then apply the PageRank update.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engines/backend.hpp"
+#include "graph/csr.hpp"
+#include "partition/plan.hpp"
+#include "pcp/bins.hpp"
+
+namespace hipa::engine {
+
+/// Policy knobs for the PCPM engine family.
+struct PcpmOptions {
+  std::uint64_t partition_bytes = 256 * 1024;  ///< paper's Skylake optimum
+  unsigned num_threads = 40;
+  unsigned num_nodes = 2;  ///< plan granularity (match the machine)
+  bool numa_aware = true;
+  bool persistent_threads = true;
+  bool pinned_partitions = true;  ///< false: FCFS dynamic claiming
+  bool framework_overhead = false;  ///< GPOP-style per-partition state
+  /// Edge-balanced (paper Eq. 2) vs even-vertex partitioning (§3.1's
+  /// rejected strawman, kept for the balance ablation).
+  part::PlanConfig::Balance balance = part::PlanConfig::Balance::kEdges;
+  /// Cycles one FCFS claim costs per contending thread.
+  std::uint32_t fcfs_claim_cycles = 150;
+  /// Extra framework cycles per message / per partition (GPOP).
+  std::uint32_t framework_cycles_per_msg = 3;
+  std::uint32_t framework_bytes_per_part = 64;
+
+  /// The paper's named configurations.
+  static PcpmOptions hipa(unsigned threads = 40, unsigned nodes = 2,
+                          std::uint64_t part_bytes = 256 * 1024) {
+    PcpmOptions o;
+    o.partition_bytes = part_bytes;
+    o.num_threads = threads;
+    o.num_nodes = nodes;
+    return o;
+  }
+  static PcpmOptions ppr(unsigned threads = 16, unsigned nodes = 2,
+                         std::uint64_t part_bytes = 256 * 1024) {
+    PcpmOptions o;
+    o.partition_bytes = part_bytes;
+    o.num_threads = threads;
+    o.num_nodes = nodes;
+    o.numa_aware = false;
+    o.persistent_threads = false;
+    o.pinned_partitions = false;
+    return o;
+  }
+  static PcpmOptions gpop(unsigned threads = 20, unsigned nodes = 2,
+                          std::uint64_t part_bytes = 1024 * 1024) {
+    PcpmOptions o = ppr(threads, nodes, part_bytes);
+    o.framework_overhead = true;
+    return o;
+  }
+};
+
+/// PageRank run parameters.
+struct PageRankOptions {
+  unsigned iterations = 20;  ///< paper's fixed iteration count
+  rank_t damping = 0.85f;
+};
+
+template <class Backend>
+class PcpmEngine {
+ public:
+  using Mem = typename Backend::Mem;
+
+  PcpmEngine(const graph::Graph& g, const PcpmOptions& opt,
+             Backend& backend)
+      : graph_(&g), opt_(opt), backend_(&backend) {
+    HIPA_CHECK(opt.num_threads >= 1 && opt.num_nodes >= 1);
+    const double t0 = backend.now_seconds();
+    build_plan();
+    if (!opt_.pinned_partitions) build_fcfs_slots();
+    build_bins();
+    build_attributes();
+    place_data();
+    charge_preprocessing();
+    preprocessing_seconds_ = backend.now_seconds() - t0;
+  }
+
+  /// Run PageRank; final ranks land in `ranks_out` when non-null.
+  RunReport run_pagerank(const PageRankOptions& pr,
+                         std::vector<rank_t>* ranks_out = nullptr) {
+    const vid_t n = graph_->num_vertices();
+    ThreadTeamSpec spec;
+    spec.num_threads = opt_.num_threads;
+    spec.persistent = opt_.persistent_threads;
+    spec.binding = opt_.numa_aware ? ThreadTeamSpec::Binding::kNodeBlocked
+                                   : ThreadTeamSpec::Binding::kRandom;
+    // Pad with idle nodes when the plan collapsed to fewer nodes than
+    // the machine has (node-blocked placement wants one entry each).
+    spec.threads_per_node = plan_.threads_per_node;
+    spec.threads_per_node.resize(
+        std::max<std::size_t>(spec.threads_per_node.size(),
+                              opt_.num_nodes),
+        0);
+
+    sim::SimStats before;
+    if constexpr (Backend::kSimulated) before = backend_->machine().stats();
+    const double t0 = backend_->now_seconds();
+
+    phase_salt_ = 0;  // runs replay identically on a reset machine
+    backend_->start_team(spec);
+    backend_->phase([&](unsigned t, Mem& mem) { init_thread(t, mem); });
+    const auto base =
+        static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
+    for (unsigned it = 0; it < pr.iterations; ++it) {
+      ++phase_salt_;
+      backend_->phase([&](unsigned t, Mem& mem) { scatter_thread(t, mem); });
+      ++phase_salt_;
+      backend_->phase([&](unsigned t, Mem& mem) {
+        gather_thread(t, mem, base, pr.damping);
+      });
+    }
+    backend_->end_team();
+
+    RunReport report;
+    report.seconds = backend_->now_seconds() - t0;
+    report.preprocessing_seconds = preprocessing_seconds_;
+    report.iterations = pr.iterations;
+    if constexpr (Backend::kSimulated) {
+      report.stats = stats_delta(backend_->machine().stats(), before);
+    }
+    if (ranks_out != nullptr) {
+      ranks_out->assign(rank_.begin(), rank_.end());
+    }
+    return report;
+  }
+
+  /// Field-wise counter subtraction (this run's delta).
+  static sim::SimStats stats_delta(sim::SimStats s, const sim::SimStats& b) {
+    s.loads -= b.loads;
+    s.stores -= b.stores;
+    s.atomics -= b.atomics;
+    s.l1_hits -= b.l1_hits;
+    s.l1_misses -= b.l1_misses;
+    s.l2_hits -= b.l2_hits;
+    s.l2_misses -= b.l2_misses;
+    s.llc_hits -= b.llc_hits;
+    s.llc_misses -= b.llc_misses;
+    s.dram_local_accesses -= b.dram_local_accesses;
+    s.dram_remote_accesses -= b.dram_remote_accesses;
+    s.dram_local_bytes -= b.dram_local_bytes;
+    s.dram_remote_bytes -= b.dram_remote_bytes;
+    s.thread_creations -= b.thread_creations;
+    s.thread_migrations -= b.thread_migrations;
+    s.phases -= b.phases;
+    s.total_cycles -= b.total_cycles;
+    return s;
+  }
+
+  /// Sparse matrix-vector product over the adjacency matrix:
+  /// y[v] = sum of x[u] over edges u->v (paper §6's first listed
+  /// extension). Runs one scatter-gather round through the same bins
+  /// and thread-data pinning as PageRank.
+  RunReport run_spmv(std::span<const rank_t> x, std::vector<rank_t>& y) {
+    const vid_t n = graph_->num_vertices();
+    HIPA_CHECK(x.size() == n, "input vector size mismatch");
+    ThreadTeamSpec spec;
+    spec.num_threads = opt_.num_threads;
+    spec.persistent = opt_.persistent_threads;
+    spec.binding = opt_.numa_aware ? ThreadTeamSpec::Binding::kNodeBlocked
+                                   : ThreadTeamSpec::Binding::kRandom;
+    spec.threads_per_node = plan_.threads_per_node;
+    spec.threads_per_node.resize(
+        std::max<std::size_t>(spec.threads_per_node.size(), opt_.num_nodes),
+        0);
+
+    sim::SimStats before;
+    if constexpr (Backend::kSimulated) before = backend_->machine().stats();
+    const double t0 = backend_->now_seconds();
+
+    // Stage x into the NUMA-placed rank_scaled_ array, then reuse the
+    // PageRank scatter; gather accumulates into acc_ and copies to y.
+    backend_->start_team(spec);
+    ++phase_salt_;
+    backend_->phase([&](unsigned t, Mem& mem) {
+      for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
+        const VertexRange r = plan_.parts.range(p);
+        mem.stream_read(x.data() + r.begin, r.size());
+        mem.stream_write(rank_scaled_.data() + r.begin, r.size());
+        for (vid_t v = r.begin; v < r.end; ++v) {
+          rank_scaled_[v] = x[v];
+          acc_[v] = 0.0f;
+        }
+        mem.work(r.size());
+      });
+    });
+    ++phase_salt_;
+    backend_->phase([&](unsigned t, Mem& mem) { scatter_thread(t, mem); });
+    ++phase_salt_;
+    y.resize(n);
+    backend_->phase([&](unsigned t, Mem& mem) {
+      gather_accumulate(t, mem);
+      for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+        const VertexRange r = plan_.parts.range(q);
+        mem.stream_read(acc_.data() + r.begin, r.size());
+        mem.stream_write(y.data() + r.begin, r.size());
+        for (vid_t v = r.begin; v < r.end; ++v) {
+          y[v] = acc_[v];
+          acc_[v] = 0.0f;
+        }
+        mem.work(r.size());
+      });
+    });
+    backend_->end_team();
+
+    RunReport report;
+    report.seconds = backend_->now_seconds() - t0;
+    report.preprocessing_seconds = preprocessing_seconds_;
+    report.iterations = 1;
+    if constexpr (Backend::kSimulated) {
+      report.stats = stats_delta(backend_->machine().stats(), before);
+    }
+    return report;
+  }
+
+
+  /// Weakly-connected components by min-label propagation through the
+  /// same bins and pinning (another §6-style generalization). The
+  /// graph must be symmetric (every edge present in both directions,
+  /// e.g. built with BuildOptions::symmetrize) for the result to be
+  /// *weak* connectivity. Returns the converged labels (smallest
+  /// vertex id in each component) and the rounds used.
+  struct WccResult {
+    std::vector<vid_t> labels;
+    unsigned rounds = 0;
+    RunReport report;
+  };
+  WccResult run_wcc(unsigned max_rounds = 1000) {
+    const vid_t n = graph_->num_vertices();
+    ThreadTeamSpec spec;
+    spec.num_threads = opt_.num_threads;
+    spec.persistent = opt_.persistent_threads;
+    spec.binding = opt_.numa_aware ? ThreadTeamSpec::Binding::kNodeBlocked
+                                   : ThreadTeamSpec::Binding::kRandom;
+    spec.threads_per_node = plan_.threads_per_node;
+    spec.threads_per_node.resize(
+        std::max<std::size_t>(spec.threads_per_node.size(), opt_.num_nodes),
+        0);
+
+    // Label attributes and a label-typed message buffer, placed like
+    // their PageRank counterparts.
+    AlignedBuffer<vid_t> label(n);
+    AlignedBuffer<vid_t> lvalues(bins_.total_messages());
+    if (opt_.numa_aware) {
+      for (unsigned node = 0; node < plan_.num_nodes; ++node) {
+        const VertexRange vr = plan_.node_vertex_range(node);
+        backend_->register_buffer(label.data() + vr.begin,
+                                  vr.size() * sizeof(vid_t),
+                                  DataPlacement::kNode, node);
+        const std::uint32_t pb = plan_.node_part_begin[node];
+        const std::uint32_t pe = plan_.node_part_begin[node + 1];
+        const auto [mb, me] = bins_.msg_slice(pb, pe);
+        backend_->register_buffer(lvalues.data() + mb,
+                                  (me - mb) * sizeof(vid_t),
+                                  DataPlacement::kNode, node);
+      }
+    } else {
+      backend_->register_buffer(label.data(), n * sizeof(vid_t),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(lvalues.data(),
+                                lvalues.size() * sizeof(vid_t),
+                                DataPlacement::kInterleave);
+    }
+
+    sim::SimStats before;
+    if constexpr (Backend::kSimulated) before = backend_->machine().stats();
+    const double t0 = backend_->now_seconds();
+
+    std::vector<std::uint64_t> changed(opt_.num_threads, 0);
+    phase_salt_ = 0;
+    backend_->start_team(spec);
+    backend_->phase([&](unsigned t, Mem& mem) {
+      for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
+        const VertexRange r = plan_.parts.range(p);
+        mem.stream_write(label.data() + r.begin, r.size());
+        for (vid_t v = r.begin; v < r.end; ++v) label[v] = v;
+        mem.work(r.size());
+      });
+    });
+
+    WccResult result;
+    const auto& pairs = bins_.pairs();
+    const auto& src_begin = bins_.src_pair_begin();
+    const auto& dpi = bins_.dst_pair_index();
+    const auto& dpb = bins_.dst_pair_begin();
+    const vid_t* src_list = bins_.src_list().data();
+    const vid_t* dst_list = bins_.dst_list().data();
+    for (; result.rounds < max_rounds; ++result.rounds) {
+      ++phase_salt_;
+      backend_->phase([&](unsigned t, Mem& mem) {
+        for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
+          for (std::uint32_t k = src_begin[p]; k < src_begin[p + 1]; ++k) {
+            const pcp::PairInfo& pr = pairs[k];
+            mem.stream_read(src_list + pr.src_off, pr.msg_count);
+            mem.stream_write(lvalues.data() + pr.value_off, pr.msg_count);
+            for (eid_t i = 0; i < pr.msg_count; ++i) {
+              lvalues[pr.value_off + i] =
+                  mem.load(label.data() + src_list[pr.src_off + i]);
+            }
+            mem.work(2 * pr.msg_count);
+          }
+        });
+      });
+      ++phase_salt_;
+      std::fill(changed.begin(), changed.end(), 0);
+      backend_->phase([&](unsigned t, Mem& mem) {
+        std::uint64_t local_changed = 0;
+        for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+          for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
+            const pcp::PairInfo& pr = pairs[dpi[idx]];
+            mem.stream_read(lvalues.data() + pr.value_off, pr.msg_count);
+            mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
+            eid_t msg = pr.value_off - 1;
+            vid_t val = 0;
+            for (eid_t j = pr.dst_off; j < pr.dst_off + pr.dst_count;
+                 ++j) {
+              const vid_t packed = dst_list[j];
+              if (pcp::PcpmBins::is_msg_start(packed)) {
+                ++msg;
+                val = lvalues[msg];
+              }
+              const vid_t d = pcp::PcpmBins::dst_vertex(packed);
+              if (val < label[d]) {
+                mem.store(label.data() + d, val);
+                ++local_changed;
+              }
+            }
+            mem.work(2 * pr.dst_count);
+          }
+        });
+        changed[t] = local_changed;
+      });
+      std::uint64_t total = 0;
+      for (std::uint64_t c : changed) total += c;
+      if (total == 0) break;
+    }
+    backend_->end_team();
+
+    result.report.seconds = backend_->now_seconds() - t0;
+    result.report.iterations = result.rounds;
+    if constexpr (Backend::kSimulated) {
+      result.report.stats = stats_delta(backend_->machine().stats(), before);
+    }
+    result.labels.assign(label.begin(), label.end());
+    return result;
+  }
+
+  [[nodiscard]] const part::HierarchicalPlan& plan() const { return plan_; }
+  [[nodiscard]] const pcp::PcpmBins& bins() const { return bins_; }
+  [[nodiscard]] double preprocessing_seconds() const {
+    return preprocessing_seconds_;
+  }
+
+ private:
+  void build_plan() {
+    part::PlanConfig cfg;
+    cfg.partition_bytes = opt_.partition_bytes;
+    cfg.vertex_bytes = sizeof(rank_t);
+    // Fewer threads than nodes degenerates to fewer plan nodes (a
+    // 1-thread run cannot co-locate with data on two sockets).
+    cfg.num_nodes = opt_.numa_aware
+                        ? std::max(1u, std::min(opt_.num_nodes,
+                                                opt_.num_threads))
+                        : 1;
+    cfg.threads_per_node.assign(cfg.num_nodes, 0);
+    for (unsigned t = 0; t < opt_.num_threads; ++t) {
+      ++cfg.threads_per_node[t % cfg.num_nodes];
+    }
+    cfg.balance = opt_.balance;
+    plan_ = part::build_hierarchical_plan(graph_->out, cfg);
+  }
+
+  void build_bins() { bins_ = pcp::build_bins(graph_->out, plan_.parts); }
+
+  void build_attributes() {
+    const vid_t n = graph_->num_vertices();
+    // Attribute arrays are single contiguous allocations; per-node
+    // physical placement is registered over slices (paper §3.4's
+    // contiguous virtual address space with per-node pages).
+    rank_ = AlignedBuffer<rank_t>(n);
+    rank_scaled_ = AlignedBuffer<rank_t>(n);
+    acc_ = AlignedBuffer<rank_t>(n);
+    deg_ = AlignedBuffer<vid_t>(n);
+    for (vid_t v = 0; v < n; ++v) deg_[v] = graph_->out.degree(v);
+    acc_.fill_zero();
+    values_ = AlignedBuffer<rank_t>(bins_.total_messages());
+    if (opt_.framework_overhead) {
+      const std::size_t words_per_part =
+          opt_.framework_bytes_per_part / sizeof(std::uint64_t);
+      framework_state_ = AlignedBuffer<std::uint64_t>(
+          std::size_t{plan_.parts.num_partitions()} * words_per_part);
+      framework_state_.fill_zero();
+    }
+  }
+
+  void place_data() {
+    if (!opt_.numa_aware) {
+      // NUMA-oblivious: pages land wherever the allocator/first-touch
+      // scatter them; interleave is the faithful 2-node average.
+      backend_->register_buffer(rank_.data(), rank_.size() * sizeof(rank_t),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(rank_scaled_.data(),
+                                rank_scaled_.size() * sizeof(rank_t),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(acc_.data(), acc_.size() * sizeof(rank_t),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(deg_.data(), deg_.size() * sizeof(vid_t),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(values_.data(),
+                                values_.size() * sizeof(rank_t),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(bins_.src_list().data(),
+                                bins_.src_list().size_bytes(),
+                                DataPlacement::kInterleave);
+      backend_->register_buffer(bins_.dst_list().data(),
+                                bins_.dst_list().size_bytes(),
+                                DataPlacement::kInterleave);
+      return;
+    }
+    for (unsigned node = 0; node < plan_.num_nodes; ++node) {
+      const VertexRange vr = plan_.node_vertex_range(node);
+      auto reg_verts = [&](const void* base, std::size_t elem) {
+        backend_->register_buffer(
+            static_cast<const char*>(base) + std::size_t{vr.begin} * elem,
+            std::size_t{vr.size()} * elem, DataPlacement::kNode, node);
+      };
+      reg_verts(rank_.data(), sizeof(rank_t));
+      reg_verts(rank_scaled_.data(), sizeof(rank_t));
+      reg_verts(acc_.data(), sizeof(rank_t));
+      reg_verts(deg_.data(), sizeof(vid_t));
+
+      const std::uint32_t pb = plan_.node_part_begin[node];
+      const std::uint32_t pe = plan_.node_part_begin[node + 1];
+      // Source-side stream (read by this node's scatter threads).
+      const auto [sb, se] = bins_.src_slice(pb, pe);
+      backend_->register_buffer(bins_.src_list().data() + sb,
+                                (se - sb) * sizeof(vid_t),
+                                DataPlacement::kNode, node);
+      // Destination-side inbox (written remotely in scatter, consumed
+      // locally in gather — Fig. 1's "send out updated data").
+      const auto [mb, me] = bins_.msg_slice(pb, pe);
+      backend_->register_buffer(values_.data() + mb,
+                                (me - mb) * sizeof(rank_t),
+                                DataPlacement::kNode, node);
+      const auto [db, de] = bins_.dst_slice(pb, pe);
+      backend_->register_buffer(bins_.dst_list().data() + db,
+                                (de - db) * sizeof(vid_t),
+                                DataPlacement::kNode, node);
+    }
+  }
+
+  void charge_preprocessing() {
+    if constexpr (Backend::kSimulated) {
+      // Two CSR passes (count + fill) plus writing the bin structure,
+      // all serial-equivalent bandwidth; ~15 cycles of bookkeeping per
+      // edge (calibrated so the overhead amortizes within roughly the
+      // paper's 10-13 HiPa iterations, §4.2).
+      const eid_t e = graph_->num_edges();
+      backend_->machine().charge_preprocessing(
+          e * 16 + 2 * bins_.footprint_bytes(), e * 15);
+    }
+  }
+
+  // ---- per-phase partition->thread assignment -----------------------------
+
+  /// Partitions processed by thread t this phase. Pinned mode: the
+  /// plan's fixed groups. FCFS mode: the dynamic first-come-first-serve
+  /// queue self-balances load, modeled as a longest-processing-time
+  /// assignment whose slot->thread mapping rotates every phase (any
+  /// thread may end up owning any partition, the paper's contention
+  /// point), plus a claim cost per partition scaled by contender count.
+  template <class F>
+  void for_owned_partitions(unsigned t, Mem& mem, bool source_side,
+                            F&& body) {
+    (void)source_side;
+    if (opt_.pinned_partitions) {
+      const auto [pb, pe] = plan_.table.partitions_of_thread(t);
+      for (std::uint32_t p = pb; p < pe; ++p) body(p);
+      return;
+    }
+    const unsigned threads = opt_.num_threads;
+    const auto& mine = fcfs_slots_[(t + phase_salt_) % threads];
+    for (std::uint32_t p : mine) {
+      mem.work(std::uint64_t{opt_.fcfs_claim_cycles} * threads);
+      body(p);
+    }
+  }
+
+  /// LPT schedule of partitions onto FCFS slots (built once).
+  void build_fcfs_slots() {
+    const unsigned threads = opt_.num_threads;
+    fcfs_slots_.assign(threads, {});
+    std::vector<std::uint32_t> order(plan_.parts.num_partitions());
+    for (std::uint32_t p = 0; p < order.size(); ++p) order[p] = p;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return plan_.partition_weights[a] >
+                              plan_.partition_weights[b];
+                     });
+    std::vector<std::uint64_t> load(threads, 0);
+    for (std::uint32_t p : order) {
+      unsigned best = 0;
+      for (unsigned k = 1; k < threads; ++k) {
+        if (load[k] < load[best]) best = k;
+      }
+      fcfs_slots_[best].push_back(p);
+      load[best] += plan_.partition_weights[p] + 1;
+    }
+  }
+
+  // ---- kernels -------------------------------------------------------------
+
+  void init_thread(unsigned t, Mem& mem) {
+    const vid_t n = graph_->num_vertices();
+    const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
+    for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
+      const VertexRange r = plan_.parts.range(p);
+      mem.stream_read(deg_.data() + r.begin, r.size());
+      mem.stream_write(rank_.data() + r.begin, r.size());
+      mem.stream_write(rank_scaled_.data() + r.begin, r.size());
+      mem.stream_write(acc_.data() + r.begin, r.size());
+      for (vid_t v = r.begin; v < r.end; ++v) {
+        rank_[v] = r0;
+        rank_scaled_[v] = deg_[v] == 0 ? 0.0f : r0 / static_cast<rank_t>(deg_[v]);
+        acc_[v] = 0.0f;
+      }
+      mem.work(r.size());
+    });
+  }
+
+  void scatter_thread(unsigned t, Mem& mem) {
+    const auto& pairs = bins_.pairs();
+    const auto& src_begin = bins_.src_pair_begin();
+    const vid_t* src_list = bins_.src_list().data();
+    for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
+      for (std::uint32_t k = src_begin[p]; k < src_begin[p + 1]; ++k) {
+        const pcp::PairInfo& pr = pairs[k];
+        mem.stream_read(&pr, 1);  // bin metadata
+        mem.stream_read(src_list + pr.src_off, pr.msg_count);
+        mem.stream_write(values_.data() + pr.value_off, pr.msg_count);
+        for (eid_t i = 0; i < pr.msg_count; ++i) {
+          const vid_t s = src_list[pr.src_off + i];
+          // Random read, resident in this partition's cache slice.
+          const rank_t val = mem.load(rank_scaled_.data() + s);
+          values_[pr.value_off + i] = val;
+        }
+        mem.work(2 * pr.msg_count);
+        if (opt_.framework_overhead) {
+          mem.work(std::uint64_t{opt_.framework_cycles_per_msg} *
+                   pr.msg_count);
+        }
+      }
+      if (opt_.framework_overhead) framework_touch(p, mem);
+    });
+  }
+
+  /// Inbox drain of one thread's destination partitions: accumulate
+  /// message values into acc_ (shared by PageRank gather and SpMV).
+  void gather_accumulate(unsigned t, Mem& mem) {
+    const auto& pairs = bins_.pairs();
+    const auto& dpi = bins_.dst_pair_index();
+    const auto& dpb = bins_.dst_pair_begin();
+    const vid_t* dst_list = bins_.dst_list().data();
+    for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+      for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
+        const pcp::PairInfo& pr = pairs[dpi[idx]];
+        mem.stream_read(&pr, 1);
+        mem.stream_read(values_.data() + pr.value_off, pr.msg_count);
+        mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
+        // Walk the flag-packed destination slice: an MSB-marked entry
+        // advances to the next message's value.
+        eid_t msg = pr.value_off - 1;
+        rank_t val = 0.0f;
+        for (eid_t j = pr.dst_off; j < pr.dst_off + pr.dst_count; ++j) {
+          const vid_t packed = dst_list[j];
+          if (pcp::PcpmBins::is_msg_start(packed)) {
+            ++msg;
+            val = values_[msg];
+          }
+          const vid_t d = pcp::PcpmBins::dst_vertex(packed);
+          // Random update, resident in partition q's cache slice.
+          mem.store(acc_.data() + d, acc_[d] + val);
+        }
+        mem.work(2 * pr.dst_count + pr.msg_count);
+        if (opt_.framework_overhead) {
+          mem.work(std::uint64_t{opt_.framework_cycles_per_msg} *
+                   pr.msg_count);
+        }
+      }
+    });
+  }
+
+  void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping) {
+    gather_accumulate(t, mem);
+    for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+      // Apply: finish PageRank for this partition's vertices.
+      const VertexRange r = plan_.parts.range(q);
+      mem.stream_read(acc_.data() + r.begin, r.size());
+      mem.stream_read(deg_.data() + r.begin, r.size());
+      mem.stream_write(rank_.data() + r.begin, r.size());
+      mem.stream_write(rank_scaled_.data() + r.begin, r.size());
+      for (vid_t v = r.begin; v < r.end; ++v) {
+        const rank_t new_rank = base + damping * acc_[v];
+        rank_[v] = new_rank;
+        rank_scaled_[v] =
+            deg_[v] == 0 ? 0.0f : new_rank / static_cast<rank_t>(deg_[v]);
+        acc_[v] = 0.0f;
+      }
+      mem.work(3 * r.size());
+      if (opt_.framework_overhead) framework_touch(q, mem);
+    });
+  }
+
+  /// GPOP-style per-partition framework state (Flags, State, bin
+  /// sizes): an extra streamed structure per partition per phase.
+  void framework_touch(std::uint32_t p, Mem& mem) {
+    const std::size_t words =
+        opt_.framework_bytes_per_part / sizeof(std::uint64_t);
+    std::uint64_t* state = framework_state_.data() + p * words;
+    mem.stream_read(state, words);
+    mem.stream_write(state, words);
+    mem.work(50);
+  }
+
+  const graph::Graph* graph_;
+  PcpmOptions opt_;
+  Backend* backend_;
+  part::HierarchicalPlan plan_;
+  pcp::PcpmBins bins_;
+  AlignedBuffer<rank_t> rank_;
+  AlignedBuffer<rank_t> rank_scaled_;
+  AlignedBuffer<rank_t> acc_;
+  AlignedBuffer<vid_t> deg_;
+  AlignedBuffer<rank_t> values_;
+  AlignedBuffer<std::uint64_t> framework_state_;
+  std::vector<std::vector<std::uint32_t>> fcfs_slots_;
+  double preprocessing_seconds_ = 0.0;
+  unsigned phase_salt_ = 0;
+};
+
+}  // namespace hipa::engine

@@ -1,0 +1,341 @@
+// Polymer-style engine: NUMA-aware vertex-centric framework model
+// (paper ref [38], used as the NUMA-aware framework baseline).
+//
+// Faithful to Polymer's published design at the methodology level:
+//  * vertices are edge-balanced across NUMA nodes; each node holds the
+//    in-edges of its own vertices, split per *source* node so a pull
+//    sub-pass touches only one source node's contribution range
+//    (Polymer's NUMA-aware data layout);
+//  * per-node replicas of the contribution vector are rebuilt every
+//    iteration (co-locating reads with the reading node, at the price
+//    of N× write traffic — why Polymer's total MApE is high while its
+//    remote share is the lowest, paper Fig. 5);
+//  * frontier (vertex subset) machinery runs even though PageRank
+//    keeps every vertex active — the framework tax the paper measures;
+//  * persistent threads bound to nodes (Polymer is pthread-based and
+//    NUMA-aware).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+#include "engines/backend.hpp"
+#include "engines/vpr_engine.hpp"  // SimStats delta helper
+#include "graph/csr.hpp"
+#include "partition/edge_balanced.hpp"
+
+namespace hipa::engine {
+
+struct PolymerOptions {
+  unsigned num_threads = 40;
+  unsigned num_nodes = 2;
+  /// Framework indirection costs (user-function dispatch per edge,
+  /// frontier membership checks, CAS-based vertex updates — paper
+  /// §4.3: "suffering from atomic operations, low graph locality and
+  /// irregular memory accesses").
+  std::uint32_t framework_cycles_per_edge = 40;
+  std::uint32_t framework_cycles_per_vertex = 16;
+};
+
+template <class Backend>
+class PolymerEngine {
+ public:
+  using Mem = typename Backend::Mem;
+
+  PolymerEngine(const graph::Graph& g, const PolymerOptions& opt,
+                Backend& backend)
+      : graph_(&g), opt_(opt), backend_(&backend) {
+    HIPA_CHECK(opt.num_threads >= opt.num_nodes && opt.num_nodes >= 1);
+    const double t0 = backend.now_seconds();
+    build_layout();
+    if constexpr (Backend::kSimulated) {
+      const eid_t e = graph_->num_edges();
+      // Sub-CSC construction: two passes over the in-edges plus the
+      // replica allocations.
+      backend.machine().charge_preprocessing(
+          e * 12 + std::uint64_t{graph_->num_vertices()} * 4 * opt.num_nodes,
+          e * 5);
+    }
+    preprocessing_seconds_ = backend.now_seconds() - t0;
+  }
+
+  RunReport run_pagerank(const PageRankOptions& pr,
+                         std::vector<rank_t>* ranks_out = nullptr) {
+    const vid_t n = graph_->num_vertices();
+    ThreadTeamSpec spec;
+    spec.num_threads = opt_.num_threads;
+    spec.persistent = true;
+    spec.binding = ThreadTeamSpec::Binding::kNodeBlocked;
+    spec.threads_per_node = threads_per_node_;
+
+    sim::SimStats before;
+    if constexpr (Backend::kSimulated) before = backend_->machine().stats();
+    const double t0 = backend_->now_seconds();
+
+    backend_->start_team(spec);
+    const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
+    backend_->phase([&](unsigned t, Mem& mem) {
+      const vid_t b = thread_vertex_bounds_[t];
+      const vid_t e = thread_vertex_bounds_[t + 1];
+      mem.stream_write(rank_.data() + b, e - b);
+      mem.stream_write(frontier_.data() + b, e - b);
+      for (vid_t v = b; v < e; ++v) {
+        rank_[v] = static_cast<double>(r0);
+        frontier_[v] = 1;
+      }
+      mem.work(e - b);
+    });
+    const auto base =
+        static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
+    for (unsigned it = 0; it < pr.iterations; ++it) {
+      backend_->phase(
+          [&](unsigned t, Mem& mem) { replicate_pass(t, mem); });
+      for (unsigned m = 0; m < opt_.num_nodes; ++m) {
+        const bool last = (m + 1 == opt_.num_nodes);
+        backend_->phase([&](unsigned t, Mem& mem) {
+          pull_pass(t, mem, m, last, base, pr.damping);
+        });
+      }
+      // The frontier double-buffer flips once per iteration (framework
+      // behavior; contents are all-ones for PageRank).
+      std::swap(frontier_, next_frontier_);
+    }
+    backend_->end_team();
+
+    RunReport report;
+    report.seconds = backend_->now_seconds() - t0;
+    report.preprocessing_seconds = preprocessing_seconds_;
+    report.iterations = pr.iterations;
+    if constexpr (Backend::kSimulated) {
+      report.stats =
+          VprEngine<Backend>::delta(backend_->machine().stats(), before);
+    }
+    if (ranks_out != nullptr) {
+      ranks_out->resize(n);
+      for (vid_t v = 0; v < n; ++v) {
+        (*ranks_out)[v] = static_cast<rank_t>(rank_[v]);
+      }
+    }
+    return report;
+  }
+
+  [[nodiscard]] double preprocessing_seconds() const {
+    return preprocessing_seconds_;
+  }
+
+ private:
+  void build_layout() {
+    const graph::Graph& g = *graph_;
+    const vid_t n = g.num_vertices();
+    const unsigned nodes = opt_.num_nodes;
+
+    threads_per_node_.assign(nodes, 0);
+    for (unsigned t = 0; t < opt_.num_threads; ++t) {
+      ++threads_per_node_[t % nodes];
+    }
+
+    // Node vertex ranges, balanced by in-degree (pull-side work).
+    node_bounds_ = part::split_vertices_by_degree(g.in, nodes);
+
+    // Per-thread ranges nested inside the node ranges: vertex-balanced
+    // for streaming passes, in-degree-balanced for the pull.
+    thread_vertex_bounds_.assign(1, 0);
+    thread_pull_bounds_.assign(1, 0);
+    unsigned t = 0;
+    for (unsigned nd = 0; nd < nodes; ++nd) {
+      const vid_t b = node_bounds_[nd];
+      const vid_t e = node_bounds_[nd + 1];
+      const auto even = even_chunks<vid_t>(e - b, threads_per_node_[nd]);
+      std::vector<std::uint64_t> weights(e - b);
+      for (vid_t v = b; v < e; ++v) weights[v - b] = g.in.degree(v);
+      const auto pull =
+          part::split_weighted(weights, threads_per_node_[nd]);
+      for (unsigned k = 1; k <= threads_per_node_[nd]; ++k, ++t) {
+        thread_vertex_bounds_.push_back(b + even[k]);
+        thread_pull_bounds_.push_back(b + pull[k]);
+      }
+    }
+
+    // Attribute arrays: slices on the owning node.
+    rank_ = AlignedBuffer<double>(n);
+    deg_ = AlignedBuffer<vid_t>(n);
+    acc_ = AlignedBuffer<double>(n);
+    frontier_ = AlignedBuffer<std::uint8_t>(n);
+    next_frontier_ = AlignedBuffer<std::uint8_t>(n);
+    acc_.fill_zero();
+    for (vid_t v = 0; v < n; ++v) deg_[v] = g.out.degree(v);
+    for (unsigned nd = 0; nd < nodes; ++nd) {
+      const vid_t b = node_bounds_[nd];
+      const vid_t sz = node_bounds_[nd + 1] - b;
+      backend_->register_buffer(rank_.data() + b, sz * sizeof(double),
+                                DataPlacement::kNode, nd);
+      backend_->register_buffer(deg_.data() + b, sz * sizeof(vid_t),
+                                DataPlacement::kNode, nd);
+      backend_->register_buffer(acc_.data() + b, sz * sizeof(double),
+                                DataPlacement::kNode, nd);
+      backend_->register_buffer(frontier_.data() + b, sz,
+                                DataPlacement::kNode, nd);
+      backend_->register_buffer(next_frontier_.data() + b, sz,
+                                DataPlacement::kNode, nd);
+    }
+
+    // Full contribution replica per node, local to its readers.
+    replicas_.clear();
+    for (unsigned nd = 0; nd < nodes; ++nd) {
+      replicas_.push_back(backend_->template alloc<rank_t>(
+          n, DataPlacement::kNode, nd));
+    }
+
+    // Sub-CSCs: for destination node nd and source node m, the
+    // in-edges of nd's vertices whose source lies in m's range.
+    // Offsets are local to nd's vertex range.
+    sub_offsets_.clear();
+    sub_offsets_.resize(std::size_t{nodes} * nodes);
+    sub_targets_.clear();
+    sub_targets_.resize(std::size_t{nodes} * nodes);
+    for (unsigned nd = 0; nd < nodes; ++nd) {
+      const vid_t b = node_bounds_[nd];
+      const vid_t e = node_bounds_[nd + 1];
+      for (unsigned m = 0; m < nodes; ++m) {
+        auto& offs = sub_offsets_[nd * nodes + m];
+        offs = AlignedBuffer<eid_t>(std::size_t{e - b} + 1);
+        offs.fill_zero();
+      }
+      for (vid_t v = b; v < e; ++v) {
+        for (vid_t u : g.in.neighbors(v)) {
+          const unsigned m = node_of_vertex(u);
+          ++sub_offsets_[nd * nodes + m][v - b + 1];
+        }
+      }
+      for (unsigned m = 0; m < nodes; ++m) {
+        auto& offs = sub_offsets_[nd * nodes + m];
+        for (vid_t i = 1; i <= e - b; ++i) offs[i] += offs[i - 1];
+        auto& tgts = sub_targets_[nd * nodes + m];
+        tgts = AlignedBuffer<vid_t>(offs[e - b]);
+      }
+      std::vector<eid_t> cursor(nodes, 0);
+      for (vid_t v = b; v < e; ++v) {
+        for (unsigned m = 0; m < nodes; ++m) {
+          cursor[m] = sub_offsets_[nd * nodes + m][v - b];
+        }
+        for (vid_t u : g.in.neighbors(v)) {
+          const unsigned m = node_of_vertex(u);
+          sub_targets_[nd * nodes + m][cursor[m]++] = u;
+        }
+      }
+      for (unsigned m = 0; m < nodes; ++m) {
+        backend_->register_buffer(
+            sub_offsets_[nd * nodes + m].data(),
+            sub_offsets_[nd * nodes + m].size() * sizeof(eid_t),
+            DataPlacement::kNode, nd);
+        backend_->register_buffer(
+            sub_targets_[nd * nodes + m].data(),
+            sub_targets_[nd * nodes + m].size() * sizeof(vid_t),
+            DataPlacement::kNode, nd);
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned node_of_vertex(vid_t v) const {
+    for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
+      if (v < node_bounds_[nd + 1]) return nd;
+    }
+    return opt_.num_nodes - 1;
+  }
+
+  [[nodiscard]] unsigned node_of_thread(unsigned t) const {
+    unsigned first = 0;
+    for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
+      first += threads_per_node_[nd];
+      if (t < first) return nd;
+    }
+    return opt_.num_nodes - 1;
+  }
+
+  /// Compute contributions for the thread's own vertices and push them
+  /// into every node's replica (Polymer's per-iteration replication).
+  void replicate_pass(unsigned t, Mem& mem) {
+    const vid_t b = thread_vertex_bounds_[t];
+    const vid_t e = thread_vertex_bounds_[t + 1];
+    mem.stream_read(rank_.data() + b, e - b);
+    mem.stream_read(deg_.data() + b, e - b);
+    mem.stream_read(frontier_.data() + b, e - b);
+    for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
+      mem.stream_write(replicas_[nd].data() + b, e - b);
+    }
+    for (vid_t v = b; v < e; ++v) {
+      const auto c = static_cast<rank_t>(
+          deg_[v] == 0 ? 0.0 : rank_[v] / static_cast<double>(deg_[v]));
+      for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
+        replicas_[nd][v] = c;
+      }
+    }
+    mem.work(std::uint64_t{e - b} *
+             (2 + opt_.framework_cycles_per_vertex));
+  }
+
+  /// One source-node sub-pass of the pull; the last sub-pass applies
+  /// the PageRank update and refreshes the frontier.
+  void pull_pass(unsigned t, Mem& mem, unsigned m, bool last, rank_t base,
+                 rank_t damping) {
+    const unsigned nd = node_of_thread(t);
+    const vid_t node_begin = node_bounds_[nd];
+    const vid_t b = thread_pull_bounds_[t];
+    const vid_t e = thread_pull_bounds_[t + 1];
+    const auto& offs = sub_offsets_[nd * opt_.num_nodes + m];
+    const auto& tgts = sub_targets_[nd * opt_.num_nodes + m];
+    const rank_t* replica = replicas_[nd].data();
+
+    mem.stream_read(offs.data() + (b - node_begin), e - b + 1);
+    for (vid_t v = b; v < e; ++v) {
+      const eid_t lo = offs[v - node_begin];
+      const eid_t hi = offs[v - node_begin + 1];
+      mem.stream_read(tgts.data() + lo, hi - lo);
+      double sum = 0.0;
+      for (eid_t i = lo; i < hi; ++i) {
+        // Random read over one source node's range of the local replica.
+        sum += mem.load(replica + tgts[i]);
+      }
+      // Ligra's writeAdd: vertex updates go through a CAS loop even
+      // when uncontended.
+      mem.atomic_add(acc_.data() + v, sum);
+      mem.work((hi - lo) * (1 + opt_.framework_cycles_per_edge) + 2);
+    }
+    if (last) {
+      mem.stream_read(acc_.data() + b, e - b);
+      mem.stream_write(rank_.data() + b, e - b);
+      mem.stream_read(frontier_.data() + b, e - b);
+      mem.stream_write(next_frontier_.data() + b, e - b);
+      for (vid_t v = b; v < e; ++v) {
+        rank_[v] = static_cast<double>(base) +
+                   static_cast<double>(damping) * acc_[v];
+        acc_[v] = 0.0;
+        next_frontier_[v] = 1;  // PageRank: everything stays active
+      }
+      mem.work(std::uint64_t{e - b} *
+               (2 + opt_.framework_cycles_per_vertex));
+    }
+  }
+
+  const graph::Graph* graph_;
+  PolymerOptions opt_;
+  Backend* backend_;
+  std::vector<unsigned> threads_per_node_;
+  std::vector<vid_t> node_bounds_;
+  std::vector<vid_t> thread_vertex_bounds_;
+  std::vector<vid_t> thread_pull_bounds_;
+  // Ligra/Polymer compute PageRank in double precision — twice the
+  // attribute traffic of the hand-coded float engines.
+  AlignedBuffer<double> rank_;
+  AlignedBuffer<vid_t> deg_;
+  AlignedBuffer<double> acc_;
+  AlignedBuffer<std::uint8_t> frontier_;
+  AlignedBuffer<std::uint8_t> next_frontier_;
+  std::vector<AlignedBuffer<rank_t>> replicas_;
+  std::vector<AlignedBuffer<eid_t>> sub_offsets_;
+  std::vector<AlignedBuffer<vid_t>> sub_targets_;
+  double preprocessing_seconds_ = 0.0;
+};
+
+}  // namespace hipa::engine

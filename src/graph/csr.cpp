@@ -1,0 +1,54 @@
+#include "graph/csr.hpp"
+
+namespace hipa::graph {
+
+CsrGraph::CsrGraph(AlignedBuffer<eid_t> offsets, AlignedBuffer<vid_t> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  HIPA_CHECK(!offsets_.empty(), "CSR offsets must have at least one entry");
+  HIPA_CHECK(offsets_[0] == 0, "CSR offsets must start at 0");
+  for (std::size_t v = 1; v < offsets_.size(); ++v) {
+    HIPA_CHECK(offsets_[v - 1] <= offsets_[v],
+               "CSR offsets must be monotone at v=" << v);
+  }
+  HIPA_CHECK(offsets_[offsets_.size() - 1] == targets_.size(),
+             "CSR offsets tail must equal edge count");
+  const vid_t v_count = num_vertices();
+  for (vid_t t : targets_.span()) {
+    HIPA_CHECK(t < v_count, "CSR target " << t << " out of range");
+  }
+}
+
+eid_t CsrGraph::count_edges_within(VertexRange r) const {
+  eid_t count = 0;
+  for (vid_t v = r.begin; v < r.end; ++v) {
+    for (vid_t u : neighbors(v)) {
+      if (r.contains(u)) ++count;
+    }
+  }
+  return count;
+}
+
+CsrGraph CsrGraph::transpose() const {
+  const vid_t v_count = num_vertices();
+  const eid_t e_count = num_edges();
+
+  AlignedBuffer<eid_t> rev_offsets(static_cast<std::size_t>(v_count) + 1);
+  rev_offsets.fill_zero();
+
+  // Count in-degrees (shifted by one so the scan lands in place).
+  for (vid_t t : targets_.span()) rev_offsets[t + 1]++;
+  for (std::size_t v = 1; v <= v_count; ++v) rev_offsets[v] += rev_offsets[v - 1];
+
+  AlignedBuffer<vid_t> rev_targets(static_cast<std::size_t>(e_count));
+  AlignedBuffer<eid_t> cursor(static_cast<std::size_t>(v_count));
+  for (vid_t v = 0; v < v_count; ++v) cursor[v] = rev_offsets[v];
+
+  for (vid_t v = 0; v < v_count; ++v) {
+    for (vid_t u : neighbors(v)) {
+      rev_targets[cursor[u]++] = v;
+    }
+  }
+  return CsrGraph(std::move(rev_offsets), std::move(rev_targets));
+}
+
+}  // namespace hipa::graph

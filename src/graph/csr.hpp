@@ -1,0 +1,82 @@
+// Compressed Sparse Row graph storage.
+//
+// A CsrGraph stores one edge direction: `offsets[v] .. offsets[v+1]`
+// index into `targets`, giving v's neighbor list. The Graph bundle
+// below pairs the out-direction with its transpose (in-direction),
+// since PageRank engines need out-degrees (scatter / contribution) and
+// in-neighbors (pull / gather).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace hipa::graph {
+
+/// Single-direction CSR adjacency structure. Immutable after build.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Takes ownership of prebuilt arrays. offsets.size() == V+1,
+  /// offsets[0] == 0, offsets[V] == targets.size(), offsets monotone.
+  CsrGraph(AlignedBuffer<eid_t> offsets, AlignedBuffer<vid_t> targets);
+
+  [[nodiscard]] vid_t num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] eid_t num_edges() const {
+    return offsets_.empty() ? 0 : offsets_[offsets_.size() - 1];
+  }
+
+  /// Degree of v in this direction.
+  [[nodiscard]] vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbor list of v.
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t v) const {
+    return {targets_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  [[nodiscard]] std::span<const eid_t> offsets() const {
+    return offsets_.span();
+  }
+  [[nodiscard]] std::span<const vid_t> targets() const {
+    return targets_.span();
+  }
+
+  /// Sum of edges whose endpoints both lie in [r.begin, r.end).
+  /// Convenience for partition statistics; O(E) worst case.
+  [[nodiscard]] eid_t count_edges_within(VertexRange r) const;
+
+  /// Build the reverse-direction CSR (transpose).
+  [[nodiscard]] CsrGraph transpose() const;
+
+ private:
+  AlignedBuffer<eid_t> offsets_;
+  AlignedBuffer<vid_t> targets_;
+};
+
+/// Out + in direction bundle used by the engines.
+struct Graph {
+  CsrGraph out;  ///< out-edges: scatter direction, out-degrees
+  CsrGraph in;   ///< in-edges: pull direction
+
+  [[nodiscard]] vid_t num_vertices() const { return out.num_vertices(); }
+  [[nodiscard]] eid_t num_edges() const { return out.num_edges(); }
+
+  /// Construct the bundle from an out-direction CSR (builds transpose).
+  static Graph from_out(CsrGraph out_csr) {
+    Graph g;
+    g.in = out_csr.transpose();
+    g.out = std::move(out_csr);
+    return g;
+  }
+};
+
+}  // namespace hipa::graph

@@ -1,0 +1,112 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace hipa::graph {
+
+namespace {
+
+/// Generation recipe for one stand-in at full paper size; make_dataset
+/// divides both axes by the scale denominator.
+struct Recipe {
+  DatasetInfo info;
+  double zipf_exponent = 0.0;  ///< 0 => use R-MAT instead of Zipf
+  double src_exponent = 0.0;
+  std::uint64_t seed = 0;
+};
+
+const std::vector<Recipe>& recipes() {
+  static const std::vector<Recipe> r = {
+      // Zipf exponents are *popularity* exponents beta < 1: the degree
+      // distribution then follows a power law with exponent 1 + 1/beta
+      // (the 2.1-2.4 measured for these datasets). Second value: source
+      // (out-degree) popularity.
+      {{"journal", "LiveJournal social network", 4.8e6, 68.5e6, 8},
+       0.88, 0.75, 1001},
+      {{"pld", "Pay-Level-Domain web hyperlinks", 42.9e6, 0.6e9, 64},
+       0.92, 0.85, 1002},
+      {{"wiki", "Wiki Links hyperlink graph", 18.3e6, 0.2e9, 32},
+       0.90, 0.80, 1003},
+      {{"kron", "Graph500 Kronecker synthetic", 67e6, 2.1e9, 256},
+       0.0, 0.0, 1004},
+      {{"twitter", "Twitter follower network", 41.7e6, 1.5e9, 256},
+       0.93, 0.85, 1005},
+      {{"mpi", "Twitter influence network", 52.6e6, 2.0e9, 256},
+       0.85, 0.70, 1006},
+  };
+  return r;
+}
+
+const Recipe& find_recipe(const std::string& name) {
+  for (const Recipe& r : recipes()) {
+    if (r.info.name == name) return r;
+  }
+  HIPA_CHECK(false, "unknown dataset '" << name << '\'');
+  __builtin_unreachable();
+}
+
+Graph generate(const Recipe& r, unsigned scale_denom) {
+  HIPA_CHECK(scale_denom >= 1);
+  const double v_target = r.info.paper_vertices / scale_denom;
+  const double e_target = r.info.paper_edges / scale_denom;
+
+  std::vector<Edge> edges;
+  vid_t num_vertices;
+  if (r.zipf_exponent == 0.0) {
+    // kron: R-MAT with the Graph500 probabilities; pick the scale whose
+    // vertex count is nearest the target and adjust the edge factor.
+    unsigned scale = 1;
+    while ((1ull << (scale + 1)) <= static_cast<std::uint64_t>(v_target)) {
+      ++scale;
+    }
+    num_vertices = vid_t{1} << scale;
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = std::max<unsigned>(
+        1, static_cast<unsigned>(std::llround(e_target / num_vertices)));
+    p.seed = r.seed;
+    edges = generate_rmat(p);
+  } else {
+    num_vertices =
+        std::max<vid_t>(64, static_cast<vid_t>(std::llround(v_target)));
+    ZipfParams p;
+    p.num_vertices = num_vertices;
+    p.num_edges = std::max<eid_t>(
+        num_vertices, static_cast<eid_t>(std::llround(e_target)));
+    p.exponent = r.zipf_exponent;
+    p.src_exponent = r.src_exponent;
+    p.seed = r.seed;
+    edges = generate_zipf(p);
+  }
+  return build_graph(num_vertices, edges, BuildOptions{});
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& paper_datasets() {
+  static const std::vector<DatasetInfo> infos = [] {
+    std::vector<DatasetInfo> v;
+    for (const Recipe& r : recipes()) v.push_back(r.info);
+    return v;
+  }();
+  return infos;
+}
+
+unsigned recommended_scale(const std::string& name) {
+  return find_recipe(name).info.recommended_scale;
+}
+
+Graph make_dataset(const std::string& name, unsigned scale_denom) {
+  return generate(find_recipe(name), scale_denom);
+}
+
+Graph make_tiny_dataset(const std::string& name) {
+  return make_dataset(name, 1024);
+}
+
+}  // namespace hipa::graph

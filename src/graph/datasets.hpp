@@ -1,0 +1,47 @@
+// Stand-ins for the paper's six evaluation graphs (Table 1).
+//
+// The real datasets (LiveJournal, Pay-Level-Domain, Wiki Links,
+// Graph500 Kronecker scale-23, Twitter follower, Twitter influence)
+// total ~6.4 B edges and are not available offline; each stand-in is a
+// deterministic synthetic graph with matched direction, degree skew and
+// density, scaled down by `scale_denom` (default 64, the factor
+// documented in DESIGN.md). `kron` is generated with the same R-MAT
+// process the paper uses, only at a smaller scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hipa::graph {
+
+/// Descriptor of one paper dataset and its synthetic stand-in.
+struct DatasetInfo {
+  std::string name;         ///< paper's short name (journal, pld, ...)
+  std::string description;  ///< paper's description column
+  // Paper-reported full-size statistics (Table 1):
+  double paper_vertices = 0;  ///< e.g. 4.8e6
+  double paper_edges = 0;     ///< e.g. 68.5e6
+  /// Scale denominator the benches use for this graph. The simulated
+  /// machine's caches are shrunk by the *same* factor, so every
+  /// size-relative effect (cache residency, partition counts) sits at
+  /// the paper's operating point while keeping runs tractable.
+  unsigned recommended_scale = 64;
+};
+
+/// Scale denominator paired with `name` (see DatasetInfo).
+[[nodiscard]] unsigned recommended_scale(const std::string& name);
+
+/// All six paper datasets in Table 1 order.
+[[nodiscard]] const std::vector<DatasetInfo>& paper_datasets();
+
+/// Generate the stand-in for `name` at 1/scale_denom of paper size.
+/// Deterministic for a given (name, scale_denom).
+[[nodiscard]] Graph make_dataset(const std::string& name,
+                                 unsigned scale_denom = 64);
+
+/// Smaller variant for unit tests (scale_denom = 1024).
+[[nodiscard]] Graph make_tiny_dataset(const std::string& name);
+
+}  // namespace hipa::graph

@@ -1,0 +1,169 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace hipa::graph {
+
+namespace {
+
+/// Feistel-like deterministic permutation of [0, 2^bits).
+vid_t scramble(vid_t v, unsigned bits, std::uint64_t seed) {
+  const vid_t mask = (bits >= 32) ? ~vid_t{0} : ((vid_t{1} << bits) - 1);
+  std::uint64_t x = v;
+  // Two rounds of an invertible xorshift-multiply within the mask.
+  for (int round = 0; round < 2; ++round) {
+    x = (x * 0x9e3779b9u + seed + static_cast<std::uint64_t>(round)) & mask;
+    x ^= x >> (bits / 2 + 1);
+    x &= mask;
+  }
+  // Invertibility is not required — only determinism and rough
+  // uniformity: collisions merely merge two vertices' edge slots.
+  return static_cast<vid_t>(x);
+}
+
+}  // namespace
+
+std::vector<Edge> generate_rmat(const RmatParams& p) {
+  HIPA_CHECK(p.scale >= 1 && p.scale <= 30, "rmat scale out of range");
+  const double d = 1.0 - p.a - p.b - p.c;
+  HIPA_CHECK(d > 0.0 && p.a > 0 && p.b >= 0 && p.c >= 0,
+             "rmat probabilities must be positive and sum below 1");
+
+  const vid_t n = vid_t{1} << p.scale;
+  const eid_t m = static_cast<eid_t>(n) * p.edge_factor;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+
+  Xoshiro256 rng(p.seed);
+  const double ab = p.a + p.b;
+  const double a_frac = p.a / ab;            // P(left | top)
+  const double c_frac = p.c / (p.c + d);     // P(left | bottom)
+
+  for (eid_t i = 0; i < m; ++i) {
+    vid_t src = 0;
+    vid_t dst = 0;
+    for (unsigned bit = 0; bit < p.scale; ++bit) {
+      const double r1 = rng.uniform();
+      const double r2 = rng.uniform();
+      const bool bottom = r1 > ab;
+      const bool right = bottom ? (r2 > c_frac) : (r2 > a_frac);
+      src = (src << 1) | static_cast<vid_t>(bottom);
+      dst = (dst << 1) | static_cast<vid_t>(right);
+    }
+    if (p.scramble_ids) {
+      src = scramble(src, p.scale, p.seed ^ 0xabcdULL);
+      dst = scramble(dst, p.scale, p.seed ^ 0xabcdULL);
+    }
+    edges.push_back(Edge{src, dst});
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_erdos_renyi(vid_t num_vertices, eid_t num_edges,
+                                       std::uint64_t seed) {
+  HIPA_CHECK(num_vertices > 0);
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  Xoshiro256 rng(seed);
+  for (eid_t i = 0; i < num_edges; ++i) {
+    edges.push_back(Edge{static_cast<vid_t>(rng.bounded(num_vertices)),
+                         static_cast<vid_t>(rng.bounded(num_vertices))});
+  }
+  return edges;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  HIPA_CHECK(n >= 1 && exponent > 0.0 && exponent != 1.0,
+             "Zipf needs n>=1 and a positive exponent != 1");
+  h_x1_ = h_integral(1.5) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h_integral(double x) const {
+  // ∫ t^-e dt = x^(1-e) / (1-e)   (negative for e > 1, monotone rising)
+  return std::exp((1.0 - exponent_) * std::log(x)) / (1.0 - exponent_);
+}
+
+double ZipfSampler::h(double x) const {
+  return std::exp(-exponent_ * std::log(x));
+}
+
+double ZipfSampler::h_integral_inverse(double u) const {
+  return std::exp(std::log((1.0 - exponent_) * u) / (1.0 - exponent_));
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
+  // Rejection-inversion sampling (Hörmann–Derflinger / Jain–Chlamtac,
+  // as used by Apache commons-math ZipfRejectionInversionSampler).
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_integral_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<std::uint64_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+std::vector<Edge> generate_zipf(const ZipfParams& p) {
+  HIPA_CHECK(p.num_vertices >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(p.num_edges);
+  Xoshiro256 rng(p.seed);
+  ZipfSampler target_sampler(p.num_vertices, p.exponent);
+  // Popularity ranks map to vertex ids through independent scrambles so
+  // hot vertices scatter over the id space (as in crawled datasets) and
+  // in-popularity does not correlate with out-popularity.
+  SplitMix64 salt(p.seed ^ 0x5eedULL);
+  const std::uint64_t dst_mul = salt.next() | 1ULL;
+  const std::uint64_t src_mul = salt.next() | 1ULL;
+
+  if (p.src_exponent > 0.0) {
+    ZipfSampler source_sampler(p.num_vertices, p.src_exponent);
+    for (eid_t i = 0; i < p.num_edges; ++i) {
+      const auto dst = static_cast<vid_t>(
+          (target_sampler.sample(rng) * dst_mul) % p.num_vertices);
+      const auto src = static_cast<vid_t>(
+          (source_sampler.sample(rng) * src_mul) % p.num_vertices);
+      edges.push_back(Edge{src, dst});
+    }
+  } else {
+    for (eid_t i = 0; i < p.num_edges; ++i) {
+      const auto dst = static_cast<vid_t>(
+          (target_sampler.sample(rng) * dst_mul) % p.num_vertices);
+      const auto src = static_cast<vid_t>(rng.bounded(p.num_vertices));
+      edges.push_back(Edge{src, dst});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> generate_grid_torus(vid_t side) {
+  HIPA_CHECK(side >= 2);
+  const vid_t n = side * side;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 4);
+  for (vid_t r = 0; r < side; ++r) {
+    for (vid_t c = 0; c < side; ++c) {
+      const vid_t v = r * side + c;
+      const vid_t right = r * side + (c + 1) % side;
+      const vid_t left = r * side + (c + side - 1) % side;
+      const vid_t down = ((r + 1) % side) * side + c;
+      const vid_t up = ((r + side - 1) % side) * side + c;
+      edges.push_back({v, right});
+      edges.push_back({v, left});
+      edges.push_back({v, down});
+      edges.push_back({v, up});
+    }
+  }
+  return edges;
+}
+
+}  // namespace hipa::graph

@@ -1,0 +1,80 @@
+// Deterministic synthetic graph generators.
+//
+// Real datasets in the paper (LiveJournal, pld, wiki, twitter, mpi) are
+// multi-hundred-MB downloads unavailable here; the generators below
+// produce stand-ins with the properties that matter for PageRank
+// traffic shape — skewed (power-law) degree distributions, direction,
+// density — plus the paper's `kron` graph, which *is* synthetic
+// (Graph500 Kronecker / R-MAT) and is generated faithfully.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "graph/csr.hpp"
+
+namespace hipa::graph {
+
+/// Graph500 R-MAT (Kronecker) generator.
+///
+/// `scale` gives 2^scale vertices; `edge_factor` edges per vertex.
+/// Defaults are the Graph500 reference probabilities.
+struct RmatParams {
+  unsigned scale = 18;
+  unsigned edge_factor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 42;
+  bool scramble_ids = true;  ///< permute ids so locality is not an artifact
+};
+[[nodiscard]] std::vector<Edge> generate_rmat(const RmatParams& p);
+
+/// Erdős–Rényi G(n, m): m directed edges chosen uniformly.
+[[nodiscard]] std::vector<Edge> generate_erdos_renyi(vid_t num_vertices,
+                                                     eid_t num_edges,
+                                                     std::uint64_t seed);
+
+/// Skewed "social/web network" generator.
+///
+/// Edge endpoints are drawn from Zipf *popularity* distributions. A
+/// popularity exponent beta in (0, 1) yields a degree distribution with
+/// power-law exponent alpha = 1 + 1/beta: the measured alpha of 2.1-2.4
+/// for web/social graphs corresponds to beta of 0.7-0.9. (beta >= 1
+/// would hand one vertex a constant fraction of all edges, which real
+/// graphs do not exhibit.)
+struct ZipfParams {
+  vid_t num_vertices = 1u << 18;
+  eid_t num_edges = 1u << 22;
+  double exponent = 0.88;      ///< target (in-degree) popularity skew
+  double src_exponent = 0.75;  ///< source (out-degree) skew; 0 = uniform
+  std::uint64_t seed = 7;
+};
+[[nodiscard]] std::vector<Edge> generate_zipf(const ZipfParams& p);
+
+/// 2-D torus grid (each vertex -> 4 neighbors); a low-skew, high
+/// locality counterpoint used in tests.
+[[nodiscard]] std::vector<Edge> generate_grid_torus(vid_t side);
+
+/// Sampler for Zipf-distributed ranks in [0, n) using the rejection
+/// method of Jain–Chlamtac (amortized O(1), no table build).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  /// Draw a rank in [0, n); rank 0 is the most popular.
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double exponent_;
+  double h_x1_;  // H(1.5) - 1
+  double h_n_;   // H(n + 0.5)
+  double s_;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral_inverse(double u) const;
+};
+
+}  // namespace hipa::graph

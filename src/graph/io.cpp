@@ -1,0 +1,94 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace hipa::graph {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_file(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  HIPA_CHECK(f != nullptr, "cannot open '" << path << "' (" << mode << ')');
+  return f;
+}
+
+constexpr std::uint64_t kMagic = 0x48435352'00000001ULL;  // "HCSR" v1
+
+void write_exact(std::FILE* f, const void* p, std::size_t bytes) {
+  HIPA_CHECK(std::fwrite(p, 1, bytes, f) == bytes, "short write");
+}
+
+void read_exact(std::FILE* f, void* p, std::size_t bytes) {
+  HIPA_CHECK(std::fread(p, 1, bytes, f) == bytes, "short read");
+}
+
+}  // namespace
+
+EdgeListFile read_edge_list(const std::string& path) {
+  FilePtr f = open_file(path, "r");
+  EdgeListFile out;
+  char line[256];
+  while (std::fgets(line, sizeof line, f.get()) != nullptr) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    unsigned long long src = 0;
+    unsigned long long dst = 0;
+    if (std::sscanf(line, "%llu %llu", &src, &dst) != 2) continue;
+    HIPA_CHECK(src < kInvalidVid && dst < kInvalidVid,
+               "vertex id overflows vid_t in " << path);
+    const Edge e{static_cast<vid_t>(src), static_cast<vid_t>(dst)};
+    out.edges.push_back(e);
+    out.num_vertices =
+        std::max(out.num_vertices, std::max(e.src, e.dst) + 1);
+  }
+  return out;
+}
+
+void write_edge_list(const std::string& path, vid_t num_vertices,
+                     const std::vector<Edge>& edges) {
+  FilePtr f = open_file(path, "w");
+  std::fprintf(f.get(), "# hipa edge list: %u vertices, %zu edges\n",
+               num_vertices, edges.size());
+  for (const Edge& e : edges) {
+    std::fprintf(f.get(), "%u %u\n", e.src, e.dst);
+  }
+}
+
+void save_csr(const std::string& path, const CsrGraph& g) {
+  FilePtr f = open_file(path, "wb");
+  const std::uint64_t v = g.num_vertices();
+  const std::uint64_t e = g.num_edges();
+  write_exact(f.get(), &kMagic, sizeof kMagic);
+  write_exact(f.get(), &v, sizeof v);
+  write_exact(f.get(), &e, sizeof e);
+  write_exact(f.get(), g.offsets().data(), g.offsets().size_bytes());
+  write_exact(f.get(), g.targets().data(), g.targets().size_bytes());
+}
+
+CsrGraph load_csr(const std::string& path) {
+  FilePtr f = open_file(path, "rb");
+  std::uint64_t magic = 0;
+  std::uint64_t v = 0;
+  std::uint64_t e = 0;
+  read_exact(f.get(), &magic, sizeof magic);
+  HIPA_CHECK(magic == kMagic, "'" << path << "' is not a HCSR v1 file");
+  read_exact(f.get(), &v, sizeof v);
+  read_exact(f.get(), &e, sizeof e);
+  AlignedBuffer<eid_t> offsets(v + 1);
+  AlignedBuffer<vid_t> targets(e);
+  read_exact(f.get(), offsets.data(), (v + 1) * sizeof(eid_t));
+  read_exact(f.get(), targets.data(), e * sizeof(vid_t));
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+}  // namespace hipa::graph

@@ -1,0 +1,30 @@
+// Graph serialization: whitespace edge lists (SNAP/KONECT style) and a
+// fast binary CSR container.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hipa::graph {
+
+/// Read a text edge list: one "src dst" pair per line, '#' or '%'
+/// comment lines skipped. Returns edges and the implied vertex count
+/// (max id + 1).
+struct EdgeListFile {
+  std::vector<Edge> edges;
+  vid_t num_vertices = 0;
+};
+[[nodiscard]] EdgeListFile read_edge_list(const std::string& path);
+
+/// Write a text edge list (with a header comment).
+void write_edge_list(const std::string& path, vid_t num_vertices,
+                     const std::vector<Edge>& edges);
+
+/// Binary CSR container (".hcsr"): magic, version, V, E, offsets,
+/// targets. Little-endian, host-width types as defined in types.hpp.
+void save_csr(const std::string& path, const CsrGraph& g);
+[[nodiscard]] CsrGraph load_csr(const std::string& path);
+
+}  // namespace hipa::graph

@@ -1,0 +1,73 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+
+namespace hipa::graph {
+
+Permutation identity_permutation(vid_t n) {
+  Permutation perm(n);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  return perm;
+}
+
+Permutation degree_sort_permutation(const CsrGraph& out) {
+  const vid_t n = out.num_vertices();
+  std::vector<vid_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](vid_t a, vid_t b) {
+                     return out.degree(a) > out.degree(b);
+                   });
+  Permutation perm(n);
+  for (vid_t new_id = 0; new_id < n; ++new_id) {
+    perm[by_degree[new_id]] = new_id;
+  }
+  return perm;
+}
+
+Permutation hub_cluster_permutation(const CsrGraph& out) {
+  const vid_t n = out.num_vertices();
+  const double avg =
+      n == 0 ? 0.0
+             : static_cast<double>(out.num_edges()) / static_cast<double>(n);
+  Permutation perm(n);
+  vid_t next_hot = 0;
+  vid_t hot_count = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (out.degree(v) > avg) ++hot_count;
+  }
+  vid_t next_cold = hot_count;
+  for (vid_t v = 0; v < n; ++v) {
+    perm[v] = (out.degree(v) > avg) ? next_hot++ : next_cold++;
+  }
+  return perm;
+}
+
+Graph apply_permutation(const Graph& g, const Permutation& perm) {
+  HIPA_CHECK(perm.size() == g.num_vertices(),
+             "permutation size mismatches vertex count");
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  const CsrGraph& out = g.out;
+  for (vid_t v = 0; v < out.num_vertices(); ++v) {
+    for (vid_t u : out.neighbors(v)) {
+      edges.push_back(Edge{perm[v], perm[u]});
+    }
+  }
+  return build_graph(g.num_vertices(), edges, BuildOptions{});
+}
+
+bool is_valid_permutation(const Permutation& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (vid_t p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+}  // namespace hipa::graph

@@ -1,0 +1,34 @@
+// Lightweight graph reordering (paper Section 2.1: temporal locality
+// via concentrating hot vertices, refs [9], [44]).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hipa::graph {
+
+/// perm[v] = new id of old vertex v.
+using Permutation = std::vector<vid_t>;
+
+/// Identity permutation of size n.
+[[nodiscard]] Permutation identity_permutation(vid_t n);
+
+/// Degree-descending order: hottest (highest out-degree) vertices get
+/// the smallest ids. Stable, so equal-degree vertices keep their
+/// relative order.
+[[nodiscard]] Permutation degree_sort_permutation(const CsrGraph& out);
+
+/// Hub clustering (Faldu et al., paper ref [9]): vertices with degree
+/// above the average are packed to the front preserving their relative
+/// order; cold vertices follow, also in original order.
+[[nodiscard]] Permutation hub_cluster_permutation(const CsrGraph& out);
+
+/// Rebuild a graph under a permutation (both directions).
+[[nodiscard]] Graph apply_permutation(const Graph& g,
+                                      const Permutation& perm);
+
+/// True iff perm is a bijection on [0, n).
+[[nodiscard]] bool is_valid_permutation(const Permutation& perm);
+
+}  // namespace hipa::graph

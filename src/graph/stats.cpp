@@ -1,0 +1,85 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace hipa::graph {
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+
+  std::vector<vid_t> degrees(n);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  s.min_degree = g.degree(0);
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t d = g.degree(v);
+    degrees[v] = d;
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+  }
+  s.avg_degree = sum / n;
+  const double var = sum_sq / n - s.avg_degree * s.avg_degree;
+  s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const double threshold = 0.9 * sum;
+  double acc = 0.0;
+  vid_t count = 0;
+  for (vid_t d : degrees) {
+    if (acc >= threshold) break;
+    acc += d;
+    ++count;
+  }
+  s.skew_vertex_fraction_for_90pct_edges =
+      static_cast<double>(count) / static_cast<double>(n);
+  return s;
+}
+
+PartitionEdgeStats partition_edge_stats(const CsrGraph& out,
+                                        vid_t vertices_per_partition) {
+  HIPA_CHECK(vertices_per_partition > 0);
+  PartitionEdgeStats s;
+  s.vertices_per_partition = vertices_per_partition;
+  const vid_t n = out.num_vertices();
+  s.num_partitions =
+      n == 0 ? 0 : static_cast<std::uint32_t>(
+                       ceil_div<vid_t>(n, vertices_per_partition));
+  if (n == 0) return s;
+
+  auto part_of = [&](vid_t v) { return v / vertices_per_partition; };
+
+  // Distinct destination partitions per source vertex give the
+  // compressed inter-edge count; a small dedup buffer suffices because
+  // neighbor lists are scanned per vertex.
+  std::vector<std::uint32_t> seen(s.num_partitions, ~0u);
+  for (vid_t v = 0; v < n; ++v) {
+    const std::uint32_t pv = part_of(v);
+    for (vid_t u : out.neighbors(v)) {
+      const std::uint32_t pu = part_of(u);
+      if (pu == pv) {
+        ++s.intra_edges_total;
+      } else {
+        ++s.inter_edges_total;
+        if (seen[pu] != v) {
+          seen[pu] = v;
+          ++s.compressed_inter_total;
+        }
+      }
+    }
+  }
+  s.intra_per_partition =
+      static_cast<double>(s.intra_edges_total) / s.num_partitions;
+  s.inter_per_partition =
+      static_cast<double>(s.inter_edges_total) / s.num_partitions;
+  return s;
+}
+
+}  // namespace hipa::graph

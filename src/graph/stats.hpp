@@ -1,0 +1,43 @@
+// Graph statistics: degree distribution summaries and the
+// intra-/inter-edge partition statistics reported in paper Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace hipa::graph {
+
+/// Degree distribution summary for one edge direction.
+struct DegreeStats {
+  vid_t min_degree = 0;
+  vid_t max_degree = 0;
+  double avg_degree = 0.0;
+  double stddev = 0.0;
+  /// Smallest fraction of vertices covering >= 90% of edges — the
+  /// paper's "10% of vertices hold 90% of edges" skew measure.
+  double skew_vertex_fraction_for_90pct_edges = 0.0;
+};
+[[nodiscard]] DegreeStats degree_stats(const CsrGraph& g);
+
+/// Edge placement relative to fixed-size vertex partitions
+/// (paper Table 1, Section 2.3).
+struct PartitionEdgeStats {
+  vid_t vertices_per_partition = 0;
+  std::uint32_t num_partitions = 0;
+  eid_t intra_edges_total = 0;  ///< src and dst in the same partition
+  eid_t inter_edges_total = 0;  ///< src and dst in different partitions
+  /// Inter-edges after PCPM compression: distinct (source vertex,
+  /// destination partition) pairs with src and dst partitions distinct.
+  eid_t compressed_inter_total = 0;
+  double intra_per_partition = 0.0;
+  double inter_per_partition = 0.0;
+};
+
+/// Compute edge statistics for contiguous partitions of
+/// `vertices_per_partition` vertices (last partition ragged).
+[[nodiscard]] PartitionEdgeStats partition_edge_stats(
+    const CsrGraph& out, vid_t vertices_per_partition);
+
+}  // namespace hipa::graph

@@ -1,0 +1,37 @@
+#include "partition/cache_partitions.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace hipa::part {
+
+CachePartitioning::CachePartitioning(vid_t num_vertices,
+                                     std::uint64_t partition_bytes,
+                                     unsigned vertex_bytes)
+    : num_vertices_(num_vertices), bytes_(partition_bytes) {
+  HIPA_CHECK(num_vertices > 0, "empty graph");
+  HIPA_CHECK(vertex_bytes > 0 && partition_bytes >= vertex_bytes,
+             "partition must hold at least one vertex");
+  const std::uint64_t p = partition_bytes / vertex_bytes;
+  p_size_ = static_cast<vid_t>(
+      std::min<std::uint64_t>(p, num_vertices));
+  count_ = static_cast<std::uint32_t>(
+      ceil_div<std::uint64_t>(num_vertices, p_size_));
+}
+
+std::vector<std::uint64_t> CachePartitioning::partition_weights(
+    const graph::CsrGraph& out) const {
+  HIPA_CHECK(out.num_vertices() == num_vertices_,
+             "partitioning built for a different graph");
+  std::vector<std::uint64_t> weights(count_, 0);
+  const auto offsets = out.offsets();
+  for (std::uint32_t p = 0; p < count_; ++p) {
+    const VertexRange r = range(p);
+    weights[p] = offsets[r.end] - offsets[r.begin];
+  }
+  return weights;
+}
+
+}  // namespace hipa::part

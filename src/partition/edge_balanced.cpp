@@ -1,0 +1,53 @@
+#include "partition/edge_balanced.hpp"
+
+#include "common/error.hpp"
+
+namespace hipa::part {
+
+std::vector<std::uint32_t> split_weighted(
+    std::span<const std::uint64_t> weights, unsigned parts) {
+  HIPA_CHECK(parts >= 1);
+  const auto n = static_cast<std::uint32_t>(weights.size());
+  std::vector<std::uint32_t> bounds(parts + 1, n);
+  bounds[0] = 0;
+
+  std::uint64_t total = 0;
+  for (std::uint64_t w : weights) total += w;
+
+  std::uint32_t pos = 0;
+  std::uint64_t consumed = 0;
+  for (unsigned k = 0; k < parts; ++k) {
+    bounds[k] = pos;
+    if (k + 1 == parts) break;  // last part takes the leftovers
+    // Rebalance against what is left so early overshoot does not
+    // starve the trailing parts.
+    const std::uint64_t remaining = total - consumed;
+    const std::uint64_t target = (remaining + (parts - k) - 1) / (parts - k);
+    std::uint64_t acc = 0;
+    while (pos < n) {
+      // Leave at least one item for each later part once this one has
+      // something (so short inputs fill front-to-back).
+      if (acc > 0 &&
+          static_cast<std::uint64_t>(n - pos) <= parts - 1 - k) {
+        break;
+      }
+      acc += weights[pos];
+      ++pos;
+      if (acc >= target) break;
+    }
+    consumed += acc;
+  }
+  bounds[parts] = n;
+  return bounds;
+}
+
+std::vector<vid_t> split_vertices_by_degree(const graph::CsrGraph& out,
+                                            unsigned parts) {
+  const vid_t n = out.num_vertices();
+  std::vector<std::uint64_t> weights(n);
+  for (vid_t v = 0; v < n; ++v) weights[v] = out.degree(v);
+  const auto bounds = split_weighted(weights, parts);
+  return {bounds.begin(), bounds.end()};
+}
+
+}  // namespace hipa::part

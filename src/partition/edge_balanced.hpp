@@ -1,0 +1,32 @@
+// Edge-balanced contiguous splitting (paper Eq. 2).
+//
+// Splits a sequence of weighted items (vertices weighted by degree, or
+// partitions weighted by edge count) into K contiguous chunks whose
+// weight sums are as close to total/K as possible, preserving order —
+// the vertex subsets must "preserve the vertex order as in the
+// original graph" (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace hipa::part {
+
+/// Boundaries of K contiguous chunks over items [0, weights.size());
+/// result has K+1 entries, result[0]=0, result[K]=weights.size().
+/// Greedy scan: a chunk closes once its weight reaches the remaining
+/// average; the last chunk takes the leftovers (paper: "the last NUMA
+/// node ... accommodates the leftover vertices and edges").
+[[nodiscard]] std::vector<std::uint32_t> split_weighted(
+    std::span<const std::uint64_t> weights, unsigned parts);
+
+/// Vertex-granularity convenience: chunk vertices of `g` into `parts`
+/// ranges with balanced out-degree sums.
+[[nodiscard]] std::vector<vid_t> split_vertices_by_degree(
+    const graph::CsrGraph& out, unsigned parts);
+
+}  // namespace hipa::part

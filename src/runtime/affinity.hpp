@@ -1,0 +1,14 @@
+// CPU affinity helpers (best effort; no-ops where unsupported).
+#pragma once
+
+namespace hipa::runtime {
+
+/// Pin the calling thread to the given OS CPU. Returns false when the
+/// platform refuses (e.g. CPU does not exist) — callers treat pinning
+/// as an optimization, never a correctness requirement.
+bool pin_current_thread(unsigned cpu);
+
+/// Number of CPUs available to this process.
+[[nodiscard]] unsigned available_cpus();
+
+}  // namespace hipa::runtime

@@ -1,0 +1,48 @@
+// Centralized sense-reversing barrier.
+//
+// std::barrier's completion-function machinery is more than the engines
+// need; this is the textbook two-counter barrier with per-thread sense,
+// safe for repeated reuse by a fixed team.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace hipa::runtime {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned num_threads)
+      : num_threads_(num_threads), waiting_(0), sense_(false) {
+    HIPA_CHECK(num_threads >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block until all `num_threads` threads arrive. Each caller must use
+  /// its own `local_sense`, initialized to false.
+  void arrive_and_wait(bool& local_sense) {
+    local_sense = !local_sense;
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_threads_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(local_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != local_sense) {
+        // spin; team sizes are small and phases are long
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned num_threads() const { return num_threads_; }
+
+ private:
+  unsigned num_threads_;
+  std::atomic<unsigned> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace hipa::runtime

@@ -1,0 +1,85 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/numeric.hpp"
+#include "runtime/affinity.hpp"
+
+namespace hipa::runtime {
+
+PersistentTeam::PersistentTeam(unsigned num_threads,
+                               std::vector<unsigned> cpu_of_thread) {
+  HIPA_CHECK(num_threads >= 1);
+  HIPA_CHECK(cpu_of_thread.empty() || cpu_of_thread.size() == num_threads,
+             "cpu list must match team size");
+  workers_.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const int cpu = cpu_of_thread.empty()
+                        ? -1
+                        : static_cast<int>(cpu_of_thread[t]);
+    workers_.emplace_back([this, t, cpu] { worker_loop(t, cpu); });
+  }
+}
+
+PersistentTeam::~PersistentTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_dispatch_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void PersistentTeam::run(const std::function<void(unsigned)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  remaining_ = size();
+  ++generation_;
+  cv_dispatch_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void PersistentTeam::worker_loop(unsigned tid, int cpu) {
+  if (cpu >= 0) pin_current_thread(static_cast<unsigned>(cpu));
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_dispatch_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void fork_join_run(unsigned num_threads,
+                   const std::function<void(unsigned)>& fn) {
+  HIPA_CHECK(num_threads >= 1);
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&fn, t] { fn(t); });
+  }
+  for (auto& th : threads) th.join();
+}
+
+void parallel_for(unsigned num_threads, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, count));
+  const auto bounds = even_chunks<std::size_t>(count, num_threads);
+  fork_join_run(num_threads, [&](unsigned t) {
+    body(bounds[t], bounds[t + 1]);
+  });
+}
+
+}  // namespace hipa::runtime

@@ -1,0 +1,61 @@
+// Native thread teams.
+//
+// PersistentTeam implements the paper's Algorithm 2 thread model: T
+// threads created once (optionally pinned), re-dispatched for every
+// phase via a generation counter — no creation or migration between
+// phases. fork_join_run() implements the Algorithm 1 model: fresh
+// threads per parallel region, exactly the overhead HiPa avoids.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hipa::runtime {
+
+/// Fixed team of persistent worker threads.
+class PersistentTeam {
+ public:
+  /// Create `num_threads` workers. `cpu_of_thread`, when non-empty,
+  /// pins worker t to cpu_of_thread[t] (best effort).
+  explicit PersistentTeam(unsigned num_threads,
+                          std::vector<unsigned> cpu_of_thread = {});
+  ~PersistentTeam();
+
+  PersistentTeam(const PersistentTeam&) = delete;
+  PersistentTeam& operator=(const PersistentTeam&) = delete;
+
+  /// Run `fn(tid)` once on every worker; blocks until all finish.
+  void run(const std::function<void(unsigned)>& fn);
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop(unsigned tid, int cpu);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_dispatch_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Algorithm 1 style: spawn `num_threads` fresh threads running
+/// `fn(tid)` and join them all.
+void fork_join_run(unsigned num_threads,
+                   const std::function<void(unsigned)>& fn);
+
+/// Simple blocked parallel-for on a fork-join team.
+void parallel_for(unsigned num_threads, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace hipa::runtime

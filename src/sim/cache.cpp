@@ -1,0 +1,92 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+
+#include "common/numeric.hpp"
+
+namespace hipa::sim {
+
+CacheModel::CacheModel(const CacheGeometry& geom) : geom_(geom) {
+  HIPA_CHECK(geom.line_bytes >= 8 && is_pow2(geom.line_bytes),
+             "cache line must be a power of two");
+  std::uint64_t sets = geom.num_sets();
+  HIPA_CHECK(sets >= 1, "cache smaller than one set");
+  // Round sets down to a power of two so the index is a mask; adjust
+  // the recorded size accordingly (exactness of geometry matters less
+  // than exact set indexing).
+  std::uint64_t pow2_sets = std::uint64_t{1} << log2_floor(sets);
+  geom_.size_bytes = pow2_sets * geom.associativity * geom.line_bytes;
+  set_mask_ = pow2_sets - 1;
+  line_shift_ = log2_floor(geom.line_bytes);
+  tags_.assign(pow2_sets * geom.associativity, kEmpty);
+  lru_.assign(pow2_sets * geom.associativity, 0);
+}
+
+CacheModel::AccessResult CacheModel::access_detailed(
+    std::uint64_t addr, unsigned way_begin, unsigned way_count,
+    bool low_priority_insert) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line & set_mask_;
+  const std::uint64_t tag = line;  // full line id: unique, no aliasing
+  std::uint64_t* tags = tags_.data() + set * geom_.associativity;
+  std::uint32_t* lru = lru_.data() + set * geom_.associativity;
+
+  ++clock_;
+  if (clock_ == 0) {
+    // Epoch wrap: age everything to zero; ordering within the set is
+    // coarsely lost once per 2^32 accesses, which is acceptable noise.
+    std::fill(lru_.begin(), lru_.end(), 0);
+    clock_ = 1;
+  }
+
+  // Empty ways carry age 0 while occupied ways have age >= 1 (the
+  // clock starts at 1), so the min-age scan below naturally prefers
+  // empty ways as victims.
+  const unsigned end = way_begin + way_count;
+  unsigned victim = way_begin;
+  std::uint32_t victim_age = ~0u;
+  for (unsigned w = way_begin; w < end; ++w) {
+    if (tags[w] == tag) {
+      lru[w] = clock_;
+      ++hits_;
+      return {.hit = true};
+    }
+    if (lru[w] < victim_age) {
+      victim = w;
+      victim_age = lru[w];
+    }
+  }
+  ++misses_;
+  AccessResult result;
+  if (tags[victim] != kEmpty) {
+    result.evicted = true;
+    result.evicted_addr = tags[victim] << line_shift_;
+  }
+  tags[victim] = tag;
+  // DRRIP-style insertion: streamed lines age out first unless re-used.
+  lru[victim] = low_priority_insert ? 1 : clock_;
+  return result;
+}
+
+bool CacheModel::invalidate(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line & set_mask_;
+  std::uint64_t* tags = tags_.data() + set * geom_.associativity;
+  std::uint32_t* lru = lru_.data() + set * geom_.associativity;
+  for (unsigned w = 0; w < geom_.associativity; ++w) {
+    if (tags[w] == line) {
+      tags[w] = kEmpty;
+      lru[w] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheModel::flush() {
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  clock_ = 0;
+}
+
+}  // namespace hipa::sim

@@ -1,0 +1,83 @@
+// Set-associative LRU cache model.
+//
+// Supports *way ranges* so two SMT siblings sharing a physical core can
+// be modelled as each owning half the ways of L1/L2 (the standard
+// static-partitioning approximation of SMT cache contention) — the
+// mechanism behind the paper's Fig. 6 scalability cliff for
+// NUMA-oblivious partition-centric processing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/topology.hpp"
+
+namespace hipa::sim {
+
+/// One cache level. Tag store only (no data); true LRU within a set's
+/// way range.
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheGeometry& geom);
+
+  /// Result of one detailed access: hit flag plus the victim line that
+  /// was displaced by the fill (valid only when a live line was
+  /// evicted) — needed for inclusive-LLC back-invalidation.
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t evicted_addr = 0;  ///< base address of the victim line
+  };
+
+  /// Look up (and on miss, fill) the line containing `addr`, using ways
+  /// [way_begin, way_begin+way_count) of its set. Returns true on hit.
+  bool access(std::uint64_t addr, unsigned way_begin, unsigned way_count) {
+    return access_detailed(addr, way_begin, way_count).hit;
+  }
+
+  /// Full-associativity convenience overload.
+  bool access(std::uint64_t addr) {
+    return access(addr, 0, geom_.associativity);
+  }
+
+  /// Like access(), but reports the evicted victim line.
+  /// `low_priority_insert` models streaming-resistant replacement
+  /// (Intel DRRIP): the filled line enters near the LRU position, so
+  /// streams evict each other instead of washing out resident data.
+  AccessResult access_detailed(std::uint64_t addr, unsigned way_begin,
+                               unsigned way_count,
+                               bool low_priority_insert = false);
+  AccessResult access_detailed(std::uint64_t addr,
+                               bool low_priority_insert = false) {
+    return access_detailed(addr, 0, geom_.associativity,
+                           low_priority_insert);
+  }
+
+  /// Remove the line containing `addr` if present (back-invalidation
+  /// from an inclusive outer level). Returns true if a line was dropped.
+  bool invalidate(std::uint64_t addr);
+
+  /// Drop every line (e.g. between independent simulations).
+  void flush();
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  CacheGeometry geom_;
+  std::uint64_t set_mask_;
+  unsigned line_shift_;
+  // tags_[set * assoc + way]; kEmpty = invalid.
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+  std::vector<std::uint64_t> tags_;
+  // lru_[set * assoc + way]: larger = more recently used.
+  std::vector<std::uint32_t> lru_;
+  std::uint32_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hipa::sim

@@ -1,0 +1,301 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hipa::sim {
+
+SimMachine::SimMachine(Topology topo, CostModel cost, std::uint64_t seed)
+    : topo_(std::move(topo)), cost_(cost),
+      numa_map_(topo_.num_nodes, seed ^ 0x9a17ULL), rng_(seed),
+      seed_(seed) {
+  HIPA_CHECK(topo_.num_nodes >= 1 && topo_.cores_per_node >= 1 &&
+                 topo_.smt_per_core >= 1,
+             "degenerate topology");
+  l1_.reserve(topo_.num_physical_cores());
+  l2_.reserve(topo_.num_physical_cores());
+  for (unsigned c = 0; c < topo_.num_physical_cores(); ++c) {
+    l1_.emplace_back(topo_.l1);
+    l2_.emplace_back(topo_.l2);
+  }
+  llc_.reserve(topo_.num_nodes);
+  for (unsigned n = 0; n < topo_.num_nodes; ++n) {
+    llc_.emplace_back(topo_.llc);
+  }
+  phase_node_stream_bytes_.assign(topo_.num_nodes, 0);
+}
+
+PlacementVec SimMachine::placement_node_blocked(
+    std::span<const unsigned> threads_per_node) const {
+  HIPA_CHECK(threads_per_node.size() == topo_.num_nodes,
+             "need one thread count per node");
+  PlacementVec out;
+  for (unsigned n = 0; n < topo_.num_nodes; ++n) {
+    HIPA_CHECK(threads_per_node[n] <=
+                   topo_.cores_per_node * topo_.smt_per_core,
+               "node " << n << " oversubscribed");
+    for (unsigned t = 0; t < threads_per_node[n]; ++t) {
+      const unsigned smt = t / topo_.cores_per_node;
+      const unsigned phys = t % topo_.cores_per_node;
+      out.push_back(topo_.lcid_of(n, phys, smt));
+    }
+  }
+  return out;
+}
+
+PlacementVec SimMachine::placement_spread(unsigned num_threads) const {
+  HIPA_CHECK(num_threads <= topo_.num_logical_cores(),
+             "more threads than logical cores");
+  PlacementVec out;
+  out.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const unsigned plane = t / topo_.num_physical_cores();
+    const unsigned idx = t % topo_.num_physical_cores();
+    const unsigned node = idx % topo_.num_nodes;
+    const unsigned phys = idx / topo_.num_nodes;
+    out.push_back(topo_.lcid_of(node, phys, plane));
+  }
+  return out;
+}
+
+PlacementVec SimMachine::placement_random(unsigned num_threads) {
+  HIPA_CHECK(num_threads <= topo_.num_logical_cores(),
+             "more threads than logical cores");
+  PlacementVec all(topo_.num_logical_cores());
+  std::iota(all.begin(), all.end(), 0u);
+  // Fisher–Yates with the machine RNG: deterministic per seed.
+  for (std::size_t i = all.size(); i > 1; --i) {
+    const std::size_t j = rng_.bounded(i);
+    std::swap(all[i - 1], all[j]);
+  }
+  all.resize(num_threads);
+  return all;
+}
+
+SimMem SimMachine::make_mem(unsigned tid, unsigned lcid, unsigned smt_slot,
+                            unsigned smt_occupancy) {
+  const LogicalCore lc = topo_.logical_core(lcid);
+  const unsigned phys = topo_.phys_index(lcid);
+  SimMem mem;
+  mem.machine_ = this;
+  mem.tid_ = tid;
+  mem.node_ = lc.node;
+  mem.l1_ = &l1_[phys];
+  mem.l2_ = &l2_[phys];
+  mem.llc_ = &llc_[lc.node];
+  // SMT way partitioning: with both siblings active, each owns half the
+  // ways of the private levels.
+  const unsigned l1_assoc = topo_.l1.associativity;
+  const unsigned l2_assoc = topo_.l2.associativity;
+  if (smt_occupancy > 1) {
+    const unsigned l1_share = std::max(1u, l1_assoc / smt_occupancy);
+    const unsigned l2_share = std::max(1u, l2_assoc / smt_occupancy);
+    mem.l1_way_begin_ = std::min(smt_slot * l1_share, l1_assoc - l1_share);
+    mem.l1_way_count_ = l1_share;
+    mem.l2_way_begin_ = std::min(smt_slot * l2_share, l2_assoc - l2_share);
+    mem.l2_way_count_ = l2_share;
+  } else {
+    mem.l1_way_begin_ = 0;
+    mem.l1_way_count_ = l1_assoc;
+    mem.l2_way_begin_ = 0;
+    mem.l2_way_count_ = l2_assoc;
+  }
+  mem.l1_hit_cy_ = cost_.l1_hit;
+  mem.l2_hit_cy_ = cost_.l2_hit;
+  mem.llc_hit_cy_ = cost_.llc_hit;
+  mem.dram_local_cy_ = static_cast<std::uint32_t>(
+      static_cast<double>(cost_.dram_local) / cost_.mlp_random);
+  mem.dram_remote_cy_ = static_cast<std::uint32_t>(
+      static_cast<double>(cost_.dram_remote) / cost_.mlp_random);
+  mem.stream_dram_local_cy_ = static_cast<std::uint32_t>(
+      static_cast<double>(cost_.dram_local) * cost_.stream_prefetch_local);
+  mem.stream_dram_remote_cy_ = static_cast<std::uint32_t>(
+      static_cast<double>(cost_.dram_remote) * cost_.stream_prefetch_remote);
+  mem.stream_llc_cy_ = static_cast<std::uint32_t>(
+      static_cast<double>(cost_.llc_hit) * 0.25);
+  mem.atomic_extra_ = cost_.atomic_extra;
+  mem.line_bytes_ = topo_.l1.line_bytes;
+  mem.inclusive_llc_ = topo_.inclusive_llc;
+  return mem;
+}
+
+void SimMem::access(std::uint64_t addr, bool /*is_store*/, bool streaming) {
+  // L1
+  if (l1_->access(addr, l1_way_begin_, l1_way_count_)) {
+    cycles_ += l1_hit_cy_;
+    ++counters_.l1_hits;
+    return;
+  }
+  ++counters_.l1_misses;
+  // L2
+  if (l2_->access(addr, l2_way_begin_, l2_way_count_)) {
+    cycles_ += l2_hit_cy_;
+    ++counters_.l2_hits;
+    return;
+  }
+  ++counters_.l2_misses;
+  // LLC (shared per node; full associativity). An inclusive LLC
+  // (Haswell) back-invalidates evicted lines from the node's private
+  // caches — the micro-architectural contrast behind paper Table 3.
+  const CacheModel::AccessResult llc =
+      llc_->access_detailed(addr, /*low_priority_insert=*/streaming);
+  if (llc.hit) {
+    cycles_ += streaming ? stream_llc_cy_ : llc_hit_cy_;
+    ++counters_.llc_hits;
+    return;
+  }
+  if (inclusive_llc_ && llc.evicted) {
+    machine_->back_invalidate(node_, llc.evicted_addr);
+  }
+  ++counters_.llc_misses;
+  // DRAM. Streams expose only prefetch-residual latency; random
+  // accesses pay the full load-to-use cost. Byte traffic is identical.
+  const unsigned home = machine_->numa_map_.node_of(addr);
+  if (streaming) {
+    // Only prefetched streams contribute sustained bandwidth demand;
+    // random misses are latency-bound (their queueing is in the raw
+    // latency) and are excluded from the floor/congestion terms.
+    machine_->phase_node_stream_bytes_[home] += line_bytes_;
+  }
+  if (home == node_) {
+    cycles_ += streaming ? stream_dram_local_cy_ : dram_local_cy_;
+    ++counters_.dram_local_accesses;
+    counters_.dram_local_bytes += line_bytes_;
+  } else {
+    cycles_ += streaming ? stream_dram_remote_cy_ : dram_remote_cy_;
+    ++counters_.dram_remote_accesses;
+    counters_.dram_remote_bytes += line_bytes_;
+    if (streaming) machine_->phase_remote_stream_bytes_ += line_bytes_;
+  }
+}
+
+void SimMem::stream(std::uint64_t base, std::uint64_t bytes, bool is_store) {
+  if (bytes == 0) return;
+  const std::uint64_t first = base / line_bytes_;
+  const std::uint64_t last = (base + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    access(line * line_bytes_, is_store, /*streaming=*/true);
+  }
+}
+
+void SimMachine::back_invalidate(unsigned node, std::uint64_t addr) {
+  const unsigned first = node * topo_.cores_per_node;
+  for (unsigned c = first; c < first + topo_.cores_per_node; ++c) {
+    l1_[c].invalidate(addr);
+    l2_[c].invalidate(addr);
+  }
+}
+
+void SimMachine::merge_thread(const SimMem& mem) {
+  stats_ += mem.counters_;
+}
+
+void SimMachine::finish_phase(std::span<const unsigned> placement,
+                              std::span<const std::uint64_t> thread_cycles) {
+  // Per-physical-core SMT combine.
+  std::vector<std::uint64_t> core_max(topo_.num_physical_cores(), 0);
+  std::vector<std::uint64_t> core_sum(topo_.num_physical_cores(), 0);
+  for (std::size_t t = 0; t < placement.size(); ++t) {
+    const unsigned phys = topo_.phys_index(placement[t]);
+    core_max[phys] = std::max(core_max[phys], thread_cycles[t]);
+    core_sum[phys] += thread_cycles[t];
+  }
+  std::uint64_t t_core = 0;
+  for (unsigned c = 0; c < topo_.num_physical_cores(); ++c) {
+    const std::uint64_t overlap = core_sum[c] - core_max[c];
+    const std::uint64_t tc =
+        core_max[c] +
+        static_cast<std::uint64_t>(cost_.smt_serialization *
+                                   static_cast<double>(overlap));
+    t_core = std::max(t_core, tc);
+  }
+
+  // Bandwidth floors (streaming demand only; see SimMem::access).
+  std::uint64_t t_bw = 0;
+  for (unsigned n = 0; n < topo_.num_nodes; ++n) {
+    t_bw = std::max(
+        t_bw, static_cast<std::uint64_t>(
+                  static_cast<double>(phase_node_stream_bytes_[n]) /
+                  cost_.dram_bw_per_node));
+  }
+  const auto t_upi = static_cast<std::uint64_t>(
+      static_cast<double>(phase_remote_stream_bytes_) / cost_.upi_bw);
+
+  // Queueing: utilization of the busiest channel relative to the
+  // *average* thread's latency-derived length (the request arrival
+  // rate). Past the knee, memory requests queue and every thread's
+  // stalls stretch — a phase gets *slower* than its floor, which is
+  // how oversubscribing SMT threads degrades bandwidth-hungry
+  // methodologies (paper Fig. 6: "the bandwidth is saturated with
+  // approximately half of total threads").
+  double penalty = 1.0;
+  std::uint64_t cycles_sum = 0;
+  for (std::uint64_t c : thread_cycles) cycles_sum += c;
+  const double t_avg =
+      static_cast<double>(cycles_sum) /
+      static_cast<double>(thread_cycles.size());
+  if (t_avg > 0) {
+    const double util =
+        static_cast<double>(std::max(t_bw, t_upi)) / t_avg;
+    if (util > cost_.congestion_threshold) {
+      const double over = util - cost_.congestion_threshold;
+      penalty = 1.0 + cost_.congestion_alpha * over * over;
+    }
+  }
+  // Cap: queueing can stretch a phase, but not without bound.
+  penalty = std::min(penalty, 2.5);
+  const auto t_congested =
+      static_cast<std::uint64_t>(static_cast<double>(t_core) * penalty);
+
+  const std::uint64_t sync =
+      cost_.sync_per_thread * static_cast<std::uint64_t>(placement.size());
+
+  const std::uint64_t phase_cycles =
+      std::max({t_congested, t_bw, t_upi}) + sync;
+  stats_.total_cycles += phase_cycles;
+  ++stats_.phases;
+  if (phase_log_enabled_) {
+    phase_log_.push_back(PhaseRecord{
+        .threads = static_cast<unsigned>(placement.size()),
+        .t_core = t_core,
+        .t_avg = static_cast<std::uint64_t>(t_avg),
+        .t_bw = t_bw,
+        .t_upi = t_upi,
+        .penalty = penalty,
+        .cycles = phase_cycles,
+    });
+  }
+}
+
+void SimMachine::charge_thread_creations(std::uint64_t count) {
+  stats_.thread_creations += count;
+  stats_.total_cycles += count * cost_.thread_create;
+}
+
+void SimMachine::charge_thread_migrations(std::uint64_t count,
+                                          bool cross_node) {
+  stats_.thread_migrations += count;
+  stats_.total_cycles += count * (cross_node ? cost_.thread_migrate_remote
+                                             : cost_.thread_migrate_local);
+}
+
+void SimMachine::charge_preprocessing(std::uint64_t bytes,
+                                      std::uint64_t work) {
+  stats_.total_cycles +=
+      work + static_cast<std::uint64_t>(static_cast<double>(bytes) /
+                                        cost_.dram_bw_per_node);
+}
+
+void SimMachine::reset() {
+  stats_ = SimStats{};
+  phase_log_.clear();
+  rng_ = Xoshiro256(seed_);  // replays random placements identically
+  for (auto& c : l1_) c.flush();
+  for (auto& c : l2_) c.flush();
+  for (auto& c : llc_) c.flush();
+  std::fill(phase_node_stream_bytes_.begin(),
+            phase_node_stream_bytes_.end(), 0);
+  phase_remote_stream_bytes_ = 0;
+}
+
+}  // namespace hipa::sim

@@ -1,0 +1,260 @@
+// The simulated NUMA multicore machine.
+//
+// Engines execute *real* computation on host memory while every graph
+// data access is routed through a SimMem bound to a simulated logical
+// core; the machine walks its cache hierarchy and NUMA page map,
+// accrues per-thread cycles, and applies bandwidth/SMT/sync models per
+// phase. Threads of a phase run sequentially on the host (the VM has
+// one vCPU) — results are exactly deterministic.
+//
+// Timing model per phase (DESIGN.md §4):
+//   t_core(c)  = max(t_i) + smt_serialization * Σ(other t_i)  over the
+//                threads placed on physical core c
+//   t_bw(n)    = DRAM bytes homed on node n / dram_bw_per_node
+//   t_upi      = cross-node bytes / upi_bw
+//   phase      = max(max_c t_core, max_n t_bw, t_upi) + sync·T
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "sim/cache.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/numa_map.hpp"
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+
+namespace hipa::sim {
+
+class SimMachine;
+
+/// Per-thread memory interface handed to phase kernels.
+///
+/// `load`/`store` model one random access; `stream_read`/`stream_write`
+/// model a sequential scan (one cache access per 64 B line); `work`
+/// charges pure compute cycles.
+class SimMem {
+ public:
+  template <class T>
+  [[nodiscard]] T load(const T* p) {
+    access(reinterpret_cast<std::uint64_t>(p), false);
+    ++counters_.loads;
+    return *p;
+  }
+
+  template <class T>
+  void store(T* p, T v) {
+    *p = v;
+    access(reinterpret_cast<std::uint64_t>(p), true);
+    ++counters_.stores;
+  }
+
+  /// Atomic read-modify-write (the simulation itself is sequential, so
+  /// plain += is exact); charges the access plus the RMW penalty.
+  template <class T>
+  void atomic_add(T* p, T v) {
+    *p += v;
+    access(reinterpret_cast<std::uint64_t>(p), true);
+    ++counters_.atomics;
+    cycles_ += atomic_extra_;
+  }
+
+  /// Sequential read of n elements starting at p: one modeled access
+  /// per touched cache line (hardware prefetch keeps line-internal
+  /// elements free).
+  template <class T>
+  void stream_read(const T* p, std::size_t n) {
+    stream(reinterpret_cast<std::uint64_t>(p), n * sizeof(T), false);
+    counters_.loads += n;
+  }
+
+  template <class T>
+  void stream_write(const T* p, std::size_t n) {
+    stream(reinterpret_cast<std::uint64_t>(p), n * sizeof(T), true);
+    counters_.stores += n;
+  }
+
+  /// Pure compute cycles (ALU work, branches).
+  void work(std::uint64_t cycles) { cycles_ += cycles; }
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// NUMA node of the core this thread runs on.
+  [[nodiscard]] unsigned node() const { return node_; }
+
+  /// Thread index within the phase.
+  [[nodiscard]] unsigned tid() const { return tid_; }
+
+ private:
+  friend class SimMachine;
+  SimMem() = default;
+
+  void access(std::uint64_t addr, bool is_store, bool streaming = false);
+  void stream(std::uint64_t base, std::uint64_t bytes, bool is_store);
+
+  SimMachine* machine_ = nullptr;
+  unsigned tid_ = 0;
+  unsigned node_ = 0;
+  CacheModel* l1_ = nullptr;
+  CacheModel* l2_ = nullptr;
+  CacheModel* llc_ = nullptr;
+  unsigned l1_way_begin_ = 0, l1_way_count_ = 0;
+  unsigned l2_way_begin_ = 0, l2_way_count_ = 0;
+  std::uint32_t l1_hit_cy_ = 0, l2_hit_cy_ = 0, llc_hit_cy_ = 0;
+  std::uint32_t dram_local_cy_ = 0, dram_remote_cy_ = 0;
+  std::uint32_t stream_dram_local_cy_ = 0, stream_dram_remote_cy_ = 0;
+  std::uint32_t stream_llc_cy_ = 0;
+  std::uint32_t atomic_extra_ = 0;
+  bool inclusive_llc_ = false;
+  unsigned line_bytes_ = 64;
+  std::uint64_t cycles_ = 0;
+  SimStats counters_;  // per-thread slice, merged by the machine
+};
+
+/// How a phase's threads land on logical cores.
+using PlacementVec = std::vector<unsigned>;  // lcid per thread
+
+/// One executed phase's timing anatomy (optional diagnostic record).
+struct PhaseRecord {
+  unsigned threads = 0;
+  std::uint64_t t_core = 0;    ///< slowest core (SMT-combined), cycles
+  std::uint64_t t_avg = 0;     ///< average thread cycles
+  std::uint64_t t_bw = 0;      ///< busiest node's streaming-DRAM floor
+  std::uint64_t t_upi = 0;     ///< interconnect streaming floor
+  double penalty = 1.0;        ///< congestion multiplier applied
+  std::uint64_t cycles = 0;    ///< final phase cost (incl. sync)
+};
+
+class SimMachine {
+ public:
+  explicit SimMachine(Topology topo, CostModel cost = {},
+                      std::uint64_t seed = 1);
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] NumaMap& numa() { return numa_map_; }
+  [[nodiscard]] const NumaMap& numa() const { return numa_map_; }
+  [[nodiscard]] Xoshiro256& rng() { return rng_; }
+
+  // ---- placement helpers -------------------------------------------------
+  /// Per-node thread counts -> node-blocked placement: node n's threads
+  /// fill its physical cores on SMT plane 0, then plane 1 (HiPa's
+  /// bound threads).
+  [[nodiscard]] PlacementVec placement_node_blocked(
+      std::span<const unsigned> threads_per_node) const;
+  /// Round-robin across nodes and physical cores, SMT plane last (a
+  /// well-behaved OS scheduler spreading unpinned threads).
+  [[nodiscard]] PlacementVec placement_spread(unsigned num_threads) const;
+  /// Distinct uniformly-random logical cores (the paper's "OS
+  /// arbitrarily generates threads from the pool of logic cores").
+  [[nodiscard]] PlacementVec placement_random(unsigned num_threads);
+
+  // ---- execution ---------------------------------------------------------
+  /// Run one parallel phase. `kernel(tid, SimMem&)` is invoked once per
+  /// thread, sequentially, each bound to placement[tid].
+  template <class F>
+  void run_phase(const PlacementVec& placement, F&& kernel);
+
+  /// Sequential (single-thread) region on the given node.
+  template <class F>
+  void run_serial(unsigned lcid, F&& kernel);
+
+  // ---- explicit cost events ----------------------------------------------
+  void charge_thread_creations(std::uint64_t count);
+  void charge_thread_migrations(std::uint64_t count, bool cross_node);
+  /// Analytic preprocessing charge: `bytes` streamed at DRAM bandwidth
+  /// plus `work` compute cycles, executed serially.
+  void charge_preprocessing(std::uint64_t bytes, std::uint64_t work);
+  /// Arbitrary serial cycles (e.g. modeled FCFS claim contention).
+  void charge_cycles(std::uint64_t cycles) { stats_.total_cycles += cycles; }
+
+  // ---- results -----------------------------------------------------------
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(stats_.total_cycles) /
+           (topo_.freq_ghz * 1e9);
+  }
+  /// Reset counters and flush every cache (fresh run on the same data).
+  void reset();
+
+  /// Per-phase anatomy recording (off by default; benches and tests
+  /// flip it on to see where time goes).
+  void set_phase_log(bool enabled) { phase_log_enabled_ = enabled; }
+  [[nodiscard]] const std::vector<PhaseRecord>& phase_log() const {
+    return phase_log_;
+  }
+
+ private:
+  friend class SimMem;
+
+  SimMem make_mem(unsigned tid, unsigned lcid, unsigned smt_slot,
+                  unsigned smt_occupancy);
+  /// Inclusive-LLC eviction: drop the line from the node's private
+  /// caches (L1 + L2 of every physical core on `node`).
+  void back_invalidate(unsigned node, std::uint64_t addr);
+  void merge_thread(const SimMem& mem);
+  void finish_phase(std::span<const unsigned> placement,
+                    std::span<const std::uint64_t> thread_cycles);
+
+  Topology topo_;
+  CostModel cost_;
+  NumaMap numa_map_;
+  Xoshiro256 rng_;
+  std::uint64_t seed_ = 1;
+  std::vector<CacheModel> l1_;   // per physical core (global index)
+  std::vector<CacheModel> l2_;   // per physical core
+  std::vector<CacheModel> llc_;  // per node
+  SimStats stats_;
+  // Per-phase *streaming* DRAM byte tallies (home node) + cross-node;
+  // random-access bytes are latency-accounted and excluded here.
+  std::vector<std::uint64_t> phase_node_stream_bytes_;
+  std::uint64_t phase_remote_stream_bytes_ = 0;
+  bool phase_log_enabled_ = false;
+  std::vector<PhaseRecord> phase_log_;
+};
+
+// ---- template bodies -------------------------------------------------------
+
+template <class F>
+void SimMachine::run_phase(const PlacementVec& placement, F&& kernel) {
+  const unsigned num_threads = static_cast<unsigned>(placement.size());
+  HIPA_CHECK(num_threads > 0, "phase needs at least one thread");
+
+  // SMT occupancy per physical core, and each thread's sibling slot.
+  std::vector<unsigned> occupancy(topo_.num_physical_cores(), 0);
+  std::vector<unsigned> slot(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const unsigned phys = topo_.phys_index(placement[t]);
+    slot[t] = occupancy[phys]++;
+    HIPA_CHECK(slot[t] < topo_.smt_per_core,
+               "more threads than SMT contexts on physical core " << phys);
+  }
+
+  std::fill(phase_node_stream_bytes_.begin(),
+            phase_node_stream_bytes_.end(), 0);
+  phase_remote_stream_bytes_ = 0;
+
+  std::vector<std::uint64_t> thread_cycles(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    const unsigned phys = topo_.phys_index(placement[t]);
+    SimMem mem = make_mem(t, placement[t], slot[t], occupancy[phys]);
+    kernel(t, mem);
+    thread_cycles[t] = mem.cycles();
+    merge_thread(mem);
+  }
+  finish_phase(placement, thread_cycles);
+}
+
+template <class F>
+void SimMachine::run_serial(unsigned lcid, F&& kernel) {
+  PlacementVec placement{lcid};
+  run_phase(placement, [&](unsigned, SimMem& mem) { kernel(mem); });
+}
+
+}  // namespace hipa::sim

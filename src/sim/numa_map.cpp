@@ -1,0 +1,44 @@
+#include "sim/numa_map.hpp"
+
+#include "common/error.hpp"
+
+namespace hipa::sim {
+
+void NumaMap::register_range(const void* base, std::size_t bytes,
+                             Placement placement, unsigned node) {
+  HIPA_CHECK(node < num_nodes_, "placement node out of range");
+  const auto begin = reinterpret_cast<std::uint64_t>(base);
+  ranges_.push_back(Range{begin, begin + bytes, placement, node});
+}
+
+unsigned NumaMap::scatter_node(std::uint64_t page) const {
+  // SplitMix-style page hash: deterministic pseudo-random placement.
+  std::uint64_t z = page + seed_ + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<unsigned>((z ^ (z >> 31)) % num_nodes_);
+}
+
+unsigned NumaMap::node_of(std::uint64_t addr) const {
+  const std::uint64_t page = addr / kPageSize;
+  // Scan newest-first so re-registrations shadow older ones. Ranges
+  // are few (one per engine array), so the linear walk is cheap and
+  // only runs on DRAM accesses (cache misses).
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    if (addr >= it->begin && addr < it->end) {
+      switch (it->placement) {
+        case Placement::kNode:
+          return it->node;
+        case Placement::kInterleave: {
+          const std::uint64_t first_page = it->begin / kPageSize;
+          return static_cast<unsigned>((page - first_page) % num_nodes_);
+        }
+        case Placement::kScatter:
+          return scatter_node(page);
+      }
+    }
+  }
+  return scatter_node(page);
+}
+
+}  // namespace hipa::sim

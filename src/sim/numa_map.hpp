@@ -1,0 +1,59 @@
+// NUMA page map: which simulated node owns each page of host memory.
+//
+// Engines allocate their arrays from ordinary host memory and then
+// *register* each range here with a placement policy; on a simulated
+// DRAM access the machine asks which node the page lives on to decide
+// local vs remote cost. This mirrors mbind()/numa_alloc_onnode() on a
+// real box (see runtime/numa.hpp for the native facade).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hipa::sim {
+
+/// Placement of one registered range.
+enum class Placement : std::uint8_t {
+  kNode,        ///< whole range on one node (numa_alloc_onnode)
+  kInterleave,  ///< pages round-robin across nodes (numa_alloc_interleaved)
+  kScatter,     ///< pages on pseudo-random nodes (OS first-touch by
+                ///< arbitrarily-scheduled threads — the NUMA-oblivious case)
+};
+
+class NumaMap {
+ public:
+  explicit NumaMap(unsigned num_nodes, std::uint64_t seed = 0x9a17ULL)
+      : num_nodes_(num_nodes), seed_(seed) {}
+
+  /// Register [base, base+bytes) with a policy. `node` is used by
+  /// kNode only. Later registrations shadow earlier overlapping ones.
+  void register_range(const void* base, std::size_t bytes,
+                      Placement placement, unsigned node = 0);
+
+  /// Remove all registrations.
+  void clear() { ranges_.clear(); }
+
+  /// Owning node of the page containing `addr`. Unregistered addresses
+  /// fall back to kScatter placement (what an untracked malloc would
+  /// get on a busy machine).
+  [[nodiscard]] unsigned node_of(std::uint64_t addr) const;
+
+  [[nodiscard]] unsigned num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Range {
+    std::uint64_t begin;
+    std::uint64_t end;
+    Placement placement;
+    unsigned node;
+  };
+  unsigned num_nodes_;
+  std::uint64_t seed_;
+  std::vector<Range> ranges_;
+
+  [[nodiscard]] unsigned scatter_node(std::uint64_t page) const;
+};
+
+}  // namespace hipa::sim

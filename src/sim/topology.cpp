@@ -1,0 +1,77 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+
+namespace hipa::sim {
+
+LogicalCore Topology::logical_core(unsigned lcid) const {
+  HIPA_CHECK(lcid < num_logical_cores(), "lcid out of range");
+  const unsigned physical = num_physical_cores();
+  LogicalCore lc;
+  lc.smt = lcid / physical;
+  const unsigned p = lcid % physical;
+  lc.node = p / cores_per_node;
+  lc.phys = p % cores_per_node;
+  return lc;
+}
+
+unsigned Topology::lcid_of(unsigned node, unsigned phys, unsigned smt) const {
+  HIPA_CHECK(node < num_nodes && phys < cores_per_node && smt < smt_per_core);
+  return smt * num_physical_cores() + node * cores_per_node + phys;
+}
+
+unsigned Topology::phys_index(unsigned lcid) const {
+  return lcid % num_physical_cores();
+}
+
+Topology Topology::scaled(unsigned denom) const {
+  HIPA_CHECK(denom >= 1);
+  Topology t = *this;
+  t.name += "/" + std::to_string(denom);
+  auto shrink = [&](CacheGeometry& c) {
+    c.size_bytes = std::max<std::uint64_t>(
+        c.size_bytes / denom,
+        static_cast<std::uint64_t>(c.associativity) * c.line_bytes);
+  };
+  shrink(t.l1);
+  shrink(t.l2);
+  shrink(t.llc);
+  return t;
+}
+
+Topology Topology::skylake_2s() {
+  Topology t;
+  t.name = "skylake-2s";
+  t.num_nodes = 2;
+  t.cores_per_node = 10;
+  t.smt_per_core = 2;
+  t.l1 = {64 * 1024, 8, 64};
+  t.l2 = {1024 * 1024, 16, 64};
+  t.llc = {14080 * 1024, 11, 64};  // 13.75 MB per socket
+  t.inclusive_llc = false;
+  t.freq_ghz = 2.2;
+  return t;
+}
+
+Topology Topology::haswell_2s() {
+  Topology t;
+  t.name = "haswell-2s";
+  t.num_nodes = 2;
+  t.cores_per_node = 8;
+  t.smt_per_core = 2;
+  t.l1 = {64 * 1024, 8, 64};
+  t.l2 = {256 * 1024, 8, 64};
+  t.llc = {20 * 1024 * 1024, 20, 64};  // 2.5 MB/core × 8 cores
+  t.inclusive_llc = true;
+  t.freq_ghz = 3.2;
+  return t;
+}
+
+Topology Topology::skylake_1s() {
+  Topology t = skylake_2s();
+  t.name = "skylake-1s";
+  t.num_nodes = 1;
+  return t;
+}
+
+}  // namespace hipa::sim

@@ -1,0 +1,78 @@
+// Machine topology descriptions for the simulated NUMA multicore.
+//
+// Presets mirror the two testbeds of the paper's evaluation
+// (Section 4.1 and 4.5):
+//  * skylake_2s — 2× Xeon Silver 4210: 10 physical cores × 2 SMT per
+//    node, 64 KB L1 + 1 MB L2 private, 13.75 MB shared non-inclusive
+//    LLC, 2.2 GHz.
+//  * haswell_2s — 2× Xeon E5-2667: 8 cores × 2 SMT, 64 KB L1 + 256 KB
+//    L2 private, 2.5 MB/core shared inclusive LLC.
+//
+// `scaled(f)` shrinks every cache by `f` so that scaled-down graphs
+// (DESIGN.md §2) hit the same relative cache-residency operating points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hipa::sim {
+
+/// One cache level's geometry.
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  unsigned associativity = 8;
+  unsigned line_bytes = 64;
+
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(associativity) *
+                         line_bytes);
+  }
+};
+
+/// Identifies one logical core.
+struct LogicalCore {
+  unsigned node = 0;  ///< NUMA node (socket)
+  unsigned phys = 0;  ///< physical core index within the node
+  unsigned smt = 0;   ///< SMT sibling index on the physical core
+};
+
+/// Whole-machine topology.
+struct Topology {
+  std::string name;
+  unsigned num_nodes = 2;
+  unsigned cores_per_node = 10;  ///< physical cores per node
+  unsigned smt_per_core = 2;
+  CacheGeometry l1{64 * 1024, 8, 64};
+  CacheGeometry l2{1024 * 1024, 16, 64};
+  CacheGeometry llc{14080 * 1024, 11, 64};  ///< per node (socket) total
+  bool inclusive_llc = false;
+  double freq_ghz = 2.2;
+
+  [[nodiscard]] unsigned num_physical_cores() const {
+    return num_nodes * cores_per_node;
+  }
+  [[nodiscard]] unsigned num_logical_cores() const {
+    return num_physical_cores() * smt_per_core;
+  }
+
+  /// Logical core ids enumerate the first SMT plane over all physical
+  /// cores, then the second plane (Linux-style numbering).
+  [[nodiscard]] LogicalCore logical_core(unsigned lcid) const;
+  [[nodiscard]] unsigned lcid_of(unsigned node, unsigned phys,
+                                 unsigned smt) const;
+  /// Global physical core index of a logical core.
+  [[nodiscard]] unsigned phys_index(unsigned lcid) const;
+
+  /// Shrink all caches by `denom` (graph-scaling companion).
+  [[nodiscard]] Topology scaled(unsigned denom) const;
+
+  /// Paper testbed presets.
+  static Topology skylake_2s();
+  static Topology haswell_2s();
+  /// Single-node variant of skylake (paper Section 4.5).
+  static Topology skylake_1s();
+};
+
+}  // namespace hipa::sim

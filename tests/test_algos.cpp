@@ -1,0 +1,111 @@
+// Tests for the algorithm front door: reference PageRank semantics,
+// rank utilities, runner defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "algos/pagerank.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace hipa::algo {
+namespace {
+
+TEST(Reference, UniformOnSymmetricCycle) {
+  // Directed 4-cycle: perfectly symmetric, ranks stay uniform.
+  const graph::Graph g =
+      graph::build_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto ranks = pagerank_reference(g, 30);
+  for (rank_t r : ranks) EXPECT_NEAR(r, 0.25f, 1e-5f);
+}
+
+TEST(Reference, SinkAccumulatesRank) {
+  // Star into vertex 0: 0 must outrank the leaves.
+  const graph::Graph g =
+      graph::build_graph(4, {{1, 0}, {2, 0}, {3, 0}});
+  const auto ranks = pagerank_reference(g, 20);
+  EXPECT_GT(ranks[0], ranks[1]);
+  EXPECT_FLOAT_EQ(ranks[1], ranks[2]);
+}
+
+TEST(Reference, DampingZeroGivesUniform) {
+  const graph::Graph g =
+      graph::build_graph(3, {{0, 1}, {1, 2}, {2, 0}, {0, 2}});
+  const auto ranks = pagerank_reference(g, 10, 0.0f);
+  for (rank_t r : ranks) EXPECT_NEAR(r, 1.0f / 3.0f, 1e-6f);
+}
+
+TEST(Reference, MassConservedWithoutDanglers) {
+  // Every vertex has out-degree >= 1 => total rank stays 1.
+  const graph::Graph g = graph::build_graph(
+      4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}});
+  const auto ranks = pagerank_reference(g, 25);
+  const double total = std::accumulate(ranks.begin(), ranks.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(Reference, ConvergesTowardFixpoint) {
+  const graph::Graph g = graph::build_graph(
+      500, graph::generate_zipf({.num_vertices = 500,
+                                 .num_edges = 4000,
+                                 .seed = 4}));
+  const auto a = pagerank_reference(g, 40);
+  const auto b = pagerank_reference(g, 41);
+  EXPECT_LT(l1_distance(a, b), 1e-4);
+}
+
+TEST(L1Distance, BasicProperties) {
+  const std::vector<rank_t> a = {1.0f, 2.0f};
+  const std::vector<rank_t> b = {1.5f, 1.0f};
+  EXPECT_DOUBLE_EQ(l1_distance(a, a), 0.0);
+  EXPECT_NEAR(l1_distance(a, b), 1.5, 1e-7);
+}
+
+TEST(TopK, OrdersByRankThenId) {
+  const std::vector<rank_t> ranks = {0.1f, 0.5f, 0.5f, 0.9f, 0.2f};
+  const auto top = top_k(ranks, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);  // tie with 2, smaller id wins
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopK, KLargerThanSize) {
+  const std::vector<rank_t> ranks = {0.3f, 0.7f};
+  const auto top = top_k(ranks, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(Methods, NamesAndEnumeration) {
+  EXPECT_EQ(all_methods().size(), 5u);
+  EXPECT_STREQ(method_name(Method::kHipa), "HiPa");
+  EXPECT_STREQ(method_name(Method::kPolymer), "Polymer");
+}
+
+TEST(Methods, DefaultThreadsMatchPaper) {
+  const auto topo = sim::Topology::skylake_2s();
+  EXPECT_EQ(default_threads(Method::kHipa, topo), 40u);
+  EXPECT_EQ(default_threads(Method::kVpr, topo), 40u);
+  EXPECT_EQ(default_threads(Method::kPolymer, topo), 40u);
+  EXPECT_EQ(default_threads(Method::kPpr, topo), 16u);
+  EXPECT_EQ(default_threads(Method::kGpop, topo), 20u);
+}
+
+TEST(Methods, DefaultPartitionBytesMatchPaper) {
+  EXPECT_EQ(default_partition_bytes(Method::kHipa, 1), 256u * 1024u);
+  EXPECT_EQ(default_partition_bytes(Method::kPpr, 1), 256u * 1024u);
+  EXPECT_EQ(default_partition_bytes(Method::kGpop, 1), 1024u * 1024u);
+  EXPECT_EQ(default_partition_bytes(Method::kVpr, 1), 0u);
+  // Scaling divides consistently.
+  EXPECT_EQ(default_partition_bytes(Method::kHipa, 8), 32u * 1024u);
+}
+
+TEST(Reference, RejectsEmptyGraph) {
+  graph::Graph g;
+  EXPECT_THROW(pagerank_reference(g, 1), Error);
+}
+
+}  // namespace
+}  // namespace hipa::algo

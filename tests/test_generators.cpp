@@ -1,0 +1,158 @@
+// Tests for the synthetic generators and dataset stand-ins: size,
+// determinism, skew properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace hipa::graph {
+namespace {
+
+TEST(Rmat, SizeAndDeterminism) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  const auto a = generate_rmat(p);
+  const auto b = generate_rmat(p);
+  EXPECT_EQ(a.size(), (1u << 10) * 8u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  for (const Edge& e : a) {
+    EXPECT_LT(e.src, 1u << 10);
+    EXPECT_LT(e.dst, 1u << 10);
+  }
+}
+
+TEST(Rmat, SeedChangesOutput) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 4;
+  const auto a = generate_rmat(p);
+  p.seed = 43;
+  const auto b = generate_rmat(p);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rmat, IsSkewed) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  const CsrGraph g = build_csr(1u << 12, generate_rmat(p));
+  const DegreeStats s = degree_stats(g);
+  // R-MAT with Graph500 parameters is strongly skewed: far fewer than
+  // 40% of vertices cover 90% of edges.
+  EXPECT_LT(s.skew_vertex_fraction_for_90pct_edges, 0.4);
+  EXPECT_GT(s.max_degree, 4 * s.avg_degree);
+}
+
+TEST(ErdosRenyi, SizeAndRange) {
+  const auto edges = generate_erdos_renyi(1000, 5000, 3);
+  EXPECT_EQ(edges.size(), 5000u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.src, 1000u);
+    EXPECT_LT(e.dst, 1000u);
+  }
+}
+
+TEST(ErdosRenyi, IsNotSkewed) {
+  const CsrGraph g = build_csr(1 << 12, generate_erdos_renyi(1 << 12,
+                                                             1 << 16, 5));
+  const DegreeStats s = degree_stats(g);
+  // Poisson-ish degrees: 90% of edges need most of the vertices.
+  EXPECT_GT(s.skew_vertex_fraction_for_90pct_edges, 0.5);
+}
+
+TEST(ZipfSampler, RanksInRangeAndSkewed) {
+  ZipfSampler sampler(1000, 2.0);
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t r = sampler.sample(rng);
+    ASSERT_LT(r, 1000u);
+    ++counts[r];
+  }
+  // Rank 0 must dominate rank 99 heavily under exponent 2.
+  EXPECT_GT(counts[0], 20 * std::max<std::uint64_t>(counts[99], 1));
+}
+
+TEST(Zipf, GraphIsSkewedAndSized) {
+  ZipfParams p;
+  p.num_vertices = 1 << 12;
+  p.num_edges = 1 << 16;
+  const auto edges = generate_zipf(p);
+  EXPECT_EQ(edges.size(), p.num_edges);
+  const CsrGraph g = build_csr(p.num_vertices, edges);
+  const CsrGraph in = g.transpose();
+  const DegreeStats s = degree_stats(in);
+  // Power-law-ish: clearly skewed, but no single vertex owns a constant
+  // fraction of the edges (realistic alpha ~ 2.1).
+  EXPECT_LT(s.skew_vertex_fraction_for_90pct_edges, 0.6);
+  EXPECT_GT(s.max_degree, 20 * s.avg_degree);
+  EXPECT_LT(s.max_degree, g.num_edges() / 10);
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfParams p;
+  p.num_vertices = 1 << 10;
+  p.num_edges = 1 << 12;
+  EXPECT_EQ(generate_zipf(p), generate_zipf(p));
+}
+
+TEST(GridTorus, RegularDegrees) {
+  const auto edges = generate_grid_torus(8);
+  const CsrGraph g = build_csr(64, edges);
+  EXPECT_EQ(g.num_edges(), 64u * 4u);
+  for (vid_t v = 0; v < 64; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Datasets, AllSixNamed) {
+  const auto& infos = paper_datasets();
+  ASSERT_EQ(infos.size(), 6u);
+  EXPECT_EQ(infos[0].name, "journal");
+  EXPECT_EQ(infos[3].name, "kron");
+  for (const auto& info : infos) {
+    EXPECT_GT(info.paper_vertices, 0.0);
+    EXPECT_GT(info.paper_edges, info.paper_vertices);
+    EXPECT_GE(info.recommended_scale, 1u);
+    EXPECT_EQ(recommended_scale(info.name), info.recommended_scale);
+  }
+}
+
+TEST(Datasets, TinyVariantsBuild) {
+  for (const auto& info : paper_datasets()) {
+    const Graph g = make_tiny_dataset(info.name);
+    EXPECT_GT(g.num_vertices(), 0u) << info.name;
+    EXPECT_GT(g.num_edges(), g.num_vertices() / 2) << info.name;
+    // Roughly 1/1024 of the paper sizes.
+    EXPECT_LT(g.num_vertices(), info.paper_vertices / 256) << info.name;
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("nope"), Error);
+}
+
+TEST(Datasets, ScaleDenomShrinks) {
+  const Graph big = make_dataset("journal", 512);
+  const Graph small = make_dataset("journal", 1024);
+  EXPECT_GT(big.num_vertices(), small.num_vertices());
+  EXPECT_GT(big.num_edges(), small.num_edges());
+}
+
+TEST(Datasets, StandInsAreSkewedLikeThePaper) {
+  // All six paper graphs are power-law; the stand-ins must be too
+  // (in-degree skew, since targets follow Zipf popularity).
+  for (const auto& info : paper_datasets()) {
+    const Graph g = make_dataset(info.name, 1024);
+    const DegreeStats s = degree_stats(g.in);
+    EXPECT_LT(s.skew_vertex_fraction_for_90pct_edges, 0.6) << info.name;
+    EXPECT_GT(s.max_degree, 10 * s.avg_degree) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace hipa::graph

@@ -1,0 +1,234 @@
+// Unit tests for src/graph: CSR invariants, builder options, transpose,
+// I/O round-trips, statistics, reordering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/io.hpp"
+#include "graph/reorder.hpp"
+#include "graph/stats.hpp"
+
+namespace hipa::graph {
+namespace {
+
+std::vector<Edge> diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+  return {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0}};
+}
+
+TEST(Csr, BuildBasics) {
+  const CsrGraph g = build_csr(4, diamond());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(Csr, RejectsOutOfRangeEdge) {
+  const std::vector<Edge> bad = {{0, 7}};
+  EXPECT_THROW(build_csr(4, bad), Error);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  const CsrGraph g = build_csr(4, diamond());
+  const CsrGraph t = g.transpose();
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  // In-degree of 3 is 2 (from 1 and 2).
+  EXPECT_EQ(t.degree(3), 2u);
+  const CsrGraph back = t.transpose();
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < 4; ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = back.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Csr, CountEdgesWithin) {
+  const CsrGraph g = build_csr(4, diamond());
+  EXPECT_EQ(g.count_edges_within({0, 4}), 5u);
+  EXPECT_EQ(g.count_edges_within({0, 3}), 2u);  // 0->1, 0->2
+  EXPECT_EQ(g.count_edges_within({2, 2}), 0u);
+}
+
+TEST(Builder, RemoveSelfLoops) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 1}};
+  BuildOptions opts;
+  opts.remove_self_loops = true;
+  const CsrGraph g = build_csr(2, edges, opts);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, RemoveDuplicates) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 1}, {0, 2}, {1, 2}, {1, 2}};
+  BuildOptions opts;
+  opts.remove_duplicates = true;
+  const CsrGraph g = build_csr(3, edges, opts);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, Symmetrize) {
+  const std::vector<Edge> edges = {{0, 1}};
+  BuildOptions opts;
+  opts.symmetrize = true;
+  const CsrGraph g = build_csr(2, edges, opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, SortedNeighbors) {
+  const std::vector<Edge> edges = {{0, 3}, {0, 1}, {0, 2}};
+  const CsrGraph g = build_csr(4, edges);
+  const auto n = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(GraphBundle, FromOut) {
+  const Graph g = build_graph(4, diamond());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.in.degree(3), 2u);
+  EXPECT_EQ(g.out.degree(0), 2u);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hipa_el_test.txt";
+  const std::vector<Edge> edges = diamond();
+  write_edge_list(path, 4, edges);
+  const EdgeListFile loaded = read_edge_list(path);
+  EXPECT_EQ(loaded.num_vertices, 4u);
+  ASSERT_EQ(loaded.edges.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(loaded.edges[i], edges[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, EdgeListSkipsComments) {
+  const std::string path = ::testing::TempDir() + "/hipa_el_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment\n% another\n1 2\n\n3 4\n", f);
+  std::fclose(f);
+  const EdgeListFile loaded = read_edge_list(path);
+  EXPECT_EQ(loaded.edges.size(), 2u);
+  EXPECT_EQ(loaded.num_vertices, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryCsrRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hipa_test.hcsr";
+  const CsrGraph g = build_csr(4, diamond());
+  save_csr(path, g);
+  const CsrGraph loaded = load_csr(path);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < 4; ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, BinaryRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/hipa_garbage.hcsr";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a csr file at all, just text", f);
+  std::fclose(f);
+  EXPECT_THROW(load_csr(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Stats, DegreeStats) {
+  const CsrGraph g = build_csr(4, diamond());
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 5.0 / 4.0);
+  EXPECT_GT(s.skew_vertex_fraction_for_90pct_edges, 0.0);
+}
+
+TEST(Stats, PartitionEdgeStats) {
+  // Two partitions of 2 vertices: {0,1} and {2,3}.
+  const CsrGraph g = build_csr(4, diamond());
+  const PartitionEdgeStats s = partition_edge_stats(g, 2);
+  EXPECT_EQ(s.num_partitions, 2u);
+  // 0->1 intra; 2->3 intra; 0->2, 1->3, 3->0 inter.
+  EXPECT_EQ(s.intra_edges_total, 2u);
+  EXPECT_EQ(s.inter_edges_total, 3u);
+  EXPECT_EQ(s.intra_edges_total + s.inter_edges_total, g.num_edges());
+  // 0->2 and 1->3 and 3->0 have distinct (src, dst-partition) pairs.
+  EXPECT_EQ(s.compressed_inter_total, 3u);
+}
+
+TEST(Stats, CompressionCollapsesSharedTargets) {
+  // v0 -> {2, 3}: both in partition 1 => one compressed inter-edge.
+  const std::vector<Edge> edges = {{0, 2}, {0, 3}};
+  const CsrGraph g = build_csr(4, edges);
+  const PartitionEdgeStats s = partition_edge_stats(g, 2);
+  EXPECT_EQ(s.inter_edges_total, 2u);
+  EXPECT_EQ(s.compressed_inter_total, 1u);
+}
+
+TEST(Reorder, IdentityPermutation) {
+  const auto p = identity_permutation(5);
+  EXPECT_TRUE(is_valid_permutation(p));
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(p[v], v);
+}
+
+TEST(Reorder, DegreeSortPutsHubsFirst) {
+  const CsrGraph g = build_csr(4, diamond());
+  const auto p = degree_sort_permutation(g);
+  ASSERT_TRUE(is_valid_permutation(p));
+  // Vertex 0 has the highest out-degree (2) => new id 0.
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Reorder, HubClusterSeparatesHotCold) {
+  const CsrGraph g = build_csr(4, diamond());
+  const auto p = hub_cluster_permutation(g);
+  ASSERT_TRUE(is_valid_permutation(p));
+  // avg degree = 1.25; only vertex 0 (deg 2) is hot.
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Reorder, ApplyPermutationPreservesStructure) {
+  const Graph g = build_graph(4, diamond());
+  const auto p = degree_sort_permutation(g.out);
+  const Graph h = apply_permutation(g, p);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // Degree multiset must be preserved.
+  std::vector<vid_t> dg;
+  std::vector<vid_t> dh;
+  for (vid_t v = 0; v < 4; ++v) {
+    dg.push_back(g.out.degree(v));
+    dh.push_back(h.out.degree(v));
+  }
+  std::sort(dg.begin(), dg.end());
+  std::sort(dh.begin(), dh.end());
+  EXPECT_EQ(dg, dh);
+}
+
+TEST(Reorder, RejectsInvalidPermutation) {
+  EXPECT_FALSE(is_valid_permutation({0, 0, 1}));
+  EXPECT_FALSE(is_valid_permutation({0, 5, 1}));
+  EXPECT_TRUE(is_valid_permutation({2, 0, 1}));
+}
+
+}  // namespace
+}  // namespace hipa::graph

@@ -1,0 +1,246 @@
+// Tests for src/partition: edge-balanced splitting, cache-sized
+// partitioning, and the full hierarchical plan (paper Eq. 2-4, Fig. 3),
+// including property sweeps over random graphs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "partition/cache_partitions.hpp"
+#include "partition/edge_balanced.hpp"
+#include "partition/plan.hpp"
+
+namespace hipa::part {
+namespace {
+
+using graph::build_csr;
+using graph::build_graph;
+
+TEST(SplitWeighted, CoversAndOrders) {
+  const std::vector<std::uint64_t> w = {10, 10, 10, 15, 15, 30, 30};
+  const auto b = split_weighted(w, 2);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 7u);
+  EXPECT_LE(b[0], b[1]);
+  EXPECT_LE(b[1], b[2]);
+}
+
+TEST(SplitWeighted, PaperFigure2Example) {
+  // Fig. 2: partitions with 10,10,10,15,15,30,30 edges over 2 nodes:
+  // node 0 gets P0-P4 (60 edges), node 1 gets P5-P6 (60 edges).
+  const std::vector<std::uint64_t> w = {10, 10, 10, 15, 15, 30, 30};
+  const auto b = split_weighted(w, 2);
+  EXPECT_EQ(b[1], 5u);
+  // Then node 0's five partitions over 2 cores: 10+10+10 vs 15+15.
+  const std::vector<std::uint64_t> node0(w.begin(), w.begin() + 5);
+  const auto cores = split_weighted(node0, 2);
+  EXPECT_EQ(cores[1], 3u);
+}
+
+TEST(SplitWeighted, SinglePartTakesAll) {
+  const std::vector<std::uint64_t> w = {5, 5, 5};
+  const auto b = split_weighted(w, 1);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 3u);
+}
+
+TEST(SplitWeighted, MorePartsThanItems) {
+  const std::vector<std::uint64_t> w = {7, 3};
+  const auto b = split_weighted(w, 5);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 2u);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LE(b[i], b[i + 1]);
+  // Non-empty chunks come first.
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[2], 2u);
+}
+
+TEST(SplitWeighted, ZeroWeightsHandled) {
+  const std::vector<std::uint64_t> w = {0, 0, 0, 0};
+  const auto b = split_weighted(w, 2);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 4u);
+}
+
+class SplitBalanceProperty
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(SplitBalanceProperty, BalancedWithinMaxItem) {
+  const auto [seed, parts] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  std::vector<std::uint64_t> w(200 + rng.bounded(200));
+  std::uint64_t total = 0;
+  std::uint64_t max_w = 0;
+  for (auto& x : w) {
+    x = rng.bounded(1000);
+    total += x;
+    max_w = std::max(max_w, x);
+  }
+  const auto b = split_weighted(w, parts);
+  ASSERT_EQ(b.size(), parts + 1u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), w.size());
+  // Each chunk's weight is at most the ideal average plus one item
+  // (greedy guarantee), except possibly the last which absorbs slack.
+  const std::uint64_t avg = total / parts + 1;
+  for (unsigned k = 0; k + 1 < parts; ++k) {
+    std::uint64_t sum = 0;
+    for (auto i = b[k]; i < b[k + 1]; ++i) sum += w[i];
+    EXPECT_LE(sum, avg + max_w) << "chunk " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitBalanceProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2u, 3u, 7u, 16u, 40u)));
+
+TEST(CachePartitioning, SizesAndRanges) {
+  // 4-byte vertices, 64-byte partitions => 16 vertices per partition.
+  CachePartitioning parts(100, 64, 4);
+  EXPECT_EQ(parts.vertices_per_partition(), 16u);
+  EXPECT_EQ(parts.num_partitions(), 7u);
+  EXPECT_EQ(parts.range(0).begin, 0u);
+  EXPECT_EQ(parts.range(0).end, 16u);
+  EXPECT_EQ(parts.range(6).begin, 96u);
+  EXPECT_EQ(parts.range(6).end, 100u);  // ragged tail
+  EXPECT_EQ(parts.partition_of(0), 0u);
+  EXPECT_EQ(parts.partition_of(99), 6u);
+}
+
+TEST(CachePartitioning, PartitionLargerThanGraph) {
+  CachePartitioning parts(10, 1 << 20, 4);
+  EXPECT_EQ(parts.num_partitions(), 1u);
+  EXPECT_EQ(parts.range(0).size(), 10u);
+}
+
+TEST(CachePartitioning, WeightsMatchDegrees) {
+  const auto g = build_csr(8, {{0, 1}, {0, 2}, {5, 6}, {7, 0}});
+  CachePartitioning parts(8, 16, 4);  // 4 vertices/partition
+  const auto w = parts.partition_weights(g);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], 2u);  // out-degrees of 0..3
+  EXPECT_EQ(w[1], 2u);  // out-degrees of 4..7
+}
+
+TEST(LookupTable, TwoLevelMapping) {
+  // 3 partitions over 2 threads: thread 0 -> {0,1}, thread 1 -> {2}.
+  LookupTable table({0, 2, 3}, {0, 4, 8, 10});
+  EXPECT_EQ(table.num_threads(), 2u);
+  EXPECT_EQ(table.num_partitions(), 3u);
+  EXPECT_EQ(table.partitions_of_thread(0), (std::pair<std::uint32_t,
+                                            std::uint32_t>{0, 2}));
+  EXPECT_EQ(table.vertices_of_partition(1), (VertexRange{4, 8}));
+  EXPECT_EQ(table.vertices_of_thread(0), (VertexRange{0, 8}));
+  EXPECT_EQ(table.vertices_of_thread(1), (VertexRange{8, 10}));
+}
+
+TEST(Plan, BuildsAndValidatesOnSmallGraph) {
+  const auto edges = graph::generate_erdos_renyi(256, 2048, 7);
+  const auto g = build_csr(256, edges);
+  PlanConfig cfg;
+  cfg.partition_bytes = 64;  // 16 vertices/partition => 16 partitions
+  cfg.num_nodes = 2;
+  cfg.threads_per_node = {3, 3};
+  const HierarchicalPlan plan = build_hierarchical_plan(g, cfg);
+  EXPECT_EQ(plan.parts.num_partitions(), 16u);
+  EXPECT_EQ(plan.num_threads(), 6u);
+  EXPECT_NO_THROW(plan.validate(g));
+}
+
+TEST(Plan, NodeVertexRangesAreMultiplesOfP) {
+  // Paper Eq. 3: every node's vertex count except the last is a
+  // multiple of |P|.
+  const auto edges = graph::generate_zipf(
+      {.num_vertices = 1 << 12, .num_edges = 1 << 15, .seed = 3});
+  const auto g = build_csr(1 << 12, edges);
+  PlanConfig cfg;
+  cfg.partition_bytes = 256 * 4;  // 256 vertices per partition
+  cfg.num_nodes = 2;
+  cfg.threads_per_node = {4, 4};
+  const HierarchicalPlan plan = build_hierarchical_plan(g, cfg);
+  const VertexRange r0 = plan.node_vertex_range(0);
+  EXPECT_EQ(r0.size() % plan.parts.vertices_per_partition(), 0u);
+}
+
+TEST(Plan, ThreadEdgeCountsRoughlyBalancedWithinNode) {
+  const auto edges = graph::generate_zipf(
+      {.num_vertices = 1 << 13, .num_edges = 1 << 17, .seed = 9});
+  const auto g = build_csr(1 << 13, edges);
+  PlanConfig cfg;
+  cfg.partition_bytes = 128 * 4;
+  cfg.num_nodes = 2;
+  cfg.threads_per_node = {4, 4};
+  const HierarchicalPlan plan = build_hierarchical_plan(g, cfg);
+  // Max partition weight bounds the greedy imbalance.
+  const std::uint64_t max_part = *std::max_element(
+      plan.partition_weights.begin(), plan.partition_weights.end());
+  for (unsigned n = 0; n < 2; ++n) {
+    std::uint64_t node_edges = 0;
+    unsigned t0 = n * 4;
+    for (unsigned t = t0; t < t0 + 4; ++t) {
+      node_edges += plan.thread_edge_count(t);
+    }
+    const std::uint64_t avg = node_edges / 4;
+    for (unsigned t = t0; t < t0 + 4; ++t) {
+      EXPECT_LE(plan.thread_edge_count(t), avg + max_part + 1)
+          << "thread " << t;
+    }
+  }
+}
+
+TEST(Plan, SingleNodeSingleThread) {
+  const auto g = build_csr(64, graph::generate_erdos_renyi(64, 256, 1));
+  PlanConfig cfg;
+  cfg.partition_bytes = 32 * 4;
+  cfg.num_nodes = 1;
+  cfg.threads_per_node = {1};
+  const HierarchicalPlan plan = build_hierarchical_plan(g, cfg);
+  EXPECT_EQ(plan.num_threads(), 1u);
+  EXPECT_EQ(plan.table.vertices_of_thread(0), (VertexRange{0, 64}));
+}
+
+TEST(Plan, RejectsBadConfig) {
+  const auto g = build_csr(16, graph::generate_erdos_renyi(16, 32, 1));
+  PlanConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.threads_per_node = {1};  // wrong size
+  EXPECT_THROW(build_hierarchical_plan(g, cfg), Error);
+}
+
+class PlanProperty : public ::testing::TestWithParam<
+                         std::tuple<int, unsigned, unsigned, unsigned>> {};
+
+TEST_P(PlanProperty, InvariantsHoldAcrossConfigs) {
+  const auto [seed, nodes, threads, part_verts] = GetParam();
+  const vid_t n = 1 << 11;
+  const auto edges = graph::generate_zipf(
+      {.num_vertices = n, .num_edges = 1 << 14,
+       .seed = static_cast<std::uint64_t>(seed)});
+  const auto g = build_csr(n, edges);
+  PlanConfig cfg;
+  cfg.partition_bytes = std::uint64_t{part_verts} * 4;
+  cfg.num_nodes = nodes;
+  cfg.threads_per_node.assign(nodes, threads);
+  const HierarchicalPlan plan = build_hierarchical_plan(g, cfg);
+  EXPECT_NO_THROW(plan.validate(g));
+  // Total edges across all threads equals |E|.
+  std::uint64_t sum = 0;
+  for (unsigned t = 0; t < plan.num_threads(); ++t) {
+    sum += plan.thread_edge_count(t);
+  }
+  EXPECT_EQ(sum, g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 3u, 10u),
+                       ::testing::Values(64u, 256u, 4096u)));
+
+}  // namespace
+}  // namespace hipa::part

@@ -1,0 +1,114 @@
+// Tests for the native runtime: barrier, persistent team, fork-join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/affinity.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hipa::runtime {
+namespace {
+
+TEST(Barrier, SingleThreadPassesThrough) {
+  SpinBarrier barrier(1);
+  bool sense = false;
+  barrier.arrive_and_wait(sense);
+  barrier.arrive_and_wait(sense);
+  SUCCEED();
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      bool sense = false;
+      for (int r = 0; r < kRounds; ++r) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait(sense);
+        // After the barrier every thread of round r has incremented.
+        if (counter.load() < (r + 1) * static_cast<int>(kThreads)) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait(sense);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kRounds * static_cast<int>(kThreads));
+}
+
+TEST(PersistentTeam, RunsEveryThreadOnce) {
+  PersistentTeam team(8);
+  std::vector<int> hits(8, 0);
+  team.run([&](unsigned t) { hits[t]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(PersistentTeam, ReusableAcrossManyDispatches) {
+  PersistentTeam team(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 100; ++i) {
+    team.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(PersistentTeam, ThreadsKeepIdentity) {
+  PersistentTeam team(3);
+  std::vector<std::thread::id> first(3);
+  std::vector<std::thread::id> second(3);
+  team.run([&](unsigned t) { first[t] = std::this_thread::get_id(); });
+  team.run([&](unsigned t) { second[t] = std::this_thread::get_id(); });
+  // Algorithm 2's whole point: the same threads persist across phases.
+  EXPECT_EQ(first, second);
+}
+
+TEST(ForkJoin, RunsAllThreads) {
+  std::vector<int> hits(6, 0);
+  fork_join_run(6, [&](unsigned t) { hits[t] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 6);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(7, 1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(4, 0, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(16, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Affinity, AvailableCpusPositive) {
+  EXPECT_GE(available_cpus(), 1u);
+}
+
+TEST(Affinity, PinToExistingCpuSucceedsOrFailsGracefully) {
+  // On a 1-vCPU box pinning to CPU 0 should succeed; pinning to CPU
+  // 4096 must fail without crashing.
+  pin_current_thread(0);
+  EXPECT_FALSE(pin_current_thread(4096));
+}
+
+}  // namespace
+}  // namespace hipa::runtime

@@ -1,0 +1,176 @@
+// Tests for the cache model and NUMA page map.
+#include <gtest/gtest.h>
+
+#include "common/aligned_buffer.hpp"
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/numa_map.hpp"
+
+namespace hipa::sim {
+namespace {
+
+TEST(Cache, HitAfterFill) {
+  CacheModel c({1024, 4, 64});  // 4 sets
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // One set (size = assoc * line): addresses spaced by set stride all
+  // collide.
+  CacheModel c({2 * 64, 2, 64});  // 1 set, 2 ways
+  const std::uint64_t stride = 64;
+  EXPECT_FALSE(c.access(0 * stride));
+  EXPECT_FALSE(c.access(1 * stride));
+  EXPECT_TRUE(c.access(0 * stride));   // refresh line 0
+  EXPECT_FALSE(c.access(2 * stride));  // evicts line 1 (LRU)
+  EXPECT_TRUE(c.access(0 * stride));
+  EXPECT_FALSE(c.access(1 * stride));  // line 1 was evicted
+}
+
+TEST(Cache, WayPartitioningIsolatesSiblings) {
+  CacheModel c({4 * 64, 4, 64});  // 1 set, 4 ways
+  // Sibling 0 uses ways [0,2), sibling 1 uses ways [2,4).
+  EXPECT_FALSE(c.access(0, 0, 2));
+  EXPECT_FALSE(c.access(64, 0, 2));
+  EXPECT_TRUE(c.access(0, 0, 2));
+  // Sibling 1 filling its ways must not evict sibling 0's lines.
+  EXPECT_FALSE(c.access(128, 2, 2));
+  EXPECT_FALSE(c.access(192, 2, 2));
+  EXPECT_FALSE(c.access(256, 2, 2));  // evicts within sibling 1 only
+  EXPECT_TRUE(c.access(0, 0, 2));
+  EXPECT_TRUE(c.access(64, 0, 2));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  CacheModel c({64 * 64, 4, 64});  // 4 KB
+  // Stream 8 KB twice: second pass must still miss (capacity).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 8192; a += 64) c.access(a);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+  // Now a working set that fits is all hits on the second pass.
+  CacheModel small({64 * 64, 4, 64});
+  for (std::uint64_t a = 0; a < 2048; a += 64) small.access(a);
+  const auto misses_cold = small.misses();
+  for (std::uint64_t a = 0; a < 2048; a += 64) small.access(a);
+  EXPECT_EQ(small.misses(), misses_cold);
+  EXPECT_EQ(small.hits(), misses_cold);
+}
+
+TEST(Cache, FlushDropsEverything) {
+  CacheModel c({1024, 4, 64});
+  c.access(0);
+  EXPECT_TRUE(c.access(0));
+  c.flush();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, GeometryRoundsToPow2Sets) {
+  CacheModel c({13'750'000, 11, 64});  // 13.75 MB, odd set count
+  const auto& g = c.geometry();
+  EXPECT_EQ(g.size_bytes % (std::uint64_t{g.associativity} * g.line_bytes),
+            0u);
+}
+
+TEST(NumaMap, NodePlacement) {
+  NumaMap map(2);
+  alignas(4096) static char arr[4096 * 4];
+  map.register_range(arr, sizeof arr, Placement::kNode, 1);
+  const auto a = reinterpret_cast<std::uint64_t>(arr);
+  EXPECT_EQ(map.node_of(a), 1u);
+  EXPECT_EQ(map.node_of(a + sizeof(arr) - 1), 1u);
+}
+
+TEST(NumaMap, InterleaveAlternatesPages) {
+  NumaMap map(2);
+  alignas(4096) static char arr[4096 * 4];
+  map.register_range(arr, sizeof arr, Placement::kInterleave);
+  const auto a = reinterpret_cast<std::uint64_t>(arr);
+  const unsigned first = map.node_of(a);
+  EXPECT_EQ(map.node_of(a + 4096), 1u - first);
+  EXPECT_EQ(map.node_of(a + 8192), first);
+  // Within one page the node is constant.
+  EXPECT_EQ(map.node_of(a + 100), first);
+}
+
+TEST(NumaMap, LaterRegistrationShadows) {
+  NumaMap map(2);
+  alignas(4096) static char arr[4096 * 2];
+  map.register_range(arr, sizeof arr, Placement::kNode, 0);
+  map.register_range(arr, 4096, Placement::kNode, 1);
+  const auto a = reinterpret_cast<std::uint64_t>(arr);
+  EXPECT_EQ(map.node_of(a), 1u);
+  EXPECT_EQ(map.node_of(a + 4096), 0u);
+}
+
+TEST(NumaMap, ScatterIsDeterministicAndMixed) {
+  NumaMap map(2, 99);
+  alignas(4096) static char arr[4096 * 64];
+  map.register_range(arr, sizeof arr, Placement::kScatter);
+  const auto a = reinterpret_cast<std::uint64_t>(arr);
+  unsigned node0 = 0;
+  for (unsigned p = 0; p < 64; ++p) {
+    const unsigned n = map.node_of(a + p * 4096);
+    EXPECT_EQ(n, map.node_of(a + p * 4096 + 17));  // stable per page
+    node0 += (n == 0);
+  }
+  // Roughly half the pages on each node.
+  EXPECT_GT(node0, 16u);
+  EXPECT_LT(node0, 48u);
+}
+
+TEST(Cache, AccessDetailedReportsVictim) {
+  CacheModel c({2 * 64, 2, 64});  // 1 set, 2 ways
+  EXPECT_FALSE(c.access_detailed(0).evicted);     // empty way
+  EXPECT_FALSE(c.access_detailed(64).evicted);    // empty way
+  const auto r = c.access_detailed(128);          // evicts line 0 (LRU)
+  EXPECT_FALSE(r.hit);
+  ASSERT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_addr, 0u);
+}
+
+TEST(Cache, InvalidateDropsLine) {
+  CacheModel c({1024, 4, 64});
+  c.access(0);
+  EXPECT_TRUE(c.invalidate(32));   // same line as addr 0
+  EXPECT_FALSE(c.invalidate(0));   // already gone
+  EXPECT_FALSE(c.access(0));       // misses again
+}
+
+TEST(Cache, InclusiveBackInvalidationViaMachine) {
+  // On an inclusive-LLC topology, thrashing the LLC must also evict
+  // the line from the private caches: a later re-access misses all
+  // the way to DRAM even though L1/L2 alone would have kept it.
+  Topology topo = Topology::haswell_2s();
+  ASSERT_TRUE(topo.inclusive_llc);
+  SimMachine m(topo);
+  // Working set far larger than the LLC, streamed after touching one
+  // hot line: the hot line gets back-invalidated from L1/L2.
+  static AlignedBuffer<char> hot(64);
+  static AlignedBuffer<char> wash(64u << 20);  // 64 MB > 20 MB LLC
+  m.numa().register_range(hot.data(), 64, Placement::kNode, 0);
+  m.numa().register_range(wash.data(), wash.size(), Placement::kNode, 0);
+  PlacementVec placement{topo.lcid_of(0, 0, 0)};
+  m.run_phase(placement, [&](unsigned, SimMem& mem) {
+    (void)mem.load(hot.data());
+    mem.stream_read(wash.data(), wash.size());
+    (void)mem.load(hot.data());
+  });
+  // Second hot access must be an LLC miss (DRAM), not an L1/L2 hit:
+  // 2 hot loads + wash, all missing DRAM at least once.
+  EXPECT_EQ(m.stats().llc_misses, 2u + (wash.size() / 64));
+}
+
+TEST(NumaMap, UnregisteredFallsBackToScatter) {
+  NumaMap map(4);
+  // Unregistered addresses must return *some* valid node.
+  EXPECT_LT(map.node_of(0xdeadbeef000ULL), 4u);
+}
+
+}  // namespace
+}  // namespace hipa::sim

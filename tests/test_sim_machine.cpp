@@ -1,0 +1,249 @@
+// Tests for the simulated machine: topology math, placements, phase
+// accounting, NUMA locality effects, SMT combining.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/aligned_buffer.hpp"
+#include "sim/machine.hpp"
+
+namespace hipa::sim {
+namespace {
+
+TEST(Topology, SkylakePreset) {
+  const Topology t = Topology::skylake_2s();
+  EXPECT_EQ(t.num_nodes, 2u);
+  EXPECT_EQ(t.num_physical_cores(), 20u);
+  EXPECT_EQ(t.num_logical_cores(), 40u);
+  EXPECT_EQ(t.l2.size_bytes, 1024u * 1024u);
+  EXPECT_FALSE(t.inclusive_llc);
+}
+
+TEST(Topology, HaswellPreset) {
+  const Topology t = Topology::haswell_2s();
+  EXPECT_EQ(t.l2.size_bytes, 256u * 1024u);
+  EXPECT_TRUE(t.inclusive_llc);
+  EXPECT_EQ(t.num_logical_cores(), 32u);
+}
+
+TEST(Topology, LogicalCoreRoundTrip) {
+  const Topology t = Topology::skylake_2s();
+  for (unsigned lcid = 0; lcid < t.num_logical_cores(); ++lcid) {
+    const LogicalCore lc = t.logical_core(lcid);
+    EXPECT_EQ(t.lcid_of(lc.node, lc.phys, lc.smt), lcid);
+  }
+  // SMT plane 0 occupies the first 20 ids.
+  EXPECT_EQ(t.logical_core(0).smt, 0u);
+  EXPECT_EQ(t.logical_core(20).smt, 1u);
+  EXPECT_EQ(t.phys_index(0), t.phys_index(20));
+}
+
+TEST(Topology, ScaledShrinksCaches) {
+  const Topology t = Topology::skylake_2s().scaled(8);
+  EXPECT_EQ(t.l2.size_bytes, 128u * 1024u);
+  EXPECT_EQ(t.num_logical_cores(), 40u);  // cores unchanged
+}
+
+TEST(Machine, PlacementNodeBlocked) {
+  SimMachine m(Topology::skylake_2s());
+  const std::vector<unsigned> per_node = {12, 3};
+  const auto p = m.placement_node_blocked(per_node);
+  ASSERT_EQ(p.size(), 15u);
+  const Topology& t = m.topology();
+  // First 10 threads on node 0 plane 0, next 2 on node 0 plane 1.
+  for (unsigned i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.logical_core(p[i]).node, 0u);
+    EXPECT_EQ(t.logical_core(p[i]).smt, 0u);
+  }
+  EXPECT_EQ(t.logical_core(p[10]).smt, 1u);
+  for (unsigned i = 12; i < 15; ++i) {
+    EXPECT_EQ(t.logical_core(p[i]).node, 1u);
+  }
+  // All distinct.
+  EXPECT_EQ(std::set<unsigned>(p.begin(), p.end()).size(), p.size());
+}
+
+TEST(Machine, PlacementSpreadUsesPhysicalFirst) {
+  SimMachine m(Topology::skylake_2s());
+  const auto p = m.placement_spread(20);
+  const Topology& t = m.topology();
+  std::set<unsigned> phys;
+  for (unsigned lcid : p) {
+    EXPECT_EQ(t.logical_core(lcid).smt, 0u);
+    phys.insert(t.phys_index(lcid));
+  }
+  EXPECT_EQ(phys.size(), 20u);
+  // Alternates nodes.
+  EXPECT_NE(t.logical_core(p[0]).node, t.logical_core(p[1]).node);
+}
+
+TEST(Machine, PlacementRandomDistinctAndDeterministic) {
+  SimMachine a(Topology::skylake_2s(), {}, 5);
+  SimMachine b(Topology::skylake_2s(), {}, 5);
+  const auto pa = a.placement_random(33);
+  const auto pb = b.placement_random(33);
+  EXPECT_EQ(pa, pb);
+  EXPECT_EQ(std::set<unsigned>(pa.begin(), pa.end()).size(), 33u);
+}
+
+TEST(Machine, PhaseCountsAccessesAndCycles) {
+  SimMachine m(Topology::skylake_2s());
+  AlignedBuffer<float> data(1024);
+  m.numa().register_range(data.data(), 1024 * 4, Placement::kNode, 0);
+  const auto placement = m.placement_spread(2);
+  m.run_phase(placement, [&](unsigned, SimMem& mem) {
+    for (int i = 0; i < 100; ++i) {
+      (void)mem.load(data.data() + i);
+    }
+  });
+  const SimStats& s = m.stats();
+  EXPECT_EQ(s.loads, 200u);
+  EXPECT_EQ(s.phases, 1u);
+  EXPECT_GT(s.total_cycles, 0u);
+  // 100 floats = 7 lines; each thread misses them in its own L1/L2 but
+  // the second thread can hit the shared LLC only if on the same node.
+  EXPECT_GE(s.l1_misses, 7u);
+}
+
+TEST(Machine, LocalVsRemoteLatency) {
+  const Topology topo = Topology::skylake_2s();
+  AlignedBuffer<float> data(1u << 16);
+
+  auto run_on_node = [&](unsigned data_node) {
+    SimMachine m(topo);
+    m.numa().register_range(data.data(), data.size() * 4, Placement::kNode,
+                            data_node);
+    // One thread on node 0 streaming the data once (cold caches).
+    PlacementVec placement{m.topology().lcid_of(0, 0, 0)};
+    m.run_phase(placement, [&](unsigned, SimMem& mem) {
+      mem.stream_read(data.data(), data.size());
+    });
+    return m.stats();
+  };
+
+  const SimStats local = run_on_node(0);
+  const SimStats remote = run_on_node(1);
+  EXPECT_EQ(local.dram_remote_bytes, 0u);
+  EXPECT_EQ(remote.dram_local_bytes, 0u);
+  EXPECT_GT(remote.dram_remote_bytes, 0u);
+  // Remote run must cost noticeably more cycles (latency 500 vs 200).
+  EXPECT_GT(remote.total_cycles, local.total_cycles * 3 / 2);
+}
+
+TEST(Machine, SmtSiblingsShareCore) {
+  const Topology topo = Topology::skylake_2s();
+  AlignedBuffer<float> data(1u << 14);
+
+  auto run = [&](bool same_core) {
+    SimMachine m(topo);
+    m.numa().register_range(data.data(), data.size() * 4, Placement::kNode,
+                            0);
+    PlacementVec placement;
+    placement.push_back(topo.lcid_of(0, 0, 0));
+    placement.push_back(same_core ? topo.lcid_of(0, 0, 1)
+                                  : topo.lcid_of(0, 1, 0));
+    m.run_phase(placement, [&](unsigned, SimMem& mem) {
+      mem.work(1'000'000);
+    });
+    return m.stats().total_cycles;
+  };
+
+  // Pure-compute threads on one physical core serialize partially; on
+  // two cores they overlap fully.
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST(Machine, ThreadEventAccounting) {
+  SimMachine m(Topology::skylake_2s());
+  const auto before = m.stats().total_cycles;
+  m.charge_thread_creations(10);
+  m.charge_thread_migrations(4, true);
+  EXPECT_EQ(m.stats().thread_creations, 10u);
+  EXPECT_EQ(m.stats().thread_migrations, 4u);
+  EXPECT_GT(m.stats().total_cycles, before);
+}
+
+TEST(Machine, ResetClearsState) {
+  SimMachine m(Topology::skylake_2s());
+  AlignedBuffer<float> data(64);
+  const auto placement = m.placement_spread(1);
+  m.run_phase(placement, [&](unsigned, SimMem& mem) {
+    (void)mem.load(data.data());
+  });
+  EXPECT_GT(m.stats().total_cycles, 0u);
+  m.reset();
+  EXPECT_EQ(m.stats().total_cycles, 0u);
+  EXPECT_EQ(m.stats().loads, 0u);
+  // Caches flushed: the same access misses again.
+  m.run_phase(placement, [&](unsigned, SimMem& mem) {
+    (void)mem.load(data.data());
+  });
+  EXPECT_EQ(m.stats().l1_misses, 1u);
+}
+
+TEST(Machine, BandwidthFloorBindsHeavyPhases) {
+  // Many threads each streaming a distinct slice: per-core latency
+  // time is small, so with a crippled DRAM bandwidth the phase must be
+  // bound by the bandwidth floor instead.
+  Topology topo = Topology::skylake_2s();
+  CostModel cost;
+  cost.dram_bw_per_node = 0.05;  // absurdly slow DRAM
+  SimMachine slow(topo, cost);
+  SimMachine fast(topo);  // default bandwidth
+  constexpr unsigned kThreads = 20;
+  constexpr std::size_t kPerThread = 1u << 16;
+  AlignedBuffer<float> data(kThreads * kPerThread);
+  for (SimMachine* m : {&slow, &fast}) {
+    m->numa().register_range(data.data(), data.size() * 4,
+                             Placement::kInterleave);
+    const auto placement = m->placement_spread(kThreads);
+    m->run_phase(placement, [&](unsigned t, SimMem& mem) {
+      mem.stream_read(data.data() + t * kPerThread, kPerThread);
+    });
+  }
+  // Same work, same counters — only the bandwidth floor differs.
+  EXPECT_EQ(slow.stats().dram_bytes(), fast.stats().dram_bytes());
+  EXPECT_GT(slow.stats().total_cycles, 2 * fast.stats().total_cycles);
+}
+
+TEST(Machine, SecondsUsesFrequency) {
+  SimMachine m(Topology::skylake_2s());
+  m.charge_cycles(2'200'000'000ULL);  // one second at 2.2 GHz
+  EXPECT_NEAR(m.seconds(), 1.0, 1e-9);
+}
+
+
+TEST(Machine, PhaseLogRecordsAnatomy) {
+  SimMachine m(Topology::skylake_2s());
+  m.set_phase_log(true);
+  AlignedBuffer<float> data(1u << 16);
+  m.numa().register_range(data.data(), data.size() * 4, Placement::kNode,
+                          0);
+  const auto placement = m.placement_spread(4);
+  m.run_phase(placement, [&](unsigned t, SimMem& mem) {
+    mem.stream_read(data.data() + t * 1024, 1024);
+    mem.work(1000);
+  });
+  ASSERT_EQ(m.phase_log().size(), 1u);
+  const PhaseRecord& r = m.phase_log().front();
+  EXPECT_EQ(r.threads, 4u);
+  EXPECT_GT(r.t_core, 0u);
+  EXPECT_GT(r.t_avg, 0u);
+  EXPECT_GE(r.t_core, r.t_avg);
+  EXPECT_GE(r.penalty, 1.0);
+  EXPECT_GE(r.cycles, r.t_core);
+  m.reset();
+  EXPECT_TRUE(m.phase_log().empty());
+}
+
+TEST(Machine, RejectsOversubscribedCore) {
+  SimMachine m(Topology::skylake_2s());
+  const unsigned lcid = m.topology().lcid_of(0, 0, 0);
+  PlacementVec placement{lcid, lcid, lcid};  // 3 threads, 2 SMT contexts
+  EXPECT_THROW(
+      m.run_phase(placement, [](unsigned, SimMem&) {}),
+      Error);
+}
+
+}  // namespace
+}  // namespace hipa::sim
