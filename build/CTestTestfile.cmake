@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/common")
+subdirs("src/graph")
+subdirs("src/sim")
+subdirs("src/runtime")
+subdirs("src/partition")
+subdirs("src/pcp")
+subdirs("src/engines")
+subdirs("src/algos")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

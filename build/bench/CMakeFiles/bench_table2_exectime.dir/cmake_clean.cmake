@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_exectime.dir/bench_table2_exectime.cpp.o"
+  "CMakeFiles/bench_table2_exectime.dir/bench_table2_exectime.cpp.o.d"
+  "bench_table2_exectime"
+  "bench_table2_exectime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_exectime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_structure.dir/community_structure.cpp.o"
+  "CMakeFiles/community_structure.dir/community_structure.cpp.o.d"
+  "community_structure"
+  "community_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_bfs.dir/reachability_bfs.cpp.o"
+  "CMakeFiles/reachability_bfs.dir/reachability_bfs.cpp.o.d"
+  "reachability_bfs"
+  "reachability_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/web_ranking_delta.cpp" "examples/CMakeFiles/web_ranking_delta.dir/web_ranking_delta.cpp.o" "gcc" "examples/CMakeFiles/web_ranking_delta.dir/web_ranking_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algos/CMakeFiles/hipa_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcp/CMakeFiles/hipa_pcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hipa_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hipa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hipa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hipa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hipa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

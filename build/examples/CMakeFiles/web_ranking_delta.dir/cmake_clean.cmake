@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_ranking_delta.dir/web_ranking_delta.cpp.o"
+  "CMakeFiles/web_ranking_delta.dir/web_ranking_delta.cpp.o.d"
+  "web_ranking_delta"
+  "web_ranking_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_ranking_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

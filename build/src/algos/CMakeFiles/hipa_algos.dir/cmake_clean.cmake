@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_algos.dir/bfs.cpp.o"
+  "CMakeFiles/hipa_algos.dir/bfs.cpp.o.d"
+  "CMakeFiles/hipa_algos.dir/pagerank.cpp.o"
+  "CMakeFiles/hipa_algos.dir/pagerank.cpp.o.d"
+  "CMakeFiles/hipa_algos.dir/pagerank_delta.cpp.o"
+  "CMakeFiles/hipa_algos.dir/pagerank_delta.cpp.o.d"
+  "CMakeFiles/hipa_algos.dir/spmv.cpp.o"
+  "CMakeFiles/hipa_algos.dir/spmv.cpp.o.d"
+  "CMakeFiles/hipa_algos.dir/wcc.cpp.o"
+  "CMakeFiles/hipa_algos.dir/wcc.cpp.o.d"
+  "libhipa_algos.a"
+  "libhipa_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhipa_algos.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_common.dir/aligned_buffer.cpp.o"
+  "CMakeFiles/hipa_common.dir/aligned_buffer.cpp.o.d"
+  "CMakeFiles/hipa_common.dir/logging.cpp.o"
+  "CMakeFiles/hipa_common.dir/logging.cpp.o.d"
+  "libhipa_common.a"
+  "libhipa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_graph.dir/builder.cpp.o"
+  "CMakeFiles/hipa_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/hipa_graph.dir/csr.cpp.o"
+  "CMakeFiles/hipa_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/hipa_graph.dir/datasets.cpp.o"
+  "CMakeFiles/hipa_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/hipa_graph.dir/generators.cpp.o"
+  "CMakeFiles/hipa_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/hipa_graph.dir/io.cpp.o"
+  "CMakeFiles/hipa_graph.dir/io.cpp.o.d"
+  "CMakeFiles/hipa_graph.dir/reorder.cpp.o"
+  "CMakeFiles/hipa_graph.dir/reorder.cpp.o.d"
+  "CMakeFiles/hipa_graph.dir/stats.cpp.o"
+  "CMakeFiles/hipa_graph.dir/stats.cpp.o.d"
+  "libhipa_graph.a"
+  "libhipa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

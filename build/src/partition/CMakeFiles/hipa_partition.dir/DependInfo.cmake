@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/cache_partitions.cpp" "src/partition/CMakeFiles/hipa_partition.dir/cache_partitions.cpp.o" "gcc" "src/partition/CMakeFiles/hipa_partition.dir/cache_partitions.cpp.o.d"
+  "/root/repo/src/partition/edge_balanced.cpp" "src/partition/CMakeFiles/hipa_partition.dir/edge_balanced.cpp.o" "gcc" "src/partition/CMakeFiles/hipa_partition.dir/edge_balanced.cpp.o.d"
+  "/root/repo/src/partition/plan.cpp" "src/partition/CMakeFiles/hipa_partition.dir/plan.cpp.o" "gcc" "src/partition/CMakeFiles/hipa_partition.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hipa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hipa_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_partition.dir/cache_partitions.cpp.o"
+  "CMakeFiles/hipa_partition.dir/cache_partitions.cpp.o.d"
+  "CMakeFiles/hipa_partition.dir/edge_balanced.cpp.o"
+  "CMakeFiles/hipa_partition.dir/edge_balanced.cpp.o.d"
+  "CMakeFiles/hipa_partition.dir/plan.cpp.o"
+  "CMakeFiles/hipa_partition.dir/plan.cpp.o.d"
+  "libhipa_partition.a"
+  "libhipa_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

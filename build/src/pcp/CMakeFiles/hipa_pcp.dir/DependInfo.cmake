@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcp/bins.cpp" "src/pcp/CMakeFiles/hipa_pcp.dir/bins.cpp.o" "gcc" "src/pcp/CMakeFiles/hipa_pcp.dir/bins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hipa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hipa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/hipa_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_pcp.dir/bins.cpp.o"
+  "CMakeFiles/hipa_pcp.dir/bins.cpp.o.d"
+  "libhipa_pcp.a"
+  "libhipa_pcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_pcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

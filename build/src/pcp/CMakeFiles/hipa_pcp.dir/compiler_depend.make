@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hipa_pcp.
+# This may be replaced when dependencies are built.

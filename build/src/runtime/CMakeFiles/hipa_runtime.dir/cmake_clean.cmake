@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_runtime.dir/affinity.cpp.o"
+  "CMakeFiles/hipa_runtime.dir/affinity.cpp.o.d"
+  "CMakeFiles/hipa_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/hipa_runtime.dir/thread_pool.cpp.o.d"
+  "libhipa_runtime.a"
+  "libhipa_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipa_sim.dir/cache.cpp.o"
+  "CMakeFiles/hipa_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/hipa_sim.dir/machine.cpp.o"
+  "CMakeFiles/hipa_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/hipa_sim.dir/numa_map.cpp.o"
+  "CMakeFiles/hipa_sim.dir/numa_map.cpp.o.d"
+  "CMakeFiles/hipa_sim.dir/topology.cpp.o"
+  "CMakeFiles/hipa_sim.dir/topology.cpp.o.d"
+  "libhipa_sim.a"
+  "libhipa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
