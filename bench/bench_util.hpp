@@ -20,11 +20,15 @@
 namespace hipa::bench {
 
 /// Common CLI flags: --iters=N, --quick (tiny sizes for smoke runs),
-/// --dataset=name (restrict to one), --help.
+/// --smoke (quick + one dataset + short iterations; CI-friendly),
+/// --dataset=name (restrict to one), --out=path (JSON output path for
+/// benches that emit machine-readable results), --help.
 struct Flags {
   unsigned iterations = 0;  ///< 0 = per-bench default
   bool quick = false;
+  bool smoke = false;  ///< implies quick; benches also trim datasets
   std::string dataset;
+  std::string out;  ///< JSON output path ("" = bench default)
 
   static Flags parse(int argc, char** argv) {
     Flags f;
@@ -36,11 +40,17 @@ struct Flags {
         // Smoke mode: 8x extra shrink. Degenerate caches distort shapes;
         // use default scales for reproduction-quality numbers.
         f.quick = true;
+      } else if (std::strcmp(a, "--smoke") == 0) {
+        f.smoke = true;
+        f.quick = true;
       } else if (std::strncmp(a, "--dataset=", 10) == 0) {
         f.dataset = a + 10;
+      } else if (std::strncmp(a, "--out=", 6) == 0) {
+        f.out = a + 6;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
-            "flags: --iters=N  --quick  --dataset=<name>\n"
+            "flags: --iters=N  --quick  --smoke  --dataset=<name>  "
+            "--out=<path>\n"
             "datasets: journal pld wiki kron twitter mpi\n");
         std::exit(0);
       }
@@ -100,5 +110,80 @@ inline double mape_per_iter(const engine::RunReport& r, eid_t edges) {
              ? 0.0
              : r.stats.mape(edges) / static_cast<double>(r.iterations);
 }
+
+/// Minimal streaming JSON emitter — no third-party deps, writes
+/// directly to a FILE*. Comma placement is tracked with a per-level
+/// "first element" stack; keys set a one-shot flag so the following
+/// value attaches without a separator. Only the shapes the benches
+/// need (objects, arrays, strings, numbers, bools); strings are
+/// escaped for quotes, backslashes and control characters.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  void begin_object() { sep(); std::fputc('{', f_); push(); }
+  void end_object() { pop(); std::fputc('}', f_); }
+  void begin_array() { sep(); std::fputc('[', f_); push(); }
+  void end_array() { pop(); std::fputc(']', f_); }
+
+  void key(const char* k) {
+    sep();
+    write_string(k);
+    std::fputc(':', f_);
+    after_key_ = true;
+  }
+
+  void value(const char* s) { sep(); write_string(s); }
+  void value(const std::string& s) { value(s.c_str()); }
+  void value(bool b) { sep(); std::fputs(b ? "true" : "false", f_); }
+  void value(double v) { sep(); std::fprintf(f_, "%.9g", v); }
+  void value(std::uint64_t v) {
+    sep();
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { sep(); std::fprintf(f_, "%d", v); }
+
+  template <class T>
+  void kv(const char* k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void push() { first_.push_back(true); }
+  void pop() {
+    if (!first_.empty()) first_.pop_back();
+  }
+  void sep() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) std::fputc(',', f_);
+      first_.back() = false;
+    }
+  }
+  void write_string(const char* s) {
+    std::fputc('"', f_);
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      if (c == '"' || c == '\\') {
+        std::fputc('\\', f_);
+        std::fputc(c, f_);
+      } else if (c < 0x20) {
+        std::fprintf(f_, "\\u%04x", c);
+      } else {
+        std::fputc(c, f_);
+      }
+    }
+    std::fputc('"', f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
 
 }  // namespace hipa::bench

@@ -65,12 +65,13 @@ DeltaResult pagerank_delta(const graph::Graph& g, const DeltaOptions& opt,
   const part::HierarchicalPlan plan =
       part::build_hierarchical_plan(g.out, cfg);
 
-  // Attributes: rank, residual (pending delta), out-degree. Residual
+  // Attributes: rank, residual (pending delta), reciprocal out-degree
+  // (0 for sinks — shared sink semantics from graph::inverse_degrees,
+  // turning the per-push guarded divide into one multiply). Residual
   // updates push through atomics (cross-partition writes).
   AlignedBuffer<rank_t> rank(n);
   AlignedBuffer<rank_t> residual(n);
-  AlignedBuffer<vid_t> deg(n);
-  for (vid_t v = 0; v < n; ++v) deg[v] = g.out.degree(v);
+  AlignedBuffer<rank_t> inv_deg = graph::inverse_degrees<rank_t>(g.out);
   for (unsigned node = 0; node < plan.num_nodes; ++node) {
     const VertexRange vr = plan.node_vertex_range(node);
     backend.register_buffer(rank.data() + vr.begin,
@@ -79,8 +80,8 @@ DeltaResult pagerank_delta(const graph::Graph& g, const DeltaOptions& opt,
     backend.register_buffer(residual.data() + vr.begin,
                             vr.size() * sizeof(rank_t),
                             engine::DataPlacement::kNode, node);
-    backend.register_buffer(deg.data() + vr.begin,
-                            vr.size() * sizeof(vid_t),
+    backend.register_buffer(inv_deg.data() + vr.begin,
+                            vr.size() * sizeof(rank_t),
                             engine::DataPlacement::kNode, node);
   }
 
@@ -135,9 +136,8 @@ DeltaResult pagerank_delta(const graph::Graph& g, const DeltaOptions& opt,
           ++active;
           residual[v] = 0.0f;
           mem.store(rank.data() + v, rank[v] + res);
-          if (deg[v] == 0) continue;
-          const rank_t push =
-              opt.damping * res / static_cast<rank_t>(deg[v]);
+          if (inv_deg[v] == 0.0f) continue;  // sink: nothing to push
+          const rank_t push = opt.damping * res * inv_deg[v];
           const auto neigh = g.out.neighbors(v);
           mem.stream_read(neigh.data(), neigh.size());
           for (vid_t u : neigh) {

@@ -1,0 +1,28 @@
+// Software-prefetch hints for the hot kernels.
+//
+// These are *host* hints only: they never enter the simulator's cost
+// model (SimMem charges nothing for them), so native and simulated
+// kernels share one code path and the sim's counters stay comparable
+// across prefetch tuning. On compilers without __builtin_prefetch they
+// compile to nothing.
+#pragma once
+
+namespace hipa {
+
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+inline void prefetch_write(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace hipa

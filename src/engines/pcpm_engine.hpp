@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/prefetch.hpp"
 #include "engines/backend.hpp"
 #include "graph/csr.hpp"
 #include "partition/plan.hpp"
@@ -44,6 +45,11 @@ struct PcpmOptions {
   /// Edge-balanced (paper Eq. 2) vs even-vertex partitioning (§3.1's
   /// rejected strawman, kept for the balance ablation).
   part::PlanConfig::Balance balance = part::PlanConfig::Balance::kEdges;
+  /// Destination-list encoding: kAuto picks the 16-bit compact form
+  /// whenever every partition fits 2^15 vertices (halving gather
+  /// stream traffic) and falls back to 32-bit otherwise; benches force
+  /// kWide to measure the compaction delta.
+  pcp::DstEncoding dst_encoding = pcp::DstEncoding::kAuto;
   /// Cycles one FCFS claim costs per contending thread.
   std::uint32_t fcfs_claim_cycles = 150;
   /// Extra framework cycles per message / per partition (GPOP).
@@ -311,7 +317,38 @@ class PcpmEngine {
     const auto& dpi = bins_.dst_pair_index();
     const auto& dpb = bins_.dst_pair_begin();
     const vid_t* src_list = bins_.src_list().data();
-    const vid_t* dst_list = bins_.dst_list().data();
+    // Entry-type-generic min-label drain (same branchless message
+    // tracking as gather_accumulate_impl); E is deduced from the
+    // active destination-list encoding.
+    auto drain_labels = [&]<class E>(const E* dst_list, unsigned t,
+                                     Mem& mem) -> std::uint64_t {
+      constexpr unsigned kShift = sizeof(E) == 2 ? 15 : 31;
+      constexpr std::uint32_t kMask = (std::uint32_t{1} << kShift) - 1;
+      std::uint64_t local_changed = 0;
+      for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+        vid_t vbase = 0;
+        if constexpr (sizeof(E) == 2) vbase = plan_.parts.range(q).begin;
+        for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
+          const pcp::PairInfo& pr = pairs[dpi[idx]];
+          mem.stream_read(lvalues.data() + pr.value_off, pr.msg_count);
+          mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
+          const E* __restrict dl = dst_list + pr.dst_off;
+          eid_t msg = pr.value_off - 1;
+          for (eid_t j = 0; j < pr.dst_count; ++j) {
+            const std::uint32_t e = dl[j];
+            msg += e >> kShift;
+            const vid_t val = lvalues[msg];
+            const vid_t d = vbase + (e & kMask);
+            if (val < label[d]) {
+              mem.store(label.data() + d, val);
+              ++local_changed;
+            }
+          }
+          mem.work(2 * pr.dst_count);
+        }
+      });
+      return local_changed;
+    };
     for (; result.rounds < max_rounds; ++result.rounds) {
       ++phase_salt_;
       backend_->phase([&](unsigned t, Mem& mem) {
@@ -320,9 +357,10 @@ class PcpmEngine {
             const pcp::PairInfo& pr = pairs[k];
             mem.stream_read(src_list + pr.src_off, pr.msg_count);
             mem.stream_write(lvalues.data() + pr.value_off, pr.msg_count);
+            const vid_t* __restrict src = src_list + pr.src_off;
+            vid_t* __restrict out = lvalues.data() + pr.value_off;
             for (eid_t i = 0; i < pr.msg_count; ++i) {
-              lvalues[pr.value_off + i] =
-                  mem.load(label.data() + src_list[pr.src_off + i]);
+              out[i] = mem.load(label.data() + src[i]);
             }
             mem.work(2 * pr.msg_count);
           }
@@ -331,31 +369,9 @@ class PcpmEngine {
       ++phase_salt_;
       std::fill(changed.begin(), changed.end(), 0);
       backend_->phase([&](unsigned t, Mem& mem) {
-        std::uint64_t local_changed = 0;
-        for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
-          for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
-            const pcp::PairInfo& pr = pairs[dpi[idx]];
-            mem.stream_read(lvalues.data() + pr.value_off, pr.msg_count);
-            mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
-            eid_t msg = pr.value_off - 1;
-            vid_t val = 0;
-            for (eid_t j = pr.dst_off; j < pr.dst_off + pr.dst_count;
-                 ++j) {
-              const vid_t packed = dst_list[j];
-              if (pcp::PcpmBins::is_msg_start(packed)) {
-                ++msg;
-                val = lvalues[msg];
-              }
-              const vid_t d = pcp::PcpmBins::dst_vertex(packed);
-              if (val < label[d]) {
-                mem.store(label.data() + d, val);
-                ++local_changed;
-              }
-            }
-            mem.work(2 * pr.dst_count);
-          }
-        });
-        changed[t] = local_changed;
+        changed[t] = bins_.compact()
+                         ? drain_labels(bins_.dst_list16().data(), t, mem)
+                         : drain_labels(bins_.dst_list().data(), t, mem);
       });
       std::uint64_t total = 0;
       for (std::uint64_t c : changed) total += c;
@@ -397,7 +413,9 @@ class PcpmEngine {
     plan_ = part::build_hierarchical_plan(graph_->out, cfg);
   }
 
-  void build_bins() { bins_ = pcp::build_bins(graph_->out, plan_.parts); }
+  void build_bins() {
+    bins_ = pcp::build_bins(graph_->out, plan_.parts, opt_.dst_encoding);
+  }
 
   void build_attributes() {
     const vid_t n = graph_->num_vertices();
@@ -407,8 +425,10 @@ class PcpmEngine {
     rank_ = AlignedBuffer<rank_t>(n);
     rank_scaled_ = AlignedBuffer<rank_t>(n);
     acc_ = AlignedBuffer<rank_t>(n);
-    deg_ = AlignedBuffer<vid_t>(n);
-    for (vid_t v = 0; v < n; ++v) deg_[v] = graph_->out.degree(v);
+    // Reciprocal out-degrees, the shared owner of the sink-vertex
+    // semantics (inv 0 for sinks): the per-iteration divide in the
+    // seed/gather epilogues becomes a branchless multiply.
+    inv_deg_ = graph::inverse_degrees<rank_t>(graph_->out);
     acc_.fill_zero();
     values_ = AlignedBuffer<rank_t>(bins_.total_messages());
     if (opt_.framework_overhead) {
@@ -417,6 +437,18 @@ class PcpmEngine {
       framework_state_ = AlignedBuffer<std::uint64_t>(
           std::size_t{plan_.parts.num_partitions()} * words_per_part);
       framework_state_.fill_zero();
+    }
+  }
+
+  /// Register the active destination list's [db, de) entry range.
+  void register_dst_range(eid_t db, eid_t de, DataPlacement pl,
+                          unsigned node = 0) {
+    if (bins_.compact()) {
+      backend_->register_buffer(bins_.dst_list16().data() + db,
+                                (de - db) * sizeof(std::uint16_t), pl, node);
+    } else {
+      backend_->register_buffer(bins_.dst_list().data() + db,
+                                (de - db) * sizeof(vid_t), pl, node);
     }
   }
 
@@ -431,7 +463,8 @@ class PcpmEngine {
                                 DataPlacement::kInterleave);
       backend_->register_buffer(acc_.data(), acc_.size() * sizeof(rank_t),
                                 DataPlacement::kInterleave);
-      backend_->register_buffer(deg_.data(), deg_.size() * sizeof(vid_t),
+      backend_->register_buffer(inv_deg_.data(),
+                                inv_deg_.size() * sizeof(rank_t),
                                 DataPlacement::kInterleave);
       backend_->register_buffer(values_.data(),
                                 values_.size() * sizeof(rank_t),
@@ -439,9 +472,8 @@ class PcpmEngine {
       backend_->register_buffer(bins_.src_list().data(),
                                 bins_.src_list().size_bytes(),
                                 DataPlacement::kInterleave);
-      backend_->register_buffer(bins_.dst_list().data(),
-                                bins_.dst_list().size_bytes(),
-                                DataPlacement::kInterleave);
+      register_dst_range(0, bins_.total_dests(),
+                         DataPlacement::kInterleave);
       return;
     }
     for (unsigned node = 0; node < plan_.num_nodes; ++node) {
@@ -454,7 +486,7 @@ class PcpmEngine {
       reg_verts(rank_.data(), sizeof(rank_t));
       reg_verts(rank_scaled_.data(), sizeof(rank_t));
       reg_verts(acc_.data(), sizeof(rank_t));
-      reg_verts(deg_.data(), sizeof(vid_t));
+      reg_verts(inv_deg_.data(), sizeof(rank_t));
 
       const std::uint32_t pb = plan_.node_part_begin[node];
       const std::uint32_t pe = plan_.node_part_begin[node + 1];
@@ -470,9 +502,7 @@ class PcpmEngine {
                                 (me - mb) * sizeof(rank_t),
                                 DataPlacement::kNode, node);
       const auto [db, de] = bins_.dst_slice(pb, pe);
-      backend_->register_buffer(bins_.dst_list().data() + db,
-                                (de - db) * sizeof(vid_t),
-                                DataPlacement::kNode, node);
+      register_dst_range(db, de, DataPlacement::kNode, node);
     }
   }
 
@@ -542,35 +572,51 @@ class PcpmEngine {
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
     for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
       const VertexRange r = plan_.parts.range(p);
-      mem.stream_read(deg_.data() + r.begin, r.size());
+      mem.stream_read(inv_deg_.data() + r.begin, r.size());
       mem.stream_write(rank_.data() + r.begin, r.size());
       mem.stream_write(rank_scaled_.data() + r.begin, r.size());
       mem.stream_write(acc_.data() + r.begin, r.size());
+      const rank_t* __restrict inv = inv_deg_.data();
       for (vid_t v = r.begin; v < r.end; ++v) {
         rank_[v] = r0;
-        rank_scaled_[v] = deg_[v] == 0 ? 0.0f : r0 / static_cast<rank_t>(deg_[v]);
+        // Branchless sink handling: inv is exactly 0 for sinks.
+        rank_scaled_[v] = r0 * inv[v];
         acc_[v] = 0.0f;
       }
       mem.work(r.size());
     });
   }
 
+  /// Software-prefetch lookahead in the pair loops (entries, not
+  /// bytes). Far enough to cover an L2 hit, close enough to stay
+  /// inside the partition's resident slice.
+  static constexpr eid_t kPrefetchDist = 16;
+
   void scatter_thread(unsigned t, Mem& mem) {
     const auto& pairs = bins_.pairs();
     const auto& src_begin = bins_.src_pair_begin();
     const vid_t* src_list = bins_.src_list().data();
+    const rank_t* rs = rank_scaled_.data();
+    rank_t* vals = values_.data();
     for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
       for (std::uint32_t k = src_begin[p]; k < src_begin[p + 1]; ++k) {
         const pcp::PairInfo& pr = pairs[k];
         mem.stream_read(&pr, 1);  // bin metadata
         mem.stream_read(src_list + pr.src_off, pr.msg_count);
-        mem.stream_write(values_.data() + pr.value_off, pr.msg_count);
-        for (eid_t i = 0; i < pr.msg_count; ++i) {
-          const vid_t s = src_list[pr.src_off + i];
-          // Random read, resident in this partition's cache slice.
-          const rank_t val = mem.load(rank_scaled_.data() + s);
-          values_[pr.value_off + i] = val;
+        mem.stream_write(vals + pr.value_off, pr.msg_count);
+        // Hoisted cursors; the rank read is random but resident in
+        // this partition's cache slice — prefetch hides its latency
+        // when the slice spills past L1.
+        const vid_t* __restrict src = src_list + pr.src_off;
+        rank_t* __restrict out = vals + pr.value_off;
+        const eid_t cnt = pr.msg_count;
+        const eid_t fenced = cnt > kPrefetchDist ? cnt - kPrefetchDist : 0;
+        eid_t i = 0;
+        for (; i < fenced; ++i) {
+          prefetch_read(rs + src[i + kPrefetchDist]);
+          out[i] = mem.load(rs + src[i]);
         }
+        for (; i < cnt; ++i) out[i] = mem.load(rs + src[i]);
         mem.work(2 * pr.msg_count);
         if (opt_.framework_overhead) {
           mem.work(std::uint64_t{opt_.framework_cycles_per_msg} *
@@ -583,30 +629,63 @@ class PcpmEngine {
 
   /// Inbox drain of one thread's destination partitions: accumulate
   /// message values into acc_ (shared by PageRank gather and SpMV).
+  /// Dispatches once per run to the compact (16-bit) or wide (32-bit)
+  /// destination-entry kernel.
   void gather_accumulate(unsigned t, Mem& mem) {
+    if (bins_.compact()) {
+      gather_accumulate_impl(t, mem, bins_.dst_list16().data());
+    } else {
+      gather_accumulate_impl(t, mem, bins_.dst_list().data());
+    }
+  }
+
+  /// Entry-type-generic accumulate kernel. The inner loop is
+  /// branchless: the new-message flag sits in the entry's top bit, so
+  /// `msg += entry >> shift` advances the message index and the value
+  /// re-load is L1-resident. Compact entries are partition-local, so
+  /// the destination partition's first vertex (loop-invariant) is
+  /// added back; wide entries carry global ids (base 0).
+  template <class E>
+  void gather_accumulate_impl(unsigned t, Mem& mem, const E* dst_list) {
+    static_assert(sizeof(E) == 2 || sizeof(E) == 4);
+    constexpr unsigned kShift = sizeof(E) == 2 ? 15 : 31;
+    constexpr std::uint32_t kMask = (std::uint32_t{1} << kShift) - 1;
     const auto& pairs = bins_.pairs();
     const auto& dpi = bins_.dst_pair_index();
     const auto& dpb = bins_.dst_pair_begin();
-    const vid_t* dst_list = bins_.dst_list().data();
+    const rank_t* __restrict vals = values_.data();
+    rank_t* __restrict acc = acc_.data();
     for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+      // Loop-invariant partition base (0 for the wide encoding).
+      vid_t vbase = 0;
+      if constexpr (sizeof(E) == 2) vbase = plan_.parts.range(q).begin;
       for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
         const pcp::PairInfo& pr = pairs[dpi[idx]];
         mem.stream_read(&pr, 1);
-        mem.stream_read(values_.data() + pr.value_off, pr.msg_count);
+        mem.stream_read(vals + pr.value_off, pr.msg_count);
         mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
-        // Walk the flag-packed destination slice: an MSB-marked entry
-        // advances to the next message's value.
+        const E* __restrict dl = dst_list + pr.dst_off;
+        const eid_t cnt = pr.dst_count;
+        // First entry of a pair is always flagged, so the pre-first
+        // message index is never read.
         eid_t msg = pr.value_off - 1;
-        rank_t val = 0.0f;
-        for (eid_t j = pr.dst_off; j < pr.dst_off + pr.dst_count; ++j) {
-          const vid_t packed = dst_list[j];
-          if (pcp::PcpmBins::is_msg_start(packed)) {
-            ++msg;
-            val = values_[msg];
-          }
-          const vid_t d = pcp::PcpmBins::dst_vertex(packed);
+        const eid_t fenced = cnt > kPrefetchDist ? cnt - kPrefetchDist : 0;
+        eid_t j = 0;
+        for (; j < fenced; ++j) {
+          const std::uint32_t e = dl[j];
+          prefetch_write(
+              acc + vbase +
+              (static_cast<std::uint32_t>(dl[j + kPrefetchDist]) & kMask));
+          msg += e >> kShift;
+          const vid_t d = vbase + (e & kMask);
           // Random update, resident in partition q's cache slice.
-          mem.store(acc_.data() + d, acc_[d] + val);
+          mem.store(acc + d, acc[d] + vals[msg]);
+        }
+        for (; j < cnt; ++j) {
+          const std::uint32_t e = dl[j];
+          msg += e >> kShift;
+          const vid_t d = vbase + (e & kMask);
+          mem.store(acc + d, acc[d] + vals[msg]);
         }
         mem.work(2 * pr.dst_count + pr.msg_count);
         if (opt_.framework_overhead) {
@@ -620,18 +699,23 @@ class PcpmEngine {
   void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping) {
     gather_accumulate(t, mem);
     for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
-      // Apply: finish PageRank for this partition's vertices.
+      // Apply: finish PageRank for this partition's vertices. All four
+      // arrays stream; the body is branchless (sinks have inv == 0)
+      // and autovectorizable.
       const VertexRange r = plan_.parts.range(q);
       mem.stream_read(acc_.data() + r.begin, r.size());
-      mem.stream_read(deg_.data() + r.begin, r.size());
+      mem.stream_read(inv_deg_.data() + r.begin, r.size());
       mem.stream_write(rank_.data() + r.begin, r.size());
       mem.stream_write(rank_scaled_.data() + r.begin, r.size());
+      rank_t* __restrict rank = rank_.data();
+      rank_t* __restrict scaled = rank_scaled_.data();
+      rank_t* __restrict acc = acc_.data();
+      const rank_t* __restrict inv = inv_deg_.data();
       for (vid_t v = r.begin; v < r.end; ++v) {
-        const rank_t new_rank = base + damping * acc_[v];
-        rank_[v] = new_rank;
-        rank_scaled_[v] =
-            deg_[v] == 0 ? 0.0f : new_rank / static_cast<rank_t>(deg_[v]);
-        acc_[v] = 0.0f;
+        const rank_t new_rank = base + damping * acc[v];
+        rank[v] = new_rank;
+        scaled[v] = new_rank * inv[v];
+        acc[v] = 0.0f;
       }
       mem.work(3 * r.size());
       if (opt_.framework_overhead) framework_touch(q, mem);
@@ -657,7 +741,7 @@ class PcpmEngine {
   AlignedBuffer<rank_t> rank_;
   AlignedBuffer<rank_t> rank_scaled_;
   AlignedBuffer<rank_t> acc_;
-  AlignedBuffer<vid_t> deg_;
+  AlignedBuffer<rank_t> inv_deg_;  ///< 1/out-degree, 0 for sinks
   AlignedBuffer<rank_t> values_;
   AlignedBuffer<std::uint64_t> framework_state_;
   std::vector<std::vector<std::uint32_t>> fcfs_slots_;

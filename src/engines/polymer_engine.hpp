@@ -157,20 +157,21 @@ class PolymerEngine {
       }
     }
 
-    // Attribute arrays: slices on the owning node.
+    // Attribute arrays: slices on the owning node. Reciprocal degrees
+    // stay in Polymer's double precision (shared sink semantics: 0 for
+    // sinks, multiply instead of guarded divide).
     rank_ = AlignedBuffer<double>(n);
-    deg_ = AlignedBuffer<vid_t>(n);
+    inv_deg_ = graph::inverse_degrees<double>(g.out);
     acc_ = AlignedBuffer<double>(n);
     frontier_ = AlignedBuffer<std::uint8_t>(n);
     next_frontier_ = AlignedBuffer<std::uint8_t>(n);
     acc_.fill_zero();
-    for (vid_t v = 0; v < n; ++v) deg_[v] = g.out.degree(v);
     for (unsigned nd = 0; nd < nodes; ++nd) {
       const vid_t b = node_bounds_[nd];
       const vid_t sz = node_bounds_[nd + 1] - b;
       backend_->register_buffer(rank_.data() + b, sz * sizeof(double),
                                 DataPlacement::kNode, nd);
-      backend_->register_buffer(deg_.data() + b, sz * sizeof(vid_t),
+      backend_->register_buffer(inv_deg_.data() + b, sz * sizeof(double),
                                 DataPlacement::kNode, nd);
       backend_->register_buffer(acc_.data() + b, sz * sizeof(double),
                                 DataPlacement::kNode, nd);
@@ -259,14 +260,14 @@ class PolymerEngine {
     const vid_t b = thread_vertex_bounds_[t];
     const vid_t e = thread_vertex_bounds_[t + 1];
     mem.stream_read(rank_.data() + b, e - b);
-    mem.stream_read(deg_.data() + b, e - b);
+    mem.stream_read(inv_deg_.data() + b, e - b);
     mem.stream_read(frontier_.data() + b, e - b);
     for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
       mem.stream_write(replicas_[nd].data() + b, e - b);
     }
     for (vid_t v = b; v < e; ++v) {
-      const auto c = static_cast<rank_t>(
-          deg_[v] == 0 ? 0.0 : rank_[v] / static_cast<double>(deg_[v]));
+      // Branchless: inv_deg is exactly 0 for sinks.
+      const auto c = static_cast<rank_t>(rank_[v] * inv_deg_[v]);
       for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
         replicas_[nd][v] = c;
       }
@@ -328,7 +329,7 @@ class PolymerEngine {
   // Ligra/Polymer compute PageRank in double precision — twice the
   // attribute traffic of the hand-coded float engines.
   AlignedBuffer<double> rank_;
-  AlignedBuffer<vid_t> deg_;
+  AlignedBuffer<double> inv_deg_;  ///< 1/out-degree, 0 for sinks
   AlignedBuffer<double> acc_;
   AlignedBuffer<std::uint8_t> frontier_;
   AlignedBuffer<std::uint8_t> next_frontier_;

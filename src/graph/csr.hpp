@@ -62,6 +62,25 @@ class CsrGraph {
   AlignedBuffer<vid_t> targets_;
 };
 
+/// Reciprocal-degree table: inv[v] = 1 / degree(v), exactly 0 for
+/// sinks. THE shared owner of the sink-vertex semantics — every engine
+/// replaces its per-iteration `deg == 0 ? 0 : x / deg` divide with a
+/// branchless `x * inv[v]` multiply (sinks contribute nothing because
+/// their reciprocal is an exact +0). Computed once at preprocessing
+/// time; `F` picks the engine's arithmetic width (float engines use
+/// rank_t, the double-precision Polymer baseline uses double).
+template <class F>
+[[nodiscard]] AlignedBuffer<F> inverse_degrees(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  AlignedBuffer<F> inv(n);
+  const auto offsets = g.offsets();
+  for (vid_t v = 0; v < n; ++v) {
+    const eid_t d = offsets[v + 1] - offsets[v];
+    inv[v] = d == 0 ? F{0} : F{1} / static_cast<F>(d);
+  }
+  return inv;
+}
+
 /// Out + in direction bundle used by the engines.
 struct Graph {
   CsrGraph out;  ///< out-edges: scatter direction, out-degrees

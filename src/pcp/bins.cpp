@@ -45,17 +45,38 @@ std::uint64_t PcpmBins::footprint_bytes() const {
           dst_pair_begin_.size()) *
              sizeof(std::uint32_t) +
          src_list_.size() * sizeof(vid_t) +
-         dst_list_.size() * sizeof(vid_t);
+         total_dests_ * dst_entry_bytes();
 }
 
 PcpmBins build_bins(const graph::CsrGraph& out,
-                    const part::CachePartitioning& parts) {
+                    const part::CachePartitioning& parts, DstEncoding enc) {
   HIPA_CHECK(out.num_vertices() == parts.num_vertices(),
              "partitioning built for a different graph");
   PcpmBins bins;
   const std::uint32_t num_parts = parts.num_partitions();
   bins.num_parts_ = num_parts;
   bins.total_dests_ = out.num_edges();
+
+  // ---- encoding choice: a 15-bit partition-local offset must address
+  // every vertex of the largest partition (fixed-|P| partitioning, so
+  // vertices_per_partition() bounds them all).
+  const bool compact_fits =
+      parts.vertices_per_partition() <= PcpmBins::kMaxCompactPartition;
+  switch (enc) {
+    case DstEncoding::kAuto:
+      bins.compact_ = compact_fits;
+      break;
+    case DstEncoding::kWide:
+      bins.compact_ = false;
+      break;
+    case DstEncoding::kCompact:
+      HIPA_CHECK(compact_fits,
+                 "compact encoding forced but a partition holds "
+                     << parts.vertices_per_partition() << " > "
+                     << PcpmBins::kMaxCompactPartition << " vertices");
+      bins.compact_ = true;
+      break;
+  }
 
   // ---- pass 1: per source partition, count edges and messages per
   // destination partition; emit pairs in (p, q) order.
@@ -139,9 +160,15 @@ PcpmBins build_bins(const graph::CsrGraph& out,
   }
 
   // ---- pass 2: fill src_list (scatter order) and the flag-packed
-  // dst_list (gather order) in one row scan with per-pair cursors.
+  // destination list (gather order) in one row scan with per-pair
+  // cursors. The compact path writes 16-bit partition-local offsets;
+  // the wide path 32-bit global ids — same layout, half the bytes.
   bins.src_list_ = AlignedBuffer<vid_t>(bins.total_msgs_);
-  bins.dst_list_ = AlignedBuffer<vid_t>(bins.total_dests_);
+  if (bins.compact_) {
+    bins.dst_list16_ = AlignedBuffer<std::uint16_t>(bins.total_dests_);
+  } else {
+    bins.dst_list_ = AlignedBuffer<vid_t>(bins.total_dests_);
+  }
   {
     std::vector<eid_t> src_cur(bins.pairs_.size());
     std::vector<eid_t> dst_cur(bins.pairs_.size());
@@ -152,6 +179,7 @@ PcpmBins build_bins(const graph::CsrGraph& out,
     // Row-local map q -> pair index.
     std::vector<std::uint32_t> row_pair(num_parts, ~0u);
     std::vector<vid_t> last_src(num_parts, kInvalidVid);
+    const vid_t per_part = parts.vertices_per_partition();
 
     for (std::uint32_t p = 0; p < num_parts; ++p) {
       for (std::uint32_t k = bins.src_pair_begin_[p];
@@ -161,17 +189,24 @@ PcpmBins build_bins(const graph::CsrGraph& out,
       const VertexRange r = parts.range(p);
       for (vid_t v = r.begin; v < r.end; ++v) {
         for (vid_t u : out.neighbors(v)) {
-          HIPA_CHECK((u & PcpmBins::kMsgStart) == 0,
-                     "vertex ids must fit in 31 bits for PCPM packing");
           const std::uint32_t q = parts.partition_of(u);
           const std::uint32_t k = row_pair[q];
-          vid_t packed = u;
+          bool starts_msg = false;
           if (last_src[q] != v) {
             last_src[q] = v;
             bins.src_list_[src_cur[k]++] = v;
-            packed |= PcpmBins::kMsgStart;
+            starts_msg = true;
           }
-          bins.dst_list_[dst_cur[k]++] = packed;
+          if (bins.compact_) {
+            const vid_t local = u - q * per_part;
+            bins.dst_list16_[dst_cur[k]++] = static_cast<std::uint16_t>(
+                local | (starts_msg ? PcpmBins::kMsgStart16 : 0));
+          } else {
+            HIPA_CHECK((u & PcpmBins::kMsgStart) == 0,
+                       "vertex ids must fit in 31 bits for PCPM packing");
+            bins.dst_list_[dst_cur[k]++] =
+                u | (starts_msg ? PcpmBins::kMsgStart : 0);
+          }
         }
       }
       // Reset row-local state.

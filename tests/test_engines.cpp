@@ -165,6 +165,102 @@ TEST(PcpmEngine, ZeroIterationsKeepsInitialRanks) {
   for (rank_t r : got) EXPECT_FLOAT_EQ(r, 0.01f);
 }
 
+// ---- compact destination encoding ------------------------------------------
+
+// The compact (16-bit partition-local) and wide (32-bit global)
+// destination encodings perform identical arithmetic in identical
+// order, so the ranks must be *bitwise* identical — not just close.
+std::vector<rank_t> run_hipa_with_encoding(const graph::Graph& g,
+                                           pcp::DstEncoding enc,
+                                           std::uint64_t part_bytes,
+                                           bool* was_compact = nullptr) {
+  sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
+  engine::SimBackend backend(machine);
+  auto opt = engine::PcpmOptions::hipa(8, 2, part_bytes);
+  opt.dst_encoding = enc;
+  engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
+  if (was_compact != nullptr) *was_compact = eng.bins().compact();
+  std::vector<rank_t> got;
+  eng.run_pagerank({8, 0.85f}, &got);
+  return got;
+}
+
+void expect_bitwise_equal(const std::vector<rank_t>& a,
+                          const std::vector<rank_t>& b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at vertex " << i;
+  }
+}
+
+TEST(DstEncoding, GoldenRanksMatchOnRmat) {
+  const auto edges = graph::generate_rmat(
+      {.scale = 11, .edge_factor = 8, .seed = 7});
+  const graph::Graph g = graph::build_graph(1u << 11, edges);
+  bool compact = false;
+  const auto c = run_hipa_with_encoding(g, pcp::DstEncoding::kCompact, 1024,
+                                        &compact);
+  const auto w = run_hipa_with_encoding(g, pcp::DstEncoding::kWide, 1024);
+  EXPECT_TRUE(compact);
+  expect_bitwise_equal(c, w, "rmat compact-vs-wide");
+  expect_close(c, algo::pagerank_reference(g, 8), "rmat vs reference");
+}
+
+TEST(DstEncoding, GoldenRanksMatchOnErdosRenyi) {
+  const auto edges = graph::generate_erdos_renyi(3000, 24000, 11);
+  const graph::Graph g = graph::build_graph(3000, edges);
+  const auto c = run_hipa_with_encoding(g, pcp::DstEncoding::kCompact, 2048);
+  const auto w = run_hipa_with_encoding(g, pcp::DstEncoding::kWide, 2048);
+  expect_bitwise_equal(c, w, "erdos-renyi compact-vs-wide");
+  expect_close(c, algo::pagerank_reference(g, 8), "erdos-renyi vs reference");
+}
+
+TEST(DstEncoding, GoldenRanksMatchOnZipf) {
+  const graph::Graph g = test_graph(404, 4000, 32000);
+  const auto c = run_hipa_with_encoding(g, pcp::DstEncoding::kCompact, 4096);
+  const auto w = run_hipa_with_encoding(g, pcp::DstEncoding::kWide, 4096);
+  expect_bitwise_equal(c, w, "zipf compact-vs-wide");
+  expect_close(c, algo::pagerank_reference(g, 8), "zipf vs reference");
+}
+
+TEST(DstEncoding, AutoFallsBackToWideWhenPartitionTooLarge) {
+  // A partition budget spanning > 2^15 vertices forces the 32-bit
+  // fallback; the engine must still be correct.
+  const vid_t n = pcp::PcpmBins::kMaxCompactPartition + 500;
+  const graph::Graph g = graph::build_graph(
+      n, graph::generate_zipf({.num_vertices = n, .num_edges = 80000,
+                               .seed = 9}));
+  bool compact = true;
+  const auto got = run_hipa_with_encoding(
+      g, pcp::DstEncoding::kAuto, std::uint64_t{n} * sizeof(rank_t),
+      &compact);
+  EXPECT_FALSE(compact);
+  expect_close(got, algo::pagerank_reference(g, 8), "wide-fallback");
+}
+
+TEST(DstEncoding, NativeBackendBitwiseMatchToo) {
+  const graph::Graph g = test_graph(405, 1500, 12000);
+  engine::PageRankOptions pr{8, 0.85f};
+  std::vector<rank_t> c, w;
+  {
+    engine::NativeBackend backend;
+    auto opt = engine::PcpmOptions::hipa(4, 1, 1024);
+    opt.dst_encoding = pcp::DstEncoding::kCompact;
+    engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
+    EXPECT_TRUE(eng.bins().compact());
+    eng.run_pagerank(pr, &c);
+  }
+  {
+    engine::NativeBackend backend;
+    auto opt = engine::PcpmOptions::hipa(4, 1, 1024);
+    opt.dst_encoding = pcp::DstEncoding::kWide;
+    engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
+    EXPECT_FALSE(eng.bins().compact());
+    eng.run_pagerank(pr, &w);
+  }
+  expect_bitwise_equal(c, w, "native compact-vs-wide");
+}
+
 // ---- the paper's NUMA claims ------------------------------------------------
 
 TEST(NumaBehavior, HipaKeepsTrafficMostlyLocal) {
