@@ -9,6 +9,14 @@
 // configuration runs natively (wall-clock edges/sec) and on the
 // simulated Skylake testbed (cycles, DRAM bytes per edge).
 //
+// It also measures the thread-management tax directly: a
+// `dispatch_overhead` micro-section times `2 × iters` empty condvar
+// phase() dispatches against ONE run_loop parallel region with the
+// same number of in-region barriers (paper Algorithm 1 vs 2 thread
+// management, isolated from all memory traffic), and records the host
+// topology (CPUs, NUMA nodes, pinning mode, mbind availability) so
+// numbers are interpretable across machines.
+//
 // Besides the human-readable table it emits machine-readable JSON
 // (default BENCH_hotpath.json, override with --out=) so CI and
 // EXPERIMENTS.md can track the numbers. `--smoke` shrinks to one tiny
@@ -18,7 +26,9 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "common/timer.hpp"
 #include "runtime/affinity.hpp"
+#include "runtime/placement.hpp"
 
 namespace {
 
@@ -86,6 +96,81 @@ EncodingRun run_encoding(const bench::ScaledDataset& d, algo::Method m,
   return r;
 }
 
+// ---- dispatch overhead ------------------------------------------------------
+
+/// Empty-kernel timing of the two thread-management models on one
+/// persistent pinned team: per-phase condvar dispatch vs a single
+/// run_loop region with in-region spin barriers.
+struct DispatchOverhead {
+  unsigned threads = 1;
+  unsigned iterations = 0;
+  double phase_ns_per_iter = 0.0;     ///< 2 condvar dispatches
+  double run_loop_ns_per_iter = 0.0;  ///< 2 spin-barrier crossings
+};
+
+DispatchOverhead measure_dispatch_overhead(bool smoke) {
+  DispatchOverhead d;
+  d.threads = std::max(1u, runtime::available_cpus());
+  d.iterations = smoke ? 500 : 5000;
+
+  engine::ThreadTeamSpec spec;
+  spec.num_threads = d.threads;
+  spec.persistent = true;
+  spec.binding = engine::ThreadTeamSpec::Binding::kSpread;
+
+  engine::NativeBackend backend;
+  backend.start_team(spec);
+  // Warm both paths (thread creation, first pin, lazy pages).
+  backend.phase([](unsigned, engine::NoopMem&) {});
+  backend.run_loop([](unsigned, engine::NoopMem&, engine::LoopCtl& ctl) {
+    ctl.barrier();
+  });
+
+  {  // Algorithm-1-style phase management on the persistent team:
+     // every scatter and gather is its own condvar wakeup+join.
+    Timer t;
+    for (unsigned it = 0; it < d.iterations; ++it) {
+      backend.phase([](unsigned, engine::NoopMem&) {});
+      backend.phase([](unsigned, engine::NoopMem&) {});
+    }
+    d.phase_ns_per_iter =
+        t.seconds() * 1e9 / static_cast<double>(d.iterations);
+  }
+  {  // Algorithm 2: one dispatch, barriers inside the region.
+    const unsigned iters = d.iterations;
+    Timer t;
+    backend.run_loop(
+        [iters](unsigned, engine::NoopMem&, engine::LoopCtl& ctl) {
+          for (unsigned it = 0; it < iters; ++it) {
+            ctl.barrier();
+            ctl.barrier();
+          }
+        });
+    d.run_loop_ns_per_iter =
+        t.seconds() * 1e9 / static_cast<double>(d.iterations);
+  }
+  backend.end_team();
+  return d;
+}
+
+void emit_host(bench::JsonWriter& jw) {
+  const runtime::HostTopology& topo = runtime::topology();
+  jw.key("host");
+  jw.begin_object();
+  jw.kv("cpus", topo.num_cpus());
+  jw.kv("numa_nodes", topo.num_nodes());
+  jw.key("cpus_per_node");
+  jw.begin_array();
+  for (const auto& cpus : topo.node_cpus) {
+    jw.value(static_cast<unsigned>(cpus.size()));
+  }
+  jw.end_array();
+  jw.kv("topology_source", topo.from_sysfs ? "sysfs" : "fallback");
+  jw.kv("numa_binding_available", runtime::numa_binding_available());
+  jw.kv("pinning", "spread");  // dispatch section pins kSpread 1:1
+  jw.end_object();
+}
+
 void emit_run(bench::JsonWriter& jw, const char* key, const EncodingRun& r) {
   jw.key(key);
   jw.begin_object();
@@ -136,6 +221,29 @@ int main(int argc, char** argv) {
   jw.kv("iterations", iters);
   jw.kv("quick", flags.quick);
   jw.kv("smoke", flags.smoke);
+  emit_host(jw);
+
+  const DispatchOverhead ov = measure_dispatch_overhead(flags.smoke);
+  std::printf("dispatch overhead (%u thread(s), %u empty iterations):\n"
+              "  phase()-per-phase : %10.0f ns/iter  (2 condvar "
+              "dispatches)\n"
+              "  run_loop          : %10.0f ns/iter  (2 in-region "
+              "barriers)\n"
+              "  run_loop saves %.1fx per iteration\n\n",
+              ov.threads, ov.iterations, ov.phase_ns_per_iter,
+              ov.run_loop_ns_per_iter,
+              ov.run_loop_ns_per_iter > 0.0
+                  ? ov.phase_ns_per_iter / ov.run_loop_ns_per_iter
+                  : 0.0);
+  jw.key("dispatch_overhead");
+  jw.begin_object();
+  jw.kv("threads", ov.threads);
+  jw.kv("empty_iterations", ov.iterations);
+  jw.kv("phase_ns_per_iter", ov.phase_ns_per_iter);
+  jw.kv("run_loop_ns_per_iter", ov.run_loop_ns_per_iter);
+  jw.kv("run_loop_lower", ov.run_loop_ns_per_iter < ov.phase_ns_per_iter);
+  jw.end_object();
+
   jw.key("datasets");
   jw.begin_array();
 

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -19,6 +20,9 @@
 #include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/machine.hpp"
 
@@ -80,27 +84,78 @@ class NoopMem {
   unsigned tid_;
 };
 
+/// Per-thread handle inside a `run_loop` parallel region. Wraps the
+/// team-wide SpinBarrier together with this thread's private sense
+/// flag, so kernels separate sub-phases with a bare `ctl.barrier()`.
+/// Plain (non-atomic) data written before a barrier may be read by any
+/// team thread after it — the barrier's acquire/release atomics carry
+/// the happens-before edge (this is how thread 0 publishes
+/// per-iteration scalars to the team).
+class LoopCtl {
+ public:
+  explicit LoopCtl(runtime::SpinBarrier& barrier) : barrier_(&barrier) {}
+
+  /// In-region barrier: every team thread arrives before any proceeds.
+  void barrier() { barrier_->arrive_and_wait(sense_); }
+
+ private:
+  runtime::SpinBarrier* barrier_;
+  bool sense_ = false;
+};
+
 /// Real-thread execution. Phase time contributes to wall-clock
-/// `now_seconds()`; placement hints map to CPU pinning (best effort).
+/// `now_seconds()`. NUMA is real here: `start_team` translates the
+/// binding policy into concrete CPU pins via the discovered host
+/// topology, and placement hints bind pages (mbind when compiled in,
+/// pinned first-touch otherwise).
 class NativeBackend {
  public:
   using Mem = NoopMem;
   static constexpr bool kSimulated = false;
+  static constexpr bool kSupportsRunLoop = true;
 
+  /// Allocate and physically place. Contents are unspecified (like
+  /// AlignedBuffer); the buffer is page-aligned so the hint governs
+  /// exactly this allocation's pages.
   template <class T>
-  [[nodiscard]] AlignedBuffer<T> alloc(std::size_t n, DataPlacement,
-                                       unsigned /*node*/ = 0) {
-    return AlignedBuffer<T>(n);
+  [[nodiscard]] AlignedBuffer<T> alloc(std::size_t n, DataPlacement pl,
+                                       unsigned node = 0) {
+    AlignedBuffer<T> buf(n, kPageSize);
+    place(buf.data(), n * sizeof(T), pl, node, /*contents_dead=*/true);
+    return buf;
   }
-  void register_buffer(const void*, std::size_t, DataPlacement,
-                       unsigned /*node*/ = 0) {}
 
-  [[nodiscard]] unsigned num_nodes() const { return 1; }
+  /// Best-effort physical placement of an existing range. Without
+  /// mbind support this can only migrate nothing — untouched pages
+  /// still land correctly when their pinned owner touches them first
+  /// (the engines' init phases are written to guarantee that), and
+  /// already-touched pages stay put (slower, never wrong).
+  void register_buffer(const void* p, std::size_t bytes, DataPlacement pl,
+                       unsigned node = 0) {
+    place(const_cast<void*>(p), bytes, pl, node, /*contents_dead=*/false);
+  }
+
+  /// Zero `bytes` at `p` AND commit the pages to `node`: mbind+memset
+  /// when available, else a pinned-thread first-touch write. Contents
+  /// must be dead. (SimBackend mirrors the zeroing so both backends
+  /// leave identical memory images.)
+  void first_touch(void* p, std::size_t bytes, unsigned node) {
+    if (runtime::bind_pages_to_node(p, bytes, node)) {
+      std::memset(p, 0, bytes);
+    } else {
+      runtime::first_touch_zero_on_node(p, bytes, node);
+    }
+  }
+
+  [[nodiscard]] unsigned num_nodes() const {
+    return runtime::topology().num_nodes();
+  }
 
   void start_team(const ThreadTeamSpec& spec) {
     spec_ = spec;
     if (spec.persistent) {
-      team_ = std::make_unique<runtime::PersistentTeam>(spec.num_threads);
+      team_ = std::make_unique<runtime::PersistentTeam>(spec.num_threads,
+                                                        cpu_map(spec));
     }
   }
 
@@ -119,11 +174,73 @@ class NativeBackend {
     }
   }
 
+  /// ONE parallel region for a whole multi-phase run (Algorithm 2's
+  /// single dispatch): `kernel(tid, mem, ctl)` runs once per team
+  /// thread and separates its internal sub-phases with
+  /// `ctl.barrier()`. Replaces `2 × iters` condvar dispatches with one
+  /// wakeup plus in-region spin barriers.
+  template <class F>
+  void run_loop(F&& kernel) {
+    const unsigned threads =
+        team_ ? team_->size() : spec_.num_threads;
+    runtime::SpinBarrier barrier(threads);
+    auto body = [&](unsigned t) {
+      NoopMem mem(t);
+      LoopCtl ctl(barrier);
+      kernel(t, mem, ctl);
+    };
+    if (team_) {
+      team_->run(body);
+    } else {
+      runtime::fork_join_run(threads, body);
+    }
+  }
+
   void end_team() { team_.reset(); }
 
   [[nodiscard]] double now_seconds() const { return timer_.seconds(); }
 
  private:
+  /// Binding policy -> concrete OS CPU ids, one per team thread.
+  /// kRandom leaves scheduling to the OS (the paper §3.3.1 baseline).
+  [[nodiscard]] static std::vector<unsigned> cpu_map(
+      const ThreadTeamSpec& spec) {
+    switch (spec.binding) {
+      case ThreadTeamSpec::Binding::kNodeBlocked: {
+        auto map = runtime::cpus_node_blocked(spec.threads_per_node);
+        // An inconsistent spec (counts don't sum to the team size)
+        // degrades to spread rather than mis-pinning.
+        if (map.size() != spec.num_threads) {
+          return runtime::cpus_spread(spec.num_threads);
+        }
+        return map;
+      }
+      case ThreadTeamSpec::Binding::kSpread:
+        return runtime::cpus_spread(spec.num_threads);
+      case ThreadTeamSpec::Binding::kRandom:
+        return {};
+    }
+    return {};
+  }
+
+  void place(void* p, std::size_t bytes, DataPlacement pl, unsigned node,
+             bool contents_dead) {
+    switch (pl) {
+      case DataPlacement::kScatter:
+        return;  // NUMA-oblivious by definition
+      case DataPlacement::kNode:
+        if (!runtime::bind_pages_to_node(p, bytes, node) && contents_dead) {
+          runtime::first_touch_zero_on_node(p, bytes, node);
+        }
+        return;
+      case DataPlacement::kInterleave:
+        if (!runtime::interleave_pages(p, bytes) && contents_dead) {
+          runtime::first_touch_zero_interleaved(p, bytes);
+        }
+        return;
+    }
+  }
+
   ThreadTeamSpec spec_;
   std::unique_ptr<runtime::PersistentTeam> team_;
   Timer timer_;
@@ -139,6 +256,10 @@ class SimBackend {
  public:
   using Mem = sim::SimMem;
   static constexpr bool kSimulated = true;
+  /// The simulator charges per-phase costs, so engines keep using the
+  /// per-phase dispatch path here (exactly what the paper's model
+  /// measures for Algorithm 1 vs 2 thread management).
+  static constexpr bool kSupportsRunLoop = false;
 
   explicit SimBackend(sim::SimMachine& machine) : machine_(&machine) {}
 
@@ -158,6 +279,14 @@ class SimBackend {
   void register_buffer(const void* p, std::size_t bytes, DataPlacement pl,
                        unsigned node = 0) {
     machine_->numa().register_range(p, bytes, to_sim(pl), node);
+  }
+
+  /// Mirror of NativeBackend::first_touch: zero the range (so both
+  /// backends leave identical memory images) and register it
+  /// node-bound in the NUMA model.
+  void first_touch(void* p, std::size_t bytes, unsigned node) {
+    std::memset(p, 0, bytes);
+    register_buffer(p, bytes, DataPlacement::kNode, node);
   }
 
   void start_team(const ThreadTeamSpec& spec) {
@@ -229,7 +358,10 @@ class SimBackend {
 struct RunReport {
   double seconds = 0.0;                ///< iteration time
   double preprocessing_seconds = 0.0;  ///< partitioning + bins + layout
-  unsigned iterations = 0;
+  unsigned iterations = 0;  ///< executed (may undershoot with tolerance)
+  /// L1 rank delta of the last executed iteration; 0 unless the run
+  /// tracked convergence (PageRankOptions::tolerance > 0).
+  double last_delta = 0.0;
   sim::SimStats stats;  ///< simulated backends only (zero for native)
 };
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,14 @@ struct PcpmOptions {
   bool persistent_threads = true;
   bool pinned_partitions = true;  ///< false: FCFS dynamic claiming
   bool framework_overhead = false;  ///< GPOP-style per-partition state
+  /// Enter ONE parallel region for the whole PageRank run
+  /// (Backend::run_loop with in-region barriers) instead of two
+  /// condvar dispatches per iteration. Only takes effect on backends
+  /// that support it AND with persistent pinned-partition teams (the
+  /// HiPa configuration); p-PR/GPOP keep the per-phase Algorithm 1
+  /// path. Off exists for A/B measurement (bench_hotpath) and the
+  /// bitwise-equivalence tests.
+  bool single_dispatch = true;
   /// Edge-balanced (paper Eq. 2) vs even-vertex partitioning (§3.1's
   /// rejected strawman, kept for the balance ablation).
   part::PlanConfig::Balance balance = part::PlanConfig::Balance::kEdges;
@@ -86,8 +95,16 @@ struct PcpmOptions {
 
 /// PageRank run parameters.
 struct PageRankOptions {
-  unsigned iterations = 20;  ///< paper's fixed iteration count
+  unsigned iterations = 20;  ///< paper's fixed iteration count (a cap
+                             ///< when tolerance > 0)
   rank_t damping = 0.85f;
+  /// L1 convergence threshold: stop once sum_v |r_new - r_old| drops
+  /// to or below it. 0 (default) keeps the paper's fixed-iteration
+  /// behavior. The per-thread partial sums and the early-stop decision
+  /// are computed identically on the per-phase and single-dispatch
+  /// paths, so both stop after the same iteration with bitwise-equal
+  /// ranks.
+  double tolerance = 0.0;
 };
 
 template <class Backend>
@@ -132,23 +149,52 @@ class PcpmEngine {
 
     phase_salt_ = 0;  // runs replay identically on a reset machine
     backend_->start_team(spec);
-    backend_->phase([&](unsigned t, Mem& mem) { init_thread(t, mem); });
     const auto base =
         static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
-    for (unsigned it = 0; it < pr.iterations; ++it) {
-      ++phase_salt_;
-      backend_->phase([&](unsigned t, Mem& mem) { scatter_thread(t, mem); });
-      ++phase_salt_;
-      backend_->phase([&](unsigned t, Mem& mem) {
-        gather_thread(t, mem, base, pr.damping);
-      });
+    const bool track = pr.tolerance > 0.0;
+    if (track) deltas_.assign(opt_.num_threads, PaddedDouble{});
+
+    unsigned iters_done = 0;
+    double last_delta = 0.0;
+    bool single_dispatch = false;
+    if constexpr (Backend::kSupportsRunLoop) {
+      // Algorithm 2's whole point: one team wakeup for the entire run.
+      // FCFS claiming (p-PR/GPOP) keeps per-phase dispatch — its salt
+      // rotation and claim-cost model are phase-granular by design.
+      single_dispatch = opt_.single_dispatch && opt_.persistent_threads &&
+                        opt_.pinned_partitions;
+    }
+    if (single_dispatch) {
+      if constexpr (Backend::kSupportsRunLoop) {
+        run_pagerank_single_dispatch(pr, base, track, &iters_done,
+                                     &last_delta);
+      }
+    } else {
+      backend_->phase([&](unsigned t, Mem& mem) { init_thread(t, mem); });
+      for (unsigned it = 0; it < pr.iterations; ++it) {
+        ++phase_salt_;
+        backend_->phase(
+            [&](unsigned t, Mem& mem) { scatter_thread(t, mem); });
+        ++phase_salt_;
+        backend_->phase([&](unsigned t, Mem& mem) {
+          if (track) deltas_[t].value = 0.0;
+          gather_thread(t, mem, base, pr.damping,
+                        track ? &deltas_[t].value : nullptr);
+        });
+        iters_done = it + 1;
+        if (track) {
+          last_delta = reduce_deltas();
+          if (last_delta <= pr.tolerance) break;
+        }
+      }
     }
     backend_->end_team();
 
     RunReport report;
     report.seconds = backend_->now_seconds() - t0;
     report.preprocessing_seconds = preprocessing_seconds_;
-    report.iterations = pr.iterations;
+    report.iterations = iters_done;
+    report.last_delta = last_delta;
     if constexpr (Backend::kSimulated) {
       report.stats = stats_delta(backend_->machine().stats(), before);
     }
@@ -156,6 +202,13 @@ class PcpmEngine {
       ranks_out->assign(rank_.begin(), rank_.end());
     }
     return report;
+  }
+
+  /// Whether run_pagerank will take the single-dispatch run_loop path
+  /// (backend capability x policy knobs). Exposed for tests/bench.
+  [[nodiscard]] bool uses_single_dispatch() const {
+    return Backend::kSupportsRunLoop && opt_.single_dispatch &&
+           opt_.persistent_threads && opt_.pinned_partitions;
   }
 
   /// Field-wise counter subtraction (this run's delta).
@@ -422,15 +475,19 @@ class PcpmEngine {
     // Attribute arrays are single contiguous allocations; per-node
     // physical placement is registered over slices (paper §3.4's
     // contiguous virtual address space with per-node pages).
-    rank_ = AlignedBuffer<rank_t>(n);
-    rank_scaled_ = AlignedBuffer<rank_t>(n);
-    acc_ = AlignedBuffer<rank_t>(n);
+    // Page-aligned so per-node slice binding covers whole pages, and
+    // deliberately NOT eagerly zeroed: the first write to rank_/
+    // rank_scaled_/acc_ happens in init_thread, i.e. from the pinned
+    // owner of each slice — the classic first-touch placement that
+    // keeps pages node-local even without mbind support.
+    rank_ = AlignedBuffer<rank_t>(n, kPageSize);
+    rank_scaled_ = AlignedBuffer<rank_t>(n, kPageSize);
+    acc_ = AlignedBuffer<rank_t>(n, kPageSize);
     // Reciprocal out-degrees, the shared owner of the sink-vertex
     // semantics (inv 0 for sinks): the per-iteration divide in the
     // seed/gather epilogues becomes a branchless multiply.
     inv_deg_ = graph::inverse_degrees<rank_t>(graph_->out);
-    acc_.fill_zero();
-    values_ = AlignedBuffer<rank_t>(bins_.total_messages());
+    values_ = AlignedBuffer<rank_t>(bins_.total_messages(), kPageSize);
     if (opt_.framework_overhead) {
       const std::size_t words_per_part =
           opt_.framework_bytes_per_part / sizeof(std::uint64_t);
@@ -496,11 +553,13 @@ class PcpmEngine {
                                 (se - sb) * sizeof(vid_t),
                                 DataPlacement::kNode, node);
       // Destination-side inbox (written remotely in scatter, consumed
-      // locally in gather — Fig. 1's "send out updated data").
+      // locally in gather — Fig. 1's "send out updated data"). Natural
+      // first touch would happen in scatter, i.e. on the SOURCE node —
+      // the wrong side — so commit these pages to the consuming node
+      // explicitly while their contents are still dead.
       const auto [mb, me] = bins_.msg_slice(pb, pe);
-      backend_->register_buffer(values_.data() + mb,
-                                (me - mb) * sizeof(rank_t),
-                                DataPlacement::kNode, node);
+      backend_->first_touch(values_.data() + mb,
+                            (me - mb) * sizeof(rank_t), node);
       const auto [db, de] = bins_.dst_slice(pb, pe);
       register_dst_range(db, de, DataPlacement::kNode, node);
     }
@@ -516,6 +575,63 @@ class PcpmEngine {
       backend_->machine().charge_preprocessing(
           e * 16 + 2 * bins_.footprint_bytes(), e * 15);
     }
+  }
+
+  // ---- single-dispatch run loop (Algorithm 2) -----------------------------
+
+  /// One cache line per thread so convergence partials never
+  /// false-share.
+  struct alignas(kCacheLine) PaddedDouble {
+    double value = 0.0;
+  };
+
+  /// Deterministic thread-index-order reduction of the per-thread L1
+  /// partials — shared by both execution paths so the early-stop
+  /// decision is bit-identical.
+  [[nodiscard]] double reduce_deltas() const {
+    double sum = 0.0;
+    for (const PaddedDouble& d : deltas_) sum += d.value;
+    return sum;
+  }
+
+  /// The whole PageRank run inside ONE Backend::run_loop parallel
+  /// region: init, then per iteration scatter | barrier | gather+apply
+  /// | barrier, with thread 0 publishing the iteration scalars
+  /// (executed count, convergence sum, stop flag) between barriers.
+  /// Eliminates the 2-per-iteration condvar dispatch latency of the
+  /// phase() path while computing bitwise-identical ranks.
+  void run_pagerank_single_dispatch(const PageRankOptions& pr, rank_t base,
+                                    bool track, unsigned* iters_out,
+                                    double* delta_out) {
+    // Published by thread 0 between barriers; the barrier's
+    // acquire/release atomics order these plain accesses.
+    unsigned iters_done = 0;
+    double last_delta = 0.0;
+    bool stop = false;
+    backend_->run_loop([&](unsigned t, Mem& mem, LoopCtl& ctl) {
+      init_thread(t, mem);
+      ctl.barrier();  // ranks/scaled ranks visible before any scatter
+      for (unsigned it = 0; it < pr.iterations; ++it) {
+        scatter_thread(t, mem);
+        ctl.barrier();  // every inbox written before any gather reads
+        if (track) deltas_[t].value = 0.0;
+        gather_thread(t, mem, base, pr.damping,
+                      track ? &deltas_[t].value : nullptr);
+        ctl.barrier();  // new scaled ranks ready for the next scatter
+        if (t == 0) {
+          iters_done = it + 1;
+          if (track) {
+            last_delta = reduce_deltas();
+            stop = last_delta <= pr.tolerance;
+          }
+        }
+        if (!track) continue;
+        ctl.barrier();  // thread 0's stop decision reaches the team
+        if (stop) break;
+      }
+    });
+    *iters_out = iters_done;
+    *delta_out = last_delta;
   }
 
   // ---- per-phase partition->thread assignment -----------------------------
@@ -696,8 +812,14 @@ class PcpmEngine {
     });
   }
 
-  void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping) {
+  /// Gather + apply. When `delta_out` is non-null, accumulates this
+  /// thread's L1 rank change (sum |new - old| over owned vertices, in
+  /// vertex order) for the convergence check; the rank arithmetic is
+  /// identical either way.
+  void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping,
+                     double* delta_out = nullptr) {
     gather_accumulate(t, mem);
+    double l1 = 0.0;
     for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
       // Apply: finish PageRank for this partition's vertices. All four
       // arrays stream; the body is branchless (sinks have inv == 0)
@@ -711,15 +833,27 @@ class PcpmEngine {
       rank_t* __restrict scaled = rank_scaled_.data();
       rank_t* __restrict acc = acc_.data();
       const rank_t* __restrict inv = inv_deg_.data();
-      for (vid_t v = r.begin; v < r.end; ++v) {
-        const rank_t new_rank = base + damping * acc[v];
-        rank[v] = new_rank;
-        scaled[v] = new_rank * inv[v];
-        acc[v] = 0.0f;
+      if (delta_out == nullptr) {
+        for (vid_t v = r.begin; v < r.end; ++v) {
+          const rank_t new_rank = base + damping * acc[v];
+          rank[v] = new_rank;
+          scaled[v] = new_rank * inv[v];
+          acc[v] = 0.0f;
+        }
+      } else {
+        for (vid_t v = r.begin; v < r.end; ++v) {
+          const rank_t new_rank = base + damping * acc[v];
+          l1 += std::fabs(static_cast<double>(new_rank) -
+                          static_cast<double>(rank[v]));
+          rank[v] = new_rank;
+          scaled[v] = new_rank * inv[v];
+          acc[v] = 0.0f;
+        }
       }
       mem.work(3 * r.size());
       if (opt_.framework_overhead) framework_touch(q, mem);
     });
+    if (delta_out != nullptr) *delta_out += l1;
   }
 
   /// GPOP-style per-partition framework state (Flags, State, bin
@@ -745,6 +879,9 @@ class PcpmEngine {
   AlignedBuffer<rank_t> values_;
   AlignedBuffer<std::uint64_t> framework_state_;
   std::vector<std::vector<std::uint32_t>> fcfs_slots_;
+  /// Per-thread L1 convergence partials (only sized when a run tracks
+  /// convergence); cache-line padded against false sharing.
+  std::vector<PaddedDouble> deltas_;
   double preprocessing_seconds_ = 0.0;
   unsigned phase_salt_ = 0;
 };

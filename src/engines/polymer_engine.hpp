@@ -66,6 +66,10 @@ class PolymerEngine {
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
     spec.persistent = true;
+    // Node-blocked + persistent: on the native backend this now pins
+    // worker t to a CPU of its node (Polymer is pthread-based and
+    // NUMA-aware); thread ids are grouped per node in the same order
+    // as threads_per_node_, matching thread_vertex_bounds_.
     spec.binding = ThreadTeamSpec::Binding::kNodeBlocked;
     spec.threads_per_node = threads_per_node_;
 

@@ -67,6 +67,10 @@ class VprEngine {
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
     spec.persistent = false;  // per-region fork-join, Algorithm 1 style
+    // kRandom deliberately leaves scheduling to the OS: on the native
+    // backend this means NO CPU pinning (the paper §3.3.1's
+    // OS-managed-threads model), matching the simulator's random
+    // placement.
     spec.binding = ThreadTeamSpec::Binding::kRandom;
 
     sim::SimStats before;

@@ -1,5 +1,8 @@
 #include "runtime/affinity.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
 #include <thread>
 
 #if defined(__linux__)
@@ -23,6 +26,116 @@ bool pin_current_thread([[maybe_unused]] unsigned cpu) {
 unsigned available_cpus() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+}
+
+std::vector<unsigned> parse_cpulist(std::string_view s) {
+  std::vector<unsigned> cpus;
+  std::size_t i = 0;
+  auto parse_num = [&](unsigned& out) {
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    unsigned v = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + static_cast<unsigned>(s[i] - '0');
+      ++i;
+    }
+    out = v;
+    return true;
+  };
+  while (i < s.size()) {
+    unsigned lo = 0;
+    if (!parse_num(lo)) break;
+    unsigned hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!parse_num(hi) || hi < lo) break;
+    }
+    for (unsigned c = lo; c <= hi; ++c) cpus.push_back(c);
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+  return cpus;
+}
+
+namespace {
+
+/// Read one sysfs file into a string; empty on failure.
+std::string read_sysfs(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
+
+HostTopology fallback_topology() {
+  HostTopology topo;
+  std::vector<unsigned> cpus(available_cpus());
+  for (unsigned c = 0; c < cpus.size(); ++c) cpus[c] = c;
+  topo.node_cpus.push_back(std::move(cpus));
+  topo.from_sysfs = false;
+  return topo;
+}
+
+}  // namespace
+
+HostTopology discover_topology() {
+#if defined(__linux__)
+  HostTopology topo;
+  for (unsigned node = 0;; ++node) {
+    const std::string list = read_sysfs("/sys/devices/system/node/node" +
+                                        std::to_string(node) + "/cpulist");
+    if (list.empty()) break;
+    std::vector<unsigned> cpus = parse_cpulist(list);
+    // Memory-only nodes (CXL expanders, HBM tiers) have an empty
+    // cpulist; they own no threads, so skip them.
+    if (!cpus.empty()) topo.node_cpus.push_back(std::move(cpus));
+  }
+  if (!topo.node_cpus.empty()) {
+    topo.from_sysfs = true;
+    return topo;
+  }
+#endif
+  return fallback_topology();
+}
+
+const HostTopology& topology() {
+  static const HostTopology topo = discover_topology();
+  return topo;
+}
+
+std::vector<unsigned> cpus_node_blocked(
+    const std::vector<unsigned>& threads_per_node) {
+  const HostTopology& topo = topology();
+  std::vector<unsigned> map;
+  for (std::size_t n = 0; n < threads_per_node.size(); ++n) {
+    // Plans built for more nodes than the host has wrap modulo the
+    // host (graceful degradation on smaller machines).
+    const auto& cpus = topo.node_cpus[n % topo.node_cpus.size()];
+    for (unsigned t = 0; t < threads_per_node[n]; ++t) {
+      map.push_back(cpus[t % cpus.size()]);
+    }
+  }
+  return map;
+}
+
+std::vector<unsigned> cpus_spread(unsigned num_threads) {
+  const HostTopology& topo = topology();
+  // Node-interleaved flattening: cpu k of node 0, cpu k of node 1, ...
+  std::vector<unsigned> order;
+  std::size_t longest = 0;
+  for (const auto& cpus : topo.node_cpus) {
+    longest = std::max(longest, cpus.size());
+  }
+  for (std::size_t k = 0; k < longest; ++k) {
+    for (const auto& cpus : topo.node_cpus) {
+      if (k < cpus.size()) order.push_back(cpus[k]);
+    }
+  }
+  std::vector<unsigned> map(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    map[t] = order[t % order.size()];
+  }
+  return map;
 }
 
 }  // namespace hipa::runtime

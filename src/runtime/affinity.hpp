@@ -1,5 +1,17 @@
-// CPU affinity helpers (best effort; no-ops where unsupported).
+// CPU affinity and machine-topology discovery (best effort; no-ops
+// where unsupported).
+//
+// The paper's thread–data pinning (§3.3.1–3.3.2) needs two facts about
+// the host: which logical CPUs exist, and which NUMA node each one
+// belongs to. On Linux both come from sysfs
+// (/sys/devices/system/node/node*/cpulist); everywhere else — and on
+// machines where sysfs is unreadable — discovery degrades to a single
+// node holding every available CPU, so binding policies still produce
+// a valid (if NUMA-oblivious) map instead of failing.
 #pragma once
+
+#include <string_view>
+#include <vector>
 
 namespace hipa::runtime {
 
@@ -10,5 +22,50 @@ bool pin_current_thread(unsigned cpu);
 
 /// Number of CPUs available to this process.
 [[nodiscard]] unsigned available_cpus();
+
+/// Logical-CPU layout of the host, grouped by NUMA node.
+struct HostTopology {
+  /// node_cpus[n] = logical CPU ids of node n, ascending. Never empty;
+  /// every inner vector is non-empty.
+  std::vector<std::vector<unsigned>> node_cpus;
+  /// True when the layout came from sysfs; false for the single-node
+  /// fallback.
+  bool from_sysfs = false;
+
+  [[nodiscard]] unsigned num_nodes() const {
+    return static_cast<unsigned>(node_cpus.size());
+  }
+  [[nodiscard]] unsigned num_cpus() const {
+    unsigned n = 0;
+    for (const auto& c : node_cpus) n += static_cast<unsigned>(c.size());
+    return n;
+  }
+};
+
+/// Discover the host topology (uncached). Exposed for tests; normal
+/// callers want `topology()`.
+[[nodiscard]] HostTopology discover_topology();
+
+/// Cached host topology, discovered once per process.
+[[nodiscard]] const HostTopology& topology();
+
+/// Parse a sysfs cpulist string ("0-3,8,10-11") into ascending CPU
+/// ids. Malformed input yields the successfully-parsed prefix.
+[[nodiscard]] std::vector<unsigned> parse_cpulist(std::string_view s);
+
+/// CPU map for a node-blocked team (paper Algorithm 2): thread ids are
+/// grouped per node — threads 0..tpn[0]-1 on node 0, the next tpn[1]
+/// on node 1, and so on (the same convention as
+/// part::HierarchicalPlan and sim placement_node_blocked). Requested
+/// nodes beyond the host's node count wrap modulo the host nodes, and
+/// threads beyond a node's CPU count wrap within the node, so the map
+/// is always valid on the actual hardware.
+[[nodiscard]] std::vector<unsigned> cpus_node_blocked(
+    const std::vector<unsigned>& threads_per_node);
+
+/// CPU map that round-robins `num_threads` over every host CPU in
+/// node-interleaved order (one CPU from node 0, one from node 1, ...),
+/// wrapping when the team is larger than the machine.
+[[nodiscard]] std::vector<unsigned> cpus_spread(unsigned num_threads);
 
 }  // namespace hipa::runtime

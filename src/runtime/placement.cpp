@@ -1,0 +1,137 @@
+#include "runtime/placement.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/affinity.hpp"
+
+#if defined(HIPA_WITH_NUMA) && defined(__linux__)
+#include <linux/mempolicy.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hipa::runtime {
+
+namespace {
+
+/// Page-align a byte range inward; returns false when no whole page
+/// fits (tiny ranges are cache-resident anyway — placement is moot).
+bool page_interior(void* p, std::size_t bytes, std::uintptr_t& start,
+                   std::size_t& len) {
+  const auto lo = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t hi = lo + bytes;
+  start = (lo + kPageSize - 1) & ~(kPageSize - 1);
+  const std::uintptr_t end = hi & ~(kPageSize - 1);
+  if (end <= start) return false;
+  len = end - start;
+  return true;
+}
+
+#if defined(HIPA_WITH_NUMA) && defined(__linux__)
+
+bool mbind_range(void* p, std::size_t bytes, int mode,
+                 unsigned long nodemask) {
+  std::uintptr_t start = 0;
+  std::size_t len = 0;
+  if (!page_interior(p, bytes, start, len)) return true;  // nothing to do
+  // Raw syscall: works without libnuma. maxnode counts mask bits.
+  return syscall(SYS_mbind, start, len, mode, &nodemask,
+                 sizeof(nodemask) * 8, MPOL_MF_MOVE) == 0;
+}
+
+bool probe_mempolicy() {
+  // get_mempolicy with all-null outputs is the cheapest capability
+  // probe; sandboxes that filter mempolicy syscalls return an error.
+  return syscall(SYS_get_mempolicy, nullptr, nullptr, 0, nullptr, 0) == 0;
+}
+
+#endif  // HIPA_WITH_NUMA && __linux__
+
+}  // namespace
+
+bool numa_binding_available() {
+#if defined(HIPA_WITH_NUMA) && defined(__linux__)
+  static const bool ok = probe_mempolicy();
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool bind_pages_to_node([[maybe_unused]] void* p,
+                        [[maybe_unused]] std::size_t bytes,
+                        [[maybe_unused]] unsigned node) {
+#if defined(HIPA_WITH_NUMA) && defined(__linux__)
+  if (!numa_binding_available()) return false;
+  if (node >= sizeof(unsigned long) * 8) return false;
+  if (node >= topology().num_nodes()) node %= topology().num_nodes();
+  return mbind_range(p, bytes, MPOL_BIND, 1UL << node);
+#else
+  return false;
+#endif
+}
+
+bool interleave_pages([[maybe_unused]] void* p,
+                      [[maybe_unused]] std::size_t bytes) {
+#if defined(HIPA_WITH_NUMA) && defined(__linux__)
+  if (!numa_binding_available()) return false;
+  const unsigned nodes = topology().num_nodes();
+  if (nodes <= 1) return bind_pages_to_node(p, bytes, 0);
+  unsigned long mask = 0;
+  for (unsigned n = 0; n < nodes && n < sizeof(mask) * 8; ++n) {
+    mask |= 1UL << n;
+  }
+  return mbind_range(p, bytes, MPOL_INTERLEAVE, mask);
+#else
+  return false;
+#endif
+}
+
+void first_touch_zero_on_node(void* p, std::size_t bytes, unsigned node) {
+  if (bytes == 0) return;
+  const HostTopology& topo = topology();
+  if (topo.num_nodes() <= 1) {
+    // Single node: every touch is local; skip the thread round trip.
+    std::memset(p, 0, bytes);
+    return;
+  }
+  const auto& cpus = topo.node_cpus[node % topo.num_nodes()];
+  std::thread worker([&] {
+    pin_current_thread(cpus[0]);  // best effort — memset either way
+    std::memset(p, 0, bytes);
+  });
+  worker.join();
+}
+
+void first_touch_zero_interleaved(void* p, std::size_t bytes) {
+  if (bytes == 0) return;
+  const HostTopology& topo = topology();
+  const unsigned nodes = topo.num_nodes();
+  if (nodes <= 1 || bytes < 2 * kPageSize) {
+    std::memset(p, 0, bytes);
+    return;
+  }
+  // Node k zeroes pages {k, k+nodes, k+2*nodes, ...}; the first-touch
+  // rule then commits consecutive pages to alternating nodes.
+  char* const base = static_cast<char*>(p);
+  const std::size_t pages = (bytes + kPageSize - 1) / kPageSize;
+  std::vector<std::thread> workers;
+  workers.reserve(nodes);
+  for (unsigned k = 0; k < nodes; ++k) {
+    workers.emplace_back([&, k] {
+      pin_current_thread(topo.node_cpus[k][0]);
+      for (std::size_t pg = k; pg < pages; pg += nodes) {
+        const std::size_t off = pg * kPageSize;
+        std::memset(base + off, 0, std::min(kPageSize, bytes - off));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace hipa::runtime

@@ -1,0 +1,42 @@
+// Physical page placement for the native backend (paper §3.3.2).
+//
+// Two mechanisms, strongest available wins:
+//  * mbind(2) page binding (compiled in under HIPA_WITH_NUMA, which
+//    CMake auto-enables when <linux/mempolicy.h> is present — no
+//    libnuma link needed, the raw syscall suffices; MPOL_MF_MOVE also
+//    migrates pages that were already touched);
+//  * first-touch: zero-write the range from a thread pinned to the
+//    owning node, so the kernel commits the pages node-locally. Works
+//    everywhere but only for ranges whose contents are dead.
+//
+// All functions are best-effort: on failure data stays wherever the
+// allocator put it — slower, never wrong.
+#pragma once
+
+#include <cstddef>
+
+namespace hipa::runtime {
+
+/// True when mbind-based binding was compiled in AND the kernel
+/// accepts set_mempolicy-family syscalls (false in some sandboxes).
+[[nodiscard]] bool numa_binding_available();
+
+/// Bind the full pages inside [p, p+bytes) to `node`, migrating any
+/// already-committed pages. Returns false when unsupported or refused.
+bool bind_pages_to_node(void* p, std::size_t bytes, unsigned node);
+
+/// Interleave the full pages inside [p, p+bytes) round-robin over all
+/// host nodes. Returns false when unsupported or refused.
+bool interleave_pages(void* p, std::size_t bytes);
+
+/// Zero `bytes` at `p` from a thread pinned to one of `node`'s CPUs so
+/// untouched pages are committed node-locally (first-touch). Single
+/// node hosts skip the pinning and just memset. Contents must be dead.
+void first_touch_zero_on_node(void* p, std::size_t bytes, unsigned node);
+
+/// Zero page-granular stripes of [p, p+bytes) from per-node pinned
+/// threads so consecutive pages land on alternating nodes (first-touch
+/// interleave). Contents must be dead.
+void first_touch_zero_interleaved(void* p, std::size_t bytes);
+
+}  // namespace hipa::runtime

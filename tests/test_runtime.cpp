@@ -1,13 +1,17 @@
-// Tests for the native runtime: barrier, persistent team, fork-join.
+// Tests for the native runtime: barrier, persistent team, fork-join,
+// topology discovery, binding maps, and page placement.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "runtime/affinity.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/placement.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace hipa::runtime {
@@ -108,6 +112,167 @@ TEST(Affinity, PinToExistingCpuSucceedsOrFailsGracefully) {
   // 4096 must fail without crashing.
   pin_current_thread(0);
   EXPECT_FALSE(pin_current_thread(4096));
+}
+
+// ---- topology discovery -----------------------------------------------------
+
+TEST(Topology, ParseCpulist) {
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"),
+            (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpulist("5"), (std::vector<unsigned>{5}));
+  EXPECT_EQ(parse_cpulist("0-0"), (std::vector<unsigned>{0}));
+  EXPECT_EQ(parse_cpulist("7\n"), (std::vector<unsigned>{7}));
+  EXPECT_TRUE(parse_cpulist("").empty());
+  // Malformed tails keep the valid prefix; inverted ranges stop.
+  EXPECT_EQ(parse_cpulist("1,2,x"), (std::vector<unsigned>{1, 2}));
+  EXPECT_EQ(parse_cpulist("3-1"), std::vector<unsigned>{});
+}
+
+TEST(Topology, DiscoveryInvariants) {
+  const HostTopology topo = discover_topology();
+  ASSERT_GE(topo.num_nodes(), 1u);
+  EXPECT_GE(topo.num_cpus(), 1u);
+  std::set<unsigned> seen;
+  for (const auto& cpus : topo.node_cpus) {
+    ASSERT_FALSE(cpus.empty());  // memory-only nodes must be skipped
+    EXPECT_TRUE(std::is_sorted(cpus.begin(), cpus.end()));
+    for (unsigned c : cpus) EXPECT_TRUE(seen.insert(c).second) << c;
+  }
+}
+
+TEST(Topology, CachedAccessorIsStable) {
+  const HostTopology& a = topology();
+  const HostTopology& b = topology();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_cpus(), discover_topology().num_cpus());
+}
+
+std::set<unsigned> host_cpu_set() {
+  std::set<unsigned> all;
+  for (const auto& cpus : topology().node_cpus) {
+    all.insert(cpus.begin(), cpus.end());
+  }
+  return all;
+}
+
+TEST(Topology, NodeBlockedMapMatchesRequest) {
+  const auto all = host_cpu_set();
+  // 2 threads on "node 0", 3 on "node 1": thread ids grouped per node.
+  const auto map = cpus_node_blocked({2, 3});
+  ASSERT_EQ(map.size(), 5u);
+  for (unsigned cpu : map) EXPECT_TRUE(all.count(cpu)) << cpu;
+  const auto& topo = topology();
+  const auto& node0 = topo.node_cpus[0];
+  EXPECT_TRUE(std::count(node0.begin(), node0.end(), map[0]) == 1);
+}
+
+TEST(Topology, NodeBlockedFallsBackWhenRequestedCpusDontExist) {
+  // Ask for far more nodes and threads than any test box has: every
+  // entry must still be a real CPU (wrap, never invent).
+  const auto all = host_cpu_set();
+  const auto map = cpus_node_blocked(
+      {available_cpus() + 7, 5, 5, 5, 5, 5, 5, 5});
+  ASSERT_EQ(map.size(), available_cpus() + 7 + 7 * 5);
+  for (unsigned cpu : map) EXPECT_TRUE(all.count(cpu)) << cpu;
+}
+
+TEST(Topology, SpreadMapCoversAndWraps) {
+  const auto all = host_cpu_set();
+  const auto map = cpus_spread(static_cast<unsigned>(all.size()) * 2 + 3);
+  ASSERT_EQ(map.size(), all.size() * 2 + 3);
+  for (unsigned cpu : map) EXPECT_TRUE(all.count(cpu)) << cpu;
+  // One full lap visits every CPU exactly once.
+  std::set<unsigned> lap(map.begin(), map.begin() + all.size());
+  EXPECT_EQ(lap, all);
+}
+
+// ---- persistent team with explicit pinning ----------------------------------
+
+TEST(PersistentTeam, PinnedTeamStillRunsWhenCpusDontExist) {
+  // Pin requests to absurd CPUs must degrade to unpinned execution.
+  PersistentTeam team(3, {0, 4096, 9999});
+  std::atomic<int> total{0};
+  for (int i = 0; i < 50; ++i) {
+    team.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(PersistentTeam, ThousandsOfDispatches) {
+  // Algorithm 2 reuses ONE team for the whole run; the generation
+  // counter must not wedge or skip across thousands of dispatches.
+  PersistentTeam team(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int i = 0; i < 3000; ++i) {
+    team.run([&](unsigned t) { total.fetch_add(t + 1); });
+  }
+  EXPECT_EQ(total.load(), std::uint64_t{3000} * (1 + 2 + 3 + 4));
+}
+
+TEST(Barrier, StressManyRounds) {
+  constexpr unsigned kThreads = 4;
+  constexpr int kRounds = 2000;
+  SpinBarrier barrier(kThreads);
+  // Per-thread slots written before the barrier, read after it: the
+  // barrier's ordering must make every write visible.
+  std::vector<std::uint64_t> slot(kThreads, 0);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      bool sense = false;
+      for (int r = 0; r < kRounds; ++r) {
+        slot[t] = static_cast<std::uint64_t>(r) + 1;
+        barrier.arrive_and_wait(sense);
+        for (unsigned u = 0; u < kThreads; ++u) {
+          if (slot[u] != static_cast<std::uint64_t>(r) + 1) {
+            failed.store(true);
+          }
+        }
+        barrier.arrive_and_wait(sense);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// ---- page placement ---------------------------------------------------------
+
+TEST(Placement, FirstTouchZeroesOnAnyHost) {
+  std::vector<unsigned char> buf(3 * 4096 + 17, 0xAB);
+  first_touch_zero_on_node(buf.data(), buf.size(), 0);
+  for (unsigned char b : buf) ASSERT_EQ(b, 0);
+  std::fill(buf.begin(), buf.end(), 0xCD);
+  first_touch_zero_interleaved(buf.data(), buf.size());
+  for (unsigned char b : buf) ASSERT_EQ(b, 0);
+}
+
+TEST(Placement, FirstTouchOnBogusNodeWraps) {
+  std::vector<unsigned char> buf(4096, 0xEE);
+  first_touch_zero_on_node(buf.data(), buf.size(), 12345);
+  for (unsigned char b : buf) ASSERT_EQ(b, 0);
+}
+
+TEST(Placement, BindIsBestEffort) {
+  // Either the syscall path is compiled in and succeeds for node 0,
+  // or it reports failure — both are acceptable; neither may crash
+  // or corrupt the buffer.
+  std::vector<unsigned char> buf(8 * 4096, 0x5A);
+  const bool bound = bind_pages_to_node(buf.data(), buf.size(), 0);
+  const bool inter = interleave_pages(buf.data(), buf.size());
+  if (!numa_binding_available()) {
+    EXPECT_FALSE(bound);
+    EXPECT_FALSE(inter);
+  }
+  for (unsigned char b : buf) ASSERT_EQ(b, 0x5A);
+}
+
+TEST(Placement, SubPageRangesAreNoops) {
+  std::vector<unsigned char> buf(64, 0x77);
+  bind_pages_to_node(buf.data(), buf.size(), 0);
+  interleave_pages(buf.data(), buf.size());
+  for (unsigned char b : buf) ASSERT_EQ(b, 0x77);
 }
 
 }  // namespace
