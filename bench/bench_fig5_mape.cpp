@@ -34,9 +34,10 @@ int main(int argc, char** argv) {
     for (algo::Method m : algo::all_methods()) {
       sim::SimMachine machine = bench::make_machine(d.scale);
       algo::MethodParams params;
-      params.iterations = iters;
+      params.pr.iterations = iters;
       params.scale_denom = d.scale;
-      const auto report = algo::run_method_sim(m, d.graph, machine, params);
+      const auto report =
+          algo::run_method_sim(m, d.graph, machine, params).report;
       const double mape = bench::mape_per_iter(report, d.graph.num_edges());
       const double rem = report.stats.remote_fraction() * 100.0;
       std::printf(" %8.1f (%4.1f%%)", mape, rem);

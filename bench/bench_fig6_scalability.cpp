@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
     for (algo::Method m : algo::all_methods()) {
       sim::SimMachine machine = bench::make_machine(scale);
       algo::MethodParams params;
-      params.iterations = iters;
+      params.pr.iterations = iters;
       params.scale_denom = scale;
       params.threads = threads[ti];
-      const auto report = algo::run_method_sim(m, g, machine, params);
+      const auto report = algo::run_method_sim(m, g, machine, params).report;
       secs[ti][i++] = report.seconds;
     }
   }

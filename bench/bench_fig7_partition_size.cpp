@@ -44,11 +44,11 @@ int main(int argc, char** argv) {
     for (int i = 0; i < 3; ++i) {
       sim::SimMachine machine = bench::make_machine(scale);
       algo::MethodParams params;
-      params.iterations = iters;
+      params.pr.iterations = iters;
       params.scale_denom = scale;
       params.partition_bytes = actual;
       const auto report =
-          algo::run_method_sim(methods[i], g, machine, params);
+          algo::run_method_sim(methods[i], g, machine, params).report;
       secs[i] = report.seconds;
       llc_hits[i] = static_cast<double>(report.stats.llc_hits) / 1e6;
       if (i == 0) hipa_ratio = report.stats.llc_hit_ratio() * 100.0;

@@ -17,6 +17,14 @@
 // topology (CPUs, NUMA nodes, pinning mode, mbind availability) so
 // numbers are interpretable across machines.
 //
+// Two run-level telemetry sections close the report: `telemetry_runs`
+// re-runs HiPa/p-PR/GPOP (or --methods=) natively with telemetry kOn
+// and serializes the per-phase wall/barrier/messages/bytes aggregates
+// through the shared bench schema, and `telemetry_overhead` times HiPa
+// with telemetry off vs on — the off ranks must match the on ranks
+// bitwise (the collection guard is `if constexpr`, so kOff compiles to
+// the untelemetered code).
+//
 // Besides the human-readable table it emits machine-readable JSON
 // (default BENCH_hotpath.json, override with --out=) so CI and
 // EXPERIMENTS.md can track the numbers. `--smoke` shrinks to one tiny
@@ -29,6 +37,7 @@
 #include "common/timer.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/placement.hpp"
+#include "runtime/telemetry.hpp"
 
 namespace {
 
@@ -77,7 +86,9 @@ EncodingRun run_encoding(const bench::ScaledDataset& d, algo::Method m,
                    : static_cast<double>(eng.bins().total_dests() *
                                          eng.bins().dst_entry_bytes()) /
                          static_cast<double>(edges);
-    const auto rep = eng.run_pagerank(pr, &r.ranks);
+    auto res = eng.run(pr);
+    r.ranks = std::move(res.ranks);
+    const engine::RunReport& rep = res.report;
     r.native_seconds = rep.seconds;
     r.native_edges_per_sec =
         rep.seconds > 0.0 ? static_cast<double>(edges) * iters / rep.seconds
@@ -89,7 +100,7 @@ EncodingRun run_encoding(const bench::ScaledDataset& d, algo::Method m,
     const unsigned threads = algo::default_threads(m, machine.topology());
     engine::PcpmEngine<engine::SimBackend> eng(
         d.graph, options(threads, machine.topology().num_nodes), backend);
-    const auto rep = eng.run_pagerank(pr);
+    const auto rep = eng.run(pr).report;
     r.sim_bytes_per_edge = bench::mape_per_iter(rep, edges);
     r.sim_cycles = rep.stats.total_cycles;
   }
@@ -151,6 +162,71 @@ DispatchOverhead measure_dispatch_overhead(bool smoke) {
   }
   backend.end_team();
   return d;
+}
+
+// ---- run-level telemetry ----------------------------------------------------
+
+/// One native facade run of `m` with the requested telemetry mode.
+algo::RunResult run_native(const bench::ScaledDataset& d, algo::Method m,
+                           unsigned iters, runtime::Telemetry tel) {
+  algo::MethodParams params;
+  params.scale_denom = d.scale;
+  params.pr.iterations = iters;
+  params.pr.telemetry = tel;
+  return algo::run_method_native(m, d.graph, params);
+}
+
+/// The zero-overhead-off guarantee, measured: telemetry kOff vs kOn on
+/// the same engine/dataset. kOff must match the untelemetered ranks
+/// bitwise (the guard is `if constexpr`; the kOff instantiation IS the
+/// old code), and kOn's cost is reported so regressions are visible.
+struct TelemetryOverhead {
+  unsigned reps = 0;
+  double off_seconds = 0.0;  ///< best-of-reps, telemetry off
+  double on_seconds = 0.0;   ///< best-of-reps, telemetry on
+  double overhead_frac = 0.0;
+  double ranks_l1 = 0.0;  ///< kOff vs kOn ranks; must be exactly 0
+};
+
+TelemetryOverhead measure_telemetry_overhead(const bench::ScaledDataset& d,
+                                             unsigned iters, bool smoke) {
+  TelemetryOverhead t;
+  t.reps = smoke ? 2 : 4;
+  std::vector<rank_t> off_ranks;
+  std::vector<rank_t> on_ranks;
+  // One untimed warm-up run, then alternate the off/on order per rep
+  // so neither mode systematically inherits the other's warmed pages.
+  // The residual delta is code-layout jitter between the two template
+  // instantiations (the counters sit outside the per-edge loops) and
+  // can come out mildly negative; the enforced guarantee is ranks_l1
+  // == 0, i.e. the kOff instantiation IS the untelemetered kernel.
+  (void)run_native(d, algo::Method::kHipa, iters,
+                   runtime::Telemetry::kOff);
+  for (unsigned rep = 0; rep < t.reps; ++rep) {
+    const bool off_first = rep % 2 == 0;
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool is_off = (leg == 0) == off_first;
+      auto res = run_native(
+          d, algo::Method::kHipa, iters,
+          is_off ? runtime::Telemetry::kOff : runtime::Telemetry::kOn);
+      if (is_off) {
+        if (rep == 0 || res.report.seconds < t.off_seconds) {
+          t.off_seconds = res.report.seconds;
+        }
+        off_ranks = std::move(res.ranks);
+      } else {
+        if (rep == 0 || res.report.seconds < t.on_seconds) {
+          t.on_seconds = res.report.seconds;
+        }
+        on_ranks = std::move(res.ranks);
+      }
+    }
+  }
+  t.overhead_frac = t.off_seconds > 0.0
+                        ? t.on_seconds / t.off_seconds - 1.0
+                        : 0.0;
+  t.ranks_l1 = algo::l1_distance(off_ranks, on_ranks);
+  return t;
 }
 
 void emit_host(bench::JsonWriter& jw) {
@@ -248,7 +324,9 @@ int main(int argc, char** argv) {
   jw.begin_array();
 
   int rc = 0;
-  for (const auto& d : bench::load_datasets(flags)) {
+  const std::vector<bench::ScaledDataset> datasets =
+      bench::load_datasets(flags);
+  for (const auto& d : datasets) {
     jw.begin_object();
     jw.kv("name", d.name);
     jw.kv("scale", d.scale);
@@ -299,6 +377,72 @@ int main(int argc, char** argv) {
     jw.end_object();
   }
   jw.end_array();
+
+  // ---- run-level telemetry: where the time goes, per phase ------------
+  if (!datasets.empty()) {
+    const bench::ScaledDataset& d = datasets.front();
+    const std::vector<algo::Method> tel_methods = flags.methods_or(
+        {algo::Method::kHipa, algo::Method::kPpr, algo::Method::kGpop});
+
+    std::printf("\nrun-level telemetry on '%s' (native, %u iters):\n",
+                d.name.c_str(), iters);
+    std::printf("%-8s %-8s %10s %10s %6s %12s %12s\n", "method", "phase",
+                "wall (s)", "barrier(s)", "imbal", "msgs-out", "msgs-in");
+    jw.key("telemetry_runs");
+    jw.begin_object();
+    jw.kv("dataset", d.name);
+    jw.kv("iterations", iters);
+    jw.key("methods");
+    jw.begin_array();
+    for (algo::Method m : tel_methods) {
+      const auto res = run_native(d, m, iters, runtime::Telemetry::kOn);
+      for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+        const auto ph = static_cast<runtime::Phase>(pi);
+        const auto& agg = res.report.telemetry[ph];
+        std::printf("%-8s %-8s %10.4f %10.4f %6.2f %12llu %12llu\n",
+                    pi == 0 ? algo::method_name(m) : "",
+                    std::string(runtime::phase_name(ph)).c_str(),
+                    agg.wall_sum_seconds, agg.barrier_sum_seconds,
+                    agg.imbalance(),
+                    static_cast<unsigned long long>(agg.messages_produced),
+                    static_cast<unsigned long long>(agg.messages_consumed));
+      }
+      jw.begin_object();
+      jw.kv("method", algo::method_name(m));
+      jw.kv("native_seconds", res.report.seconds);
+      bench::emit_telemetry(jw, res.report.telemetry);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+
+    // ---- and its cost: telemetry off must be free -------------------
+    const TelemetryOverhead ov2 =
+        measure_telemetry_overhead(d, iters, flags.smoke);
+    if (ov2.ranks_l1 != 0.0) {
+      std::fprintf(stderr,
+                   "ERROR: telemetry kOn perturbed the ranks (L1 = %g)\n",
+                   ov2.ranks_l1);
+      rc = 1;
+    }
+    std::printf("\ntelemetry overhead (HiPa on '%s', best of %u):\n"
+                "  off %.4f s   on %.4f s   overhead %+.1f%%   ranks "
+                "bitwise-identical: %s\n",
+                d.name.c_str(), ov2.reps, ov2.off_seconds, ov2.on_seconds,
+                ov2.overhead_frac * 100.0,
+                ov2.ranks_l1 == 0.0 ? "yes" : "NO");
+    jw.key("telemetry_overhead");
+    jw.begin_object();
+    jw.kv("dataset", d.name);
+    jw.kv("reps", ov2.reps);
+    jw.kv("off_seconds", ov2.off_seconds);
+    jw.kv("on_seconds", ov2.on_seconds);
+    jw.kv("overhead_frac", ov2.overhead_frac);
+    jw.kv("ranks_l1_off_vs_on", ov2.ranks_l1);
+    jw.kv("ranks_bitwise_identical", ov2.ranks_l1 == 0.0);
+    jw.end_object();
+  }
+
   jw.end_object();
   std::fputc('\n', jf);
   std::fclose(jf);

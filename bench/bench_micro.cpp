@@ -61,7 +61,7 @@ void BM_NativePagerankHipa(benchmark::State& state) {
   const auto& g = bench_graph();
   for (auto _ : state) {
     algo::MethodParams params;
-    params.iterations = 2;
+    params.pr.iterations = 2;
     params.threads = 2;
     params.scale_denom = 64;
     benchmark::DoNotOptimize(

@@ -21,24 +21,31 @@ int main(int argc, char** argv) {
   std::printf("(amort = preprocessing seconds / per-iteration seconds: how "
               "many iterations pay\n for partitioning + bins + NUMA "
               "binding)\n\n");
-  std::printf("%-9s | %-21s %-21s %-21s\n", "graph", "HiPa", "p-PR",
-              "GPOP");
-  std::printf("%-9s | %10s %10s %10s %10s %10s %10s\n", "", "preproc",
-              "amort", "preproc", "amort", "preproc", "amort");
 
-  const algo::Method methods[] = {algo::Method::kHipa, algo::Method::kPpr,
-                                  algo::Method::kGpop};
-  double amort_sum[3] = {};
+  // --methods=hipa,ppr narrows the comparison (method_from_name names).
+  const std::vector<algo::Method> methods = flags.methods_or(
+      {algo::Method::kHipa, algo::Method::kPpr, algo::Method::kGpop});
+  std::printf("%-9s |", "graph");
+  for (algo::Method m : methods) {
+    std::printf(" %-21s", algo::method_name(m));
+  }
+  std::printf("\n%-9s |", "");
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    std::printf(" %10s %10s", "preproc", "amort");
+  }
+  std::printf("\n");
+
+  std::vector<double> amort_sum(methods.size(), 0.0);
   unsigned rows = 0;
   for (const auto& d : bench::load_datasets(flags)) {
     std::printf("%-9s |", d.name.c_str());
-    for (int i = 0; i < 3; ++i) {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
       sim::SimMachine machine = bench::make_machine(d.scale);
       algo::MethodParams params;
-      params.iterations = iters;
+      params.pr.iterations = iters;
       params.scale_denom = d.scale;
       const auto report =
-          algo::run_method_sim(methods[i], d.graph, machine, params);
+          algo::run_method_sim(methods[i], d.graph, machine, params).report;
       const double per_iter = report.seconds / iters;
       const double amort = report.preprocessing_seconds / per_iter;
       amort_sum[i] += amort;
@@ -49,7 +56,7 @@ int main(int argc, char** argv) {
   }
   if (rows > 0) {
     std::printf("%-9s |", "average");
-    for (int i = 0; i < 3; ++i) {
+    for (std::size_t i = 0; i < methods.size(); ++i) {
       std::printf(" %10s %9.1fx", "", amort_sum[i] / rows);
     }
     std::printf("\n");

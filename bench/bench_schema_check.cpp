@@ -1,0 +1,405 @@
+// Schema validator for the machine-readable bench output
+// (BENCH_hotpath*.json). Runs as the second half of the `perf-smoke`
+// ctest fixture: bench_hotpath --smoke writes the JSON, this binary
+// re-parses it with a standalone minimal JSON reader (no third-party
+// deps) and enforces the contract CI relies on — required fields
+// present, counters non-negative, the three-phase telemetry arrays
+// complete, and the zero-overhead-off invariant (`ranks
+// bitwise-identical` across telemetry modes and destination
+// encodings) actually asserted by the producer.
+//
+//   bench_schema_check <path/to/BENCH_hotpath.json>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- minimal JSON ----------------------------------------------------------
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<ValuePtr> array;
+  std::vector<std::pair<std::string, ValuePtr>> object;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    std::fprintf(stderr, "JSON parse error at offset %zu: %s\n", pos_,
+                 what);
+    std::exit(1);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr parse_value() {
+    skip_ws();
+    auto v = std::make_shared<Value>();
+    const char c = peek();
+    if (c == '{') {
+      v->type = Value::Type::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        const std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v->object.emplace_back(key, parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v->type = Value::Type::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v->array.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v->type = Value::Type::kString;
+      v->str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v->type = Value::Type::kBool;
+      v->boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v->type = Value::Type::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    // Number.
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    v->type = Value::Type::kNumber;
+    v->number = std::strtod(text_.c_str() + start, nullptr);
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            // Escaped control characters only ever carry ASCII here.
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            out.push_back(static_cast<char>(
+                std::strtoul(hex.c_str(), nullptr, 16) & 0x7f));
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- schema checks ---------------------------------------------------------
+
+int g_errors = 0;
+
+void err(const std::string& what) {
+  std::fprintf(stderr, "schema: %s\n", what.c_str());
+  ++g_errors;
+}
+
+const Value* require(const Value& obj, const std::string& path,
+                     const char* key, Value::Type type) {
+  if (obj.type != Value::Type::kObject) {
+    err(path + " is not an object");
+    return nullptr;
+  }
+  const Value* v = obj.find(key);
+  if (v == nullptr) {
+    err(path + " missing key '" + key + "'");
+    return nullptr;
+  }
+  if (v->type != type) {
+    err(path + "." + key + " has wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+/// Required numeric field that must be >= 0 (all bench counters and
+/// timings are non-negative by construction).
+double require_nonneg(const Value& obj, const std::string& path,
+                      const char* key) {
+  const Value* v = require(obj, path, key, Value::Type::kNumber);
+  if (v == nullptr) return 0.0;
+  if (v->number < 0.0) {
+    err(path + "." + key + " is negative");
+    return v->number;
+  }
+  return v->number;
+}
+
+void check_telemetry(const Value& t, const std::string& path) {
+  require(t, path, "enabled", Value::Type::kBool);
+  require_nonneg(t, path, "threads");
+  const Value* phases = require(t, path, "phases", Value::Type::kArray);
+  if (phases != nullptr) {
+    if (phases->array.size() != 3) {
+      err(path + ".phases must have exactly 3 entries (init, scatter, "
+                 "gather)");
+    }
+    static const char* kNumeric[] = {
+        "invocations",     "barrier_crossings",   "participating_threads",
+        "wall_sum_seconds", "wall_max_seconds",   "wall_min_seconds",
+        "imbalance",        "barrier_sum_seconds", "barrier_max_seconds",
+        "messages_produced", "messages_consumed", "bytes_produced",
+        "bytes_consumed",   "region_seconds",     "sim_local_accesses",
+        "sim_remote_accesses"};
+    for (std::size_t i = 0; i < phases->array.size(); ++i) {
+      const Value& ph = *phases->array[i];
+      const std::string pp = path + ".phases[" + std::to_string(i) + "]";
+      require(ph, pp, "phase", Value::Type::kString);
+      for (const char* key : kNumeric) require_nonneg(ph, pp, key);
+    }
+  }
+  require_nonneg(t, path, "iterations_recorded");
+  require_nonneg(t, path, "total_wall_seconds");
+  require_nonneg(t, path, "total_barrier_seconds");
+  require_nonneg(t, path, "total_messages_produced");
+  require_nonneg(t, path, "total_messages_consumed");
+}
+
+void check_encoding_run(const Value& r, const std::string& path) {
+  require(r, path, "compact", Value::Type::kBool);
+  require_nonneg(r, path, "bins_footprint_bytes");
+  require_nonneg(r, path, "dst_bytes_per_edge");
+  require_nonneg(r, path, "native_seconds");
+  require_nonneg(r, path, "native_edges_per_sec");
+  require_nonneg(r, path, "sim_bytes_per_edge");
+  require_nonneg(r, path, "sim_cycles");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_hotpath.json>\n", argv[0]);
+    return 2;
+  }
+  std::FILE* f = std::fopen(argv[1], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  const ValuePtr rootp = Parser(std::move(text)).parse();
+  const Value& root = *rootp;
+  const std::string top = "$";
+
+  require(root, top, "bench", Value::Type::kString);
+  require_nonneg(root, top, "iterations");
+  const Value* host = require(root, top, "host", Value::Type::kObject);
+  if (host != nullptr) {
+    require_nonneg(*host, top + ".host", "cpus");
+    require_nonneg(*host, top + ".host", "numa_nodes");
+  }
+
+  const Value* ov =
+      require(root, top, "dispatch_overhead", Value::Type::kObject);
+  if (ov != nullptr) {
+    const std::string p = top + ".dispatch_overhead";
+    require_nonneg(*ov, p, "threads");
+    require_nonneg(*ov, p, "phase_ns_per_iter");
+    require_nonneg(*ov, p, "run_loop_ns_per_iter");
+  }
+
+  const Value* datasets =
+      require(root, top, "datasets", Value::Type::kArray);
+  if (datasets != nullptr) {
+    if (datasets->array.empty()) err("$.datasets is empty");
+    for (std::size_t di = 0; di < datasets->array.size(); ++di) {
+      const Value& d = *datasets->array[di];
+      const std::string dp = "$.datasets[" + std::to_string(di) + "]";
+      require(d, dp, "name", Value::Type::kString);
+      require_nonneg(d, dp, "vertices");
+      require_nonneg(d, dp, "edges");
+      const Value* methods =
+          require(d, dp, "methods", Value::Type::kArray);
+      if (methods == nullptr) continue;
+      for (std::size_t mi = 0; mi < methods->array.size(); ++mi) {
+        const Value& m = *methods->array[mi];
+        const std::string mp = dp + ".methods[" + std::to_string(mi) + "]";
+        require(m, mp, "method", Value::Type::kString);
+        const Value* a = require(m, mp, "auto", Value::Type::kObject);
+        const Value* w = require(m, mp, "wide", Value::Type::kObject);
+        if (a != nullptr) check_encoding_run(*a, mp + ".auto");
+        if (w != nullptr) check_encoding_run(*w, mp + ".wide");
+        // Compact and wide encodings must agree bitwise.
+        const Value* l1 = require(m, mp, "ranks_l1_vs_wide",
+                                  Value::Type::kNumber);
+        if (l1 != nullptr && l1->number != 0.0) {
+          err(mp + ".ranks_l1_vs_wide must be 0 (got " +
+              std::to_string(l1->number) + ")");
+        }
+      }
+    }
+  }
+
+  const Value* tel =
+      require(root, top, "telemetry_runs", Value::Type::kObject);
+  if (tel != nullptr) {
+    const std::string tp = top + ".telemetry_runs";
+    require(*tel, tp, "dataset", Value::Type::kString);
+    const Value* methods =
+        require(*tel, tp, "methods", Value::Type::kArray);
+    if (methods != nullptr) {
+      if (methods->array.empty()) err(tp + ".methods is empty");
+      for (std::size_t mi = 0; mi < methods->array.size(); ++mi) {
+        const Value& m = *methods->array[mi];
+        const std::string mp = tp + ".methods[" + std::to_string(mi) + "]";
+        require(m, mp, "method", Value::Type::kString);
+        require_nonneg(m, mp, "native_seconds");
+        const Value* t =
+            require(m, mp, "telemetry", Value::Type::kObject);
+        if (t != nullptr) {
+          check_telemetry(*t, mp + ".telemetry");
+          const Value* enabled = t->find("enabled");
+          if (enabled != nullptr && !enabled->boolean) {
+            err(mp + ".telemetry.enabled must be true for kOn runs");
+          }
+        }
+      }
+    }
+  }
+
+  const Value* toh =
+      require(root, top, "telemetry_overhead", Value::Type::kObject);
+  if (toh != nullptr) {
+    const std::string p = top + ".telemetry_overhead";
+    require_nonneg(*toh, p, "reps");
+    require_nonneg(*toh, p, "off_seconds");
+    require_nonneg(*toh, p, "on_seconds");
+    require_nonneg(*toh, p, "ranks_l1_off_vs_on");
+    const Value* ident =
+        require(*toh, p, "ranks_bitwise_identical", Value::Type::kBool);
+    if (ident != nullptr && !ident->boolean) {
+      err(p + ".ranks_bitwise_identical must be true — telemetry "
+              "perturbed the ranks");
+    }
+  }
+
+  if (g_errors > 0) {
+    std::fprintf(stderr, "%d schema violation(s) in %s\n", g_errors,
+                 argv[1]);
+    return 1;
+  }
+  std::printf("schema OK: %s\n", argv[1]);
+  return 0;
+}

@@ -26,25 +26,26 @@ int main(int argc, char** argv) {
               name.c_str(), scale, iters);
 
   algo::MethodParams params;
-  params.iterations = iters;
+  params.pr.iterations = iters;
   params.scale_denom = scale;
   params.threads = 20;
 
   // 1-node HiPa: single-socket topology, all contention on one node.
   sim::SimMachine one(sim::Topology::skylake_1s().scaled(scale));
   const auto hipa1 =
-      algo::run_method_sim(algo::Method::kHipa, g, one, params);
+      algo::run_method_sim(algo::Method::kHipa, g, one, params).report;
 
   sim::SimMachine two = bench::make_machine(scale);
   const auto hipa2 =
-      algo::run_method_sim(algo::Method::kHipa, g, two, params);
+      algo::run_method_sim(algo::Method::kHipa, g, two, params).report;
 
   sim::SimMachine m3 = bench::make_machine(scale);
-  const auto ppr = algo::run_method_sim(algo::Method::kPpr, g, m3, params);
+  const auto ppr =
+      algo::run_method_sim(algo::Method::kPpr, g, m3, params).report;
 
   sim::SimMachine m4 = bench::make_machine(scale);
   const auto gpop =
-      algo::run_method_sim(algo::Method::kGpop, g, m4, params);
+      algo::run_method_sim(algo::Method::kGpop, g, m4, params).report;
 
   std::printf("%-22s %10s %14s\n", "configuration", "time (s)",
               "vs 2-node HiPa");

@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
     for (algo::Method m : algo::all_methods()) {
       sim::SimMachine machine = bench::make_machine(d.scale);
       algo::MethodParams params;
-      params.iterations = iters;
+      params.pr.iterations = iters;
       params.scale_denom = d.scale;
       const auto report =
-          algo::run_method_sim(m, d.graph, machine, params);
+          algo::run_method_sim(m, d.graph, machine, params).report;
       secs[i++] = report.seconds;
     }
     double best_alt = secs[1];

@@ -35,9 +35,9 @@ int main(int argc, char** argv) {
       {"Haswell", sim::Topology::haswell_2s(), 128 << 10},
       {"Skylake", sim::Topology::skylake_2s(), 256 << 10},
   };
-  const algo::Method methods[] = {algo::Method::kHipa, algo::Method::kPpr,
-                                  algo::Method::kGpop};
-  const char* method_labels[] = {"HiPa", "p-PR", "GPOP"};
+  // --methods=hipa,ppr narrows the sweep (names via method_from_name).
+  const std::vector<algo::Method> methods = flags.methods_or(
+      {algo::Method::kHipa, algo::Method::kPpr, algo::Method::kGpop});
 
   for (const Arch& arch : arches) {
     std::printf("\n--- %s (L2=%lluK, LLC %s) ---\n", arch.name,
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(arch.norm_size >> 10));
 
     double col_sum[4] = {};
-    for (int mi = 0; mi < 3; ++mi) {
+    for (algo::Method m : methods) {
       double avg[4] = {};
       for (const std::string& name : names) {
         const unsigned scale =
@@ -63,13 +63,13 @@ int main(int argc, char** argv) {
         for (std::size_t si = 0; si < sizes_eq.size(); ++si) {
           sim::SimMachine machine(arch.topo.scaled(scale));
           algo::MethodParams params;
-          params.iterations = iters;
+          params.pr.iterations = iters;
           params.scale_denom = scale;
           params.partition_bytes = std::max<std::uint64_t>(
               sizes_eq[si] / scale, sizeof(rank_t));
-          params.threads = algo::default_threads(methods[mi], arch.topo);
+          params.threads = algo::default_threads(m, arch.topo);
           const auto report =
-              algo::run_method_sim(methods[mi], g, machine, params);
+              algo::run_method_sim(m, g, machine, params).report;
           secs[si] = report.seconds;
           if (sizes_eq[si] == arch.norm_size) norm_sec = secs[si];
         }
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
           avg[si] += secs[si] / norm_sec;
         }
       }
-      std::printf("%8s |", method_labels[mi]);
+      std::printf("%8s |", algo::method_name(m));
       for (std::size_t si = 0; si < sizes_eq.size(); ++si) {
         avg[si] /= static_cast<double>(names.size());
         col_sum[si] += avg[si];
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%8s |", "average");
     for (std::size_t si = 0; si < sizes_eq.size(); ++si) {
-      std::printf(" %6.2f ", col_sum[si] / 3.0);
+      std::printf(" %6.2f ", col_sum[si] / static_cast<double>(methods.size()));
     }
     std::printf("\n");
   }

@@ -21,13 +21,16 @@ namespace hipa::bench {
 
 /// Common CLI flags: --iters=N, --quick (tiny sizes for smoke runs),
 /// --smoke (quick + one dataset + short iterations; CI-friendly),
-/// --dataset=name (restrict to one), --out=path (JSON output path for
-/// benches that emit machine-readable results), --help.
+/// --dataset=name (restrict to one), --methods=a,b (restrict the
+/// methodology set; names per algo::method_from_name, e.g.
+/// "hipa,ppr,GPOP"), --out=path (JSON output path for benches that
+/// emit machine-readable results), --help.
 struct Flags {
   unsigned iterations = 0;  ///< 0 = per-bench default
   bool quick = false;
   bool smoke = false;  ///< implies quick; benches also trim datasets
   std::string dataset;
+  std::vector<algo::Method> methods;  ///< empty = bench default set
   std::string out;  ///< JSON output path ("" = bench default)
 
   static Flags parse(int argc, char** argv) {
@@ -45,17 +48,54 @@ struct Flags {
         f.quick = true;
       } else if (std::strncmp(a, "--dataset=", 10) == 0) {
         f.dataset = a + 10;
+      } else if (std::strncmp(a, "--methods=", 10) == 0) {
+        f.methods = parse_methods(a + 10);
       } else if (std::strncmp(a, "--out=", 6) == 0) {
         f.out = a + 6;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "flags: --iters=N  --quick  --smoke  --dataset=<name>  "
-            "--out=<path>\n"
-            "datasets: journal pld wiki kron twitter mpi\n");
+            "--methods=a,b  --out=<path>\n"
+            "datasets: journal pld wiki kron twitter mpi\n"
+            "methods:  hipa ppr vpr gpop polymer (or the paper names)\n");
         std::exit(0);
       }
     }
     return f;
+  }
+
+  /// Comma-separated method list -> Methods via algo::method_from_name.
+  /// Unknown names abort with a message listing the vocabulary — a
+  /// silently dropped methodology would corrupt a reproduction run.
+  static std::vector<algo::Method> parse_methods(const char* list) {
+    std::vector<algo::Method> out;
+    const std::string s(list);
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+      const std::size_t comma = std::min(s.find(',', pos), s.size());
+      const std::string tok = s.substr(pos, comma - pos);
+      if (!tok.empty()) {
+        const auto m = algo::method_from_name(tok);
+        if (!m.has_value()) {
+          std::fprintf(stderr,
+                       "unknown method '%s' (try hipa ppr vpr gpop "
+                       "polymer)\n",
+                       tok.c_str());
+          std::exit(2);
+        }
+        out.push_back(*m);
+      }
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+  /// The bench's method set: the --methods= filter if given (order
+  /// preserved), otherwise `defaults`.
+  [[nodiscard]] std::vector<algo::Method> methods_or(
+      std::initializer_list<algo::Method> defaults) const {
+    if (!methods.empty()) return methods;
+    return std::vector<algo::Method>(defaults);
   }
 };
 
@@ -185,5 +225,71 @@ class JsonWriter {
   std::vector<bool> first_;
   bool after_key_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Shared telemetry JSON schema
+// ---------------------------------------------------------------------------
+//
+// Every bench that serializes run telemetry goes through this one
+// writer so BENCH_*.json files share a single schema:
+//
+//   "telemetry": {
+//     "enabled": true, "threads": N,
+//     "phases": [ { "phase": "init"|"scatter"|"gather",
+//                   "invocations": .., "barrier_crossings": ..,
+//                   "wall_sum_seconds": .., "wall_max_seconds": ..,
+//                   "wall_min_seconds": .., "imbalance": ..,
+//                   "barrier_sum_seconds": .., "barrier_max_seconds": ..,
+//                   "messages_produced": .., "messages_consumed": ..,
+//                   "bytes_produced": .., "bytes_consumed": ..,
+//                   "region_seconds": .., "sim_local_accesses": ..,
+//                   "sim_remote_accesses": .. }, x3 ],
+//     "iterations_recorded": I,
+//     "total_wall_seconds": .., "total_barrier_seconds": ..,
+//     "total_messages_produced": .., "total_messages_consumed": ..
+//   }
+
+/// Emit `telemetry` (or a custom key) as one object in the shared
+/// schema above. Call with the writer positioned inside an object.
+inline void emit_telemetry(JsonWriter& jw, const runtime::RunTelemetry& t,
+                           const char* key = "telemetry") {
+  jw.key(key);
+  jw.begin_object();
+  jw.kv("enabled", t.enabled);
+  jw.kv("threads", t.threads);
+  jw.key("phases");
+  jw.begin_array();
+  for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+    const auto ph = static_cast<runtime::Phase>(pi);
+    const runtime::PhaseAggregate& a = t[ph];
+    jw.begin_object();
+    jw.kv("phase", std::string(runtime::phase_name(ph)));
+    jw.kv("invocations", a.invocations);
+    jw.kv("barrier_crossings", a.barrier_crossings);
+    jw.kv("participating_threads", a.participating_threads);
+    jw.kv("wall_sum_seconds", a.wall_sum_seconds);
+    jw.kv("wall_max_seconds", a.wall_max_seconds);
+    jw.kv("wall_min_seconds", a.wall_min_seconds);
+    jw.kv("imbalance", a.imbalance());
+    jw.kv("barrier_sum_seconds", a.barrier_sum_seconds);
+    jw.kv("barrier_max_seconds", a.barrier_max_seconds);
+    jw.kv("messages_produced", a.messages_produced);
+    jw.kv("messages_consumed", a.messages_consumed);
+    jw.kv("bytes_produced", a.bytes_produced);
+    jw.kv("bytes_consumed", a.bytes_consumed);
+    jw.kv("region_seconds", a.region_seconds);
+    jw.kv("sim_local_accesses", a.sim_local_accesses);
+    jw.kv("sim_remote_accesses", a.sim_remote_accesses);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.kv("iterations_recorded",
+        static_cast<std::uint64_t>(t.iteration_seconds.size()));
+  jw.kv("total_wall_seconds", t.total_wall_seconds());
+  jw.kv("total_barrier_seconds", t.total_barrier_seconds());
+  jw.kv("total_messages_produced", t.total_messages_produced());
+  jw.kv("total_messages_consumed", t.total_messages_consumed());
+  jw.end_object();
+}
 
 }  // namespace hipa::bench

@@ -49,9 +49,9 @@ int main() {
         Config{"p-PR (oblivious, FCFS)", algo::Method::kPpr}}) {
     sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
     algo::MethodParams params;
-    params.iterations = 4;
+    params.pr.iterations = 4;
     params.scale_denom = scale;
-    const auto r = algo::run_method_sim(c.method, g, machine, params);
+    const auto r = algo::run_method_sim(c.method, g, machine, params).report;
     std::printf("  %-28s %.4f s, %4.1f%% remote traffic\n", c.label,
                 r.seconds, r.stats.remote_fraction() * 100.0);
   }
@@ -62,12 +62,12 @@ int main() {
        {32ull << 10, 256ull << 10, 2048ull << 10}) {
     sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
     algo::MethodParams params;
-    params.iterations = 4;
+    params.pr.iterations = 4;
     params.scale_denom = scale;
     params.partition_bytes =
         std::max<std::uint64_t>(size_eq / scale, sizeof(rank_t));
     const auto r =
-        algo::run_method_sim(algo::Method::kHipa, g, machine, params);
+        algo::run_method_sim(algo::Method::kHipa, g, machine, params).report;
     std::printf("  %5lluK-eq partitions: %.4f s, LLC hit ratio %4.1f%%\n",
                 static_cast<unsigned long long>(size_eq >> 10), r.seconds,
                 r.stats.llc_hit_ratio() * 100.0);

@@ -5,6 +5,7 @@
 //
 // Without an argument a synthetic social graph is generated.
 #include <cstdio>
+#include <string>
 
 #include "algos/pagerank.hpp"
 #include "common/timer.hpp"
@@ -45,12 +46,24 @@ int main(int argc, char** argv) {
               engine.plan().parts.num_partitions(),
               engine.bins().compression_ratio());
 
-  // 3. Run PageRank.
-  std::vector<rank_t> ranks;
-  const auto report = engine.run_pagerank({.iterations = 20}, &ranks);
+  // 3. Run PageRank — with run-level telemetry, so the report can say
+  //    where the time went, not just how much there was.
+  const auto [report, ranks] = engine.run(
+      {.iterations = 20, .telemetry = runtime::Telemetry::kOn});
   std::printf("20 iterations in %.3f s (%.1f M edges/s)\n", report.seconds,
               20.0 * static_cast<double>(g.num_edges()) / report.seconds /
                   1e6);
+  for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+    const auto ph = static_cast<runtime::Phase>(pi);
+    const auto& agg = report.telemetry[ph];
+    std::printf("  %-7s kernel %.3f s (imbalance %.2f), barrier %.3f s, "
+                "%llu msgs\n",
+                std::string(runtime::phase_name(ph)).c_str(),
+                agg.wall_sum_seconds, agg.imbalance(),
+                agg.barrier_sum_seconds,
+                static_cast<unsigned long long>(agg.messages_produced +
+                                                agg.messages_consumed));
+  }
 
   // 4. Inspect the result.
   std::printf("top 5 vertices by rank:\n");

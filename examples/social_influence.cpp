@@ -31,14 +31,12 @@ int main() {
   for (algo::Method m : algo::all_methods()) {
     sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
     algo::MethodParams params;
-    params.iterations = 5;
+    params.pr.iterations = 5;
     params.scale_denom = scale;
-    std::vector<rank_t> ranks;
-    const auto report =
-        algo::run_method_sim(m, g, machine, params, &ranks);
+    auto [report, ranks] = algo::run_method_sim(m, g, machine, params);
     std::printf("%-9s %10.4f %12.1f %8.1f%% %10llu\n",
                 algo::method_name(m), report.seconds,
-                report.stats.mape(g.num_edges()) / params.iterations,
+                report.stats.mape(g.num_edges()) / params.pr.iterations,
                 report.stats.remote_fraction() * 100.0,
                 static_cast<unsigned long long>(
                     report.stats.thread_migrations));

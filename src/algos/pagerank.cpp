@@ -77,6 +77,19 @@ const char* method_name(Method m) {
   return "?";
 }
 
+std::optional<Method> method_from_name(std::string_view name) {
+  for (Method m : all_methods()) {
+    if (name == method_name(m)) return m;  // exact round-trip
+  }
+  // Command-line-friendly lowercase aliases (--methods=hipa,ppr).
+  if (name == "hipa") return Method::kHipa;
+  if (name == "ppr") return Method::kPpr;
+  if (name == "vpr") return Method::kVpr;
+  if (name == "gpop") return Method::kGpop;
+  if (name == "polymer") return Method::kPolymer;
+  return std::nullopt;
+}
+
 unsigned default_threads(Method m, const sim::Topology& topo) {
   switch (m) {
     case Method::kHipa:
@@ -110,39 +123,38 @@ std::uint64_t default_partition_bytes(Method m, unsigned scale_denom) {
 namespace {
 
 template <class Backend>
-engine::RunReport dispatch(Method m, const graph::Graph& g, Backend& backend,
-                           unsigned threads, std::uint64_t part_bytes,
-                           unsigned num_nodes, const MethodParams& params,
-                           std::vector<rank_t>* ranks) {
-  const engine::PageRankOptions pr{params.iterations, params.damping};
+RunResult dispatch(Method m, const graph::Graph& g, Backend& backend,
+                   unsigned threads, std::uint64_t part_bytes,
+                   unsigned num_nodes, const MethodParams& params) {
+  const engine::PageRankOptions pr = params.resolved();
   switch (m) {
     case Method::kHipa: {
       auto opt = engine::PcpmOptions::hipa(threads, num_nodes, part_bytes);
       engine::PcpmEngine<Backend> eng(g, opt, backend);
-      return eng.run_pagerank(pr, ranks);
+      return eng.run(pr);
     }
     case Method::kPpr: {
       auto opt = engine::PcpmOptions::ppr(threads, num_nodes, part_bytes);
       engine::PcpmEngine<Backend> eng(g, opt, backend);
-      return eng.run_pagerank(pr, ranks);
+      return eng.run(pr);
     }
     case Method::kGpop: {
       auto opt = engine::PcpmOptions::gpop(threads, num_nodes, part_bytes);
       engine::PcpmEngine<Backend> eng(g, opt, backend);
-      return eng.run_pagerank(pr, ranks);
+      return eng.run(pr);
     }
     case Method::kVpr: {
       engine::VprOptions opt;
       opt.num_threads = threads;
       engine::VprEngine<Backend> eng(g, opt, backend);
-      return eng.run_pagerank(pr, ranks);
+      return eng.run(pr);
     }
     case Method::kPolymer: {
       engine::PolymerOptions opt;
       opt.num_threads = threads;
       opt.num_nodes = num_nodes;
       engine::PolymerEngine<Backend> eng(g, opt, backend);
-      return eng.run_pagerank(pr, ranks);
+      return eng.run(pr);
     }
   }
   HIPA_CHECK(false, "unknown method");
@@ -151,10 +163,9 @@ engine::RunReport dispatch(Method m, const graph::Graph& g, Backend& backend,
 
 }  // namespace
 
-engine::RunReport run_method_sim(Method m, const graph::Graph& g,
-                                 sim::SimMachine& machine,
-                                 const MethodParams& params,
-                                 std::vector<rank_t>* ranks) {
+RunResult run_method_sim(Method m, const graph::Graph& g,
+                         sim::SimMachine& machine,
+                         const MethodParams& params) {
   engine::SimBackend backend(machine);
   const unsigned threads = params.threads != 0
                                ? params.threads
@@ -164,12 +175,11 @@ engine::RunReport run_method_sim(Method m, const graph::Graph& g,
           ? params.partition_bytes
           : default_partition_bytes(m, params.scale_denom);
   return dispatch(m, g, backend, threads, part_bytes,
-                  machine.topology().num_nodes, params, ranks);
+                  machine.topology().num_nodes, params);
 }
 
-engine::RunReport run_method_native(Method m, const graph::Graph& g,
-                                    const MethodParams& params,
-                                    std::vector<rank_t>* ranks) {
+RunResult run_method_native(Method m, const graph::Graph& g,
+                            const MethodParams& params) {
   engine::NativeBackend backend;
   const unsigned cpus = runtime::available_cpus();
   const unsigned threads = params.threads != 0 ? params.threads : cpus;
@@ -179,7 +189,7 @@ engine::RunReport run_method_native(Method m, const graph::Graph& g,
     if (part_bytes == 0) part_bytes = 256 * 1024;  // vertex-centric: unused
   }
   // Native runs on this host: treat it as one NUMA node.
-  return dispatch(m, g, backend, threads, part_bytes, 1, params, ranks);
+  return dispatch(m, g, backend, threads, part_bytes, 1, params);
 }
 
 }  // namespace hipa::algo

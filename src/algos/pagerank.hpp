@@ -2,8 +2,10 @@
 // methodologies behind one runner API, and result-comparison helpers.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engines/backend.hpp"
@@ -12,6 +14,10 @@
 #include "sim/machine.hpp"
 
 namespace hipa::algo {
+
+/// The unified run surface (report + final ranks), re-exported so
+/// facade users never need to spell the engine namespace.
+using RunResult = engine::RunResult;
 
 /// Serial textbook PageRank (paper Eq. 1), the correctness oracle for
 /// every engine.
@@ -33,17 +39,59 @@ enum class Method { kHipa, kPpr, kVpr, kGpop, kPolymer };
 [[nodiscard]] std::span<const Method> all_methods();
 [[nodiscard]] const char* method_name(Method m);
 
+/// Inverse of method_name (exact, case-sensitive round-trip:
+/// "HiPa", "p-PR", "v-PR", "GPOP", "Polymer") plus the lowercase
+/// aliases used on bench command lines ("hipa", "ppr", "vpr", "gpop",
+/// "polymer"). Returns nullopt for anything else.
+[[nodiscard]] std::optional<Method> method_from_name(std::string_view name);
+
 /// Parameters common to every runner. Zeros mean "paper default for
 /// this methodology on this machine".
+// Deprecation warnings are suppressed across the struct definition so
+// the *implicit* special members (which reference the deprecated
+// fields' initializers) stay quiet; explicit uses of the legacy
+// fields at call sites still warn.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 struct MethodParams {
   unsigned threads = 0;
   std::uint64_t partition_bytes = 0;
   /// Divide default partition sizes by this (must track the machine's
   /// cache scaling; see DatasetInfo::recommended_scale).
   unsigned scale_denom = 1;
-  unsigned iterations = 20;
-  rank_t damping = 0.85f;
+  /// The engine-level run options (iterations, damping, tolerance,
+  /// telemetry) — ONE source of truth shared with every engine's
+  /// run()/run_pagerank() instead of the historic duplicated flat
+  /// fields.
+  engine::PageRankOptions pr{};
+
+  // Deprecated duplicates of pr.iterations / pr.damping, kept for one
+  // PR as a migration shim. Sentinels (0) mean "not set"; a non-zero
+  // value overrides the embedded options in resolved().
+  [[deprecated("set MethodParams::pr.iterations")]] unsigned iterations = 0;
+  [[deprecated("set MethodParams::pr.damping")]] rank_t damping = 0.0f;
+
+  /// Effective engine options: `pr` with any legacy flat fields folded
+  /// in (legacy wins when explicitly set, preserving old call sites).
+  [[nodiscard]] engine::PageRankOptions resolved() const {
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    engine::PageRankOptions out = pr;
+    if (iterations != 0) out.iterations = iterations;
+    if (damping != 0.0f) out.damping = damping;
+    return out;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  }
 };
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 /// Paper-default thread count of a methodology on a topology
 /// (HiPa/v-PR/Polymer use all logical cores; p-PR and GPOP stay at or
@@ -57,15 +105,15 @@ struct MethodParams {
 
 /// Run methodology `m` on the simulated machine. Preprocessing and
 /// iteration costs both land in the machine's cycle counter; the
-/// returned report carries this run's stats delta.
-engine::RunReport run_method_sim(Method m, const graph::Graph& g,
-                                 sim::SimMachine& machine,
-                                 const MethodParams& params,
-                                 std::vector<rank_t>* ranks = nullptr);
+/// returned report carries this run's stats delta. The final ranks
+/// ride along in the returned RunResult (the historic
+/// `std::vector<rank_t>*` out-param is gone).
+[[nodiscard]] RunResult run_method_sim(Method m, const graph::Graph& g,
+                                       sim::SimMachine& machine,
+                                       const MethodParams& params = {});
 
 /// Run methodology `m` natively (real threads, wall-clock timing).
-engine::RunReport run_method_native(Method m, const graph::Graph& g,
-                                    const MethodParams& params,
-                                    std::vector<rank_t>* ranks = nullptr);
+[[nodiscard]] RunResult run_method_native(Method m, const graph::Graph& g,
+                                          const MethodParams& params = {});
 
 }  // namespace hipa::algo

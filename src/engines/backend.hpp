@@ -23,6 +23,7 @@
 #include "runtime/affinity.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/placement.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/machine.hpp"
 
@@ -354,6 +355,25 @@ class SimBackend {
   sim::PlacementVec placement_;
 };
 
+/// PageRank run parameters — the one options surface every engine's
+/// `run()` / `run_pagerank()` accepts (PCPM family, v-PR, Polymer).
+struct PageRankOptions {
+  unsigned iterations = 20;  ///< paper's fixed iteration count (a cap
+                             ///< when tolerance > 0)
+  rank_t damping = 0.85f;
+  /// L1 convergence threshold: stop once sum_v |r_new - r_old| drops
+  /// to or below it. 0 (default) keeps the paper's fixed-iteration
+  /// behavior. The per-thread partial sums and the early-stop decision
+  /// are computed identically on the per-phase and single-dispatch
+  /// paths, so both stop after the same iteration with bitwise-equal
+  /// ranks.
+  double tolerance = 0.0;
+  /// Per-phase/per-thread telemetry (RunReport::telemetry). kOff (the
+  /// default) compiles the instrumentation out of the run path
+  /// entirely — ranks are bitwise identical to an untelemetered build.
+  runtime::Telemetry telemetry = runtime::Telemetry::kOff;
+};
+
 /// Result of one engine run.
 struct RunReport {
   double seconds = 0.0;                ///< iteration time
@@ -363,6 +383,17 @@ struct RunReport {
   /// tracked convergence (PageRankOptions::tolerance > 0).
   double last_delta = 0.0;
   sim::SimStats stats;  ///< simulated backends only (zero for native)
+  /// Per-phase/per-thread breakdown; default (enabled == false,
+  /// all-zero) unless the run requested Telemetry::kOn.
+  runtime::RunTelemetry telemetry;
+};
+
+/// The unified run surface every engine and the `algo::` facade return:
+/// the report and the final ranks in one value (replaces the historic
+/// `std::vector<rank_t>*` out-params).
+struct RunResult {
+  RunReport report;
+  std::vector<rank_t> ranks;
 };
 
 }  // namespace hipa::engine

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -93,19 +94,8 @@ struct PcpmOptions {
   }
 };
 
-/// PageRank run parameters.
-struct PageRankOptions {
-  unsigned iterations = 20;  ///< paper's fixed iteration count (a cap
-                             ///< when tolerance > 0)
-  rank_t damping = 0.85f;
-  /// L1 convergence threshold: stop once sum_v |r_new - r_old| drops
-  /// to or below it. 0 (default) keeps the paper's fixed-iteration
-  /// behavior. The per-thread partial sums and the early-stop decision
-  /// are computed identically on the per-phase and single-dispatch
-  /// paths, so both stop after the same iteration with bitwise-equal
-  /// ranks.
-  double tolerance = 0.0;
-};
+// PageRankOptions (shared by every engine) lives in engines/backend.hpp
+// next to RunReport/RunResult — the unified run surface.
 
 template <class Backend>
 class PcpmEngine {
@@ -126,10 +116,32 @@ class PcpmEngine {
     preprocessing_seconds_ = backend.now_seconds() - t0;
   }
 
+  /// Unified run surface: report + final ranks in one value.
+  [[nodiscard]] RunResult run(const PageRankOptions& pr) {
+    RunResult result;
+    result.report = run_pagerank(pr, &result.ranks);
+    return result;
+  }
+
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
+  /// Telemetry is a compile-time fork: the kOff instantiation contains
+  /// no instrumentation at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
+    return pr.telemetry == runtime::Telemetry::kOn
+               ? run_pagerank_impl<true>(pr, ranks_out)
+               : run_pagerank_impl<false>(pr, ranks_out);
+  }
+
+ private:
+  template <bool kTel>
+  RunReport run_pagerank_impl(const PageRankOptions& pr,
+                              std::vector<rank_t>* ranks_out) {
     const vid_t n = graph_->num_vertices();
+    if constexpr (kTel) {
+      timeline_.reset(opt_.num_threads);
+      timeline_.reserve_iterations(pr.iterations);
+    }
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
     spec.persistent = opt_.persistent_threads;
@@ -166,21 +178,30 @@ class PcpmEngine {
     }
     if (single_dispatch) {
       if constexpr (Backend::kSupportsRunLoop) {
-        run_pagerank_single_dispatch(pr, base, track, &iters_done,
-                                     &last_delta);
+        run_pagerank_single_dispatch<kTel>(pr, base, track, &iters_done,
+                                           &last_delta);
       }
     } else {
-      backend_->phase([&](unsigned t, Mem& mem) { init_thread(t, mem); });
+      timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
+        init_thread<kTel>(t, mem);
+      });
       for (unsigned it = 0; it < pr.iterations; ++it) {
+        [[maybe_unused]] double it0 = 0.0;
+        if constexpr (kTel) it0 = backend_->now_seconds();
         ++phase_salt_;
-        backend_->phase(
-            [&](unsigned t, Mem& mem) { scatter_thread(t, mem); });
+        timed_phase<kTel>(runtime::Phase::kScatter,
+                          [&](unsigned t, Mem& mem) {
+                            scatter_thread<kTel>(t, mem);
+                          });
         ++phase_salt_;
-        backend_->phase([&](unsigned t, Mem& mem) {
+        timed_phase<kTel>(runtime::Phase::kGather, [&](unsigned t, Mem& mem) {
           if (track) deltas_[t].value = 0.0;
-          gather_thread(t, mem, base, pr.damping,
-                        track ? &deltas_[t].value : nullptr);
+          gather_thread<kTel>(t, mem, base, pr.damping,
+                              track ? &deltas_[t].value : nullptr);
         });
+        if constexpr (kTel) {
+          timeline_.record_iteration(backend_->now_seconds() - it0);
+        }
         iters_done = it + 1;
         if (track) {
           last_delta = reduce_deltas();
@@ -198,12 +219,42 @@ class PcpmEngine {
     if constexpr (Backend::kSimulated) {
       report.stats = stats_delta(backend_->machine().stats(), before);
     }
+    if constexpr (kTel) {
+      report.telemetry = runtime::aggregate(timeline_);
+    }
     if (ranks_out != nullptr) {
       ranks_out->assign(rank_.begin(), rank_.end());
     }
     return report;
   }
 
+  /// Wrap one phase() dispatch in region accounting: region wall time
+  /// (simulated seconds on SimBackend, host seconds on native) plus,
+  /// on the simulated backend, the DRAM local/remote access delta the
+  /// region produced. The kOff instantiation is exactly
+  /// `backend_->phase(kernel)` — zero added code.
+  template <bool kTel, class F>
+  void timed_phase(runtime::Phase ph, F&& kernel) {
+    if constexpr (!kTel) {
+      backend_->phase(std::forward<F>(kernel));
+    } else {
+      [[maybe_unused]] sim::SimStats s0;
+      if constexpr (Backend::kSimulated) s0 = backend_->machine().stats();
+      const double t0 = backend_->now_seconds();
+      backend_->phase(std::forward<F>(kernel));
+      const double dt = backend_->now_seconds() - t0;
+      if constexpr (Backend::kSimulated) {
+        const sim::SimStats d =
+            stats_delta(backend_->machine().stats(), s0);
+        timeline_.record_region(ph, dt, d.dram_local_accesses,
+                                d.dram_remote_accesses);
+      } else {
+        timeline_.record_region(ph, dt);
+      }
+    }
+  }
+
+ public:
   /// Whether run_pagerank will take the single-dispatch run_loop path
   /// (backend capability x policy knobs). Exposed for tests/bench.
   [[nodiscard]] bool uses_single_dispatch() const {
@@ -600,6 +651,13 @@ class PcpmEngine {
   /// (executed count, convergence sum, stop flag) between barriers.
   /// Eliminates the 2-per-iteration condvar dispatch latency of the
   /// phase() path while computing bitwise-identical ranks.
+  ///
+  /// Telemetry (kTel): each thread times its own barrier waits
+  /// (attributed to the phase the barrier closes) and thread 0 appends
+  /// per-iteration wall seconds between barriers — the same
+  /// happens-before pattern as the convergence scalars. The kOff
+  /// instantiation is token-identical to the untelemetered loop.
+  template <bool kTel>
   void run_pagerank_single_dispatch(const PageRankOptions& pr, rank_t base,
                                     bool track, unsigned* iters_out,
                                     double* delta_out) {
@@ -609,24 +667,45 @@ class PcpmEngine {
     double last_delta = 0.0;
     bool stop = false;
     backend_->run_loop([&](unsigned t, Mem& mem, LoopCtl& ctl) {
-      init_thread(t, mem);
-      ctl.barrier();  // ranks/scaled ranks visible before any scatter
+      auto timed_barrier = [&](runtime::Phase ph) {
+        runtime::MaybeTimer<kTel> bt;
+        bt.reset();
+        ctl.barrier();
+        if constexpr (kTel) {
+          runtime::PhaseSample& row = timeline_.thread(t)[ph];
+          row.barrier_seconds += bt.seconds();
+          ++row.barrier_crossings;
+        }
+      };
+      runtime::MaybeTimer<kTel> iter_timer;
+      init_thread<kTel>(t, mem);
+      // ranks/scaled ranks visible before any scatter
+      timed_barrier(runtime::Phase::kInit);
       for (unsigned it = 0; it < pr.iterations; ++it) {
-        scatter_thread(t, mem);
-        ctl.barrier();  // every inbox written before any gather reads
+        if constexpr (kTel) {
+          if (t == 0) iter_timer.reset();
+        }
+        scatter_thread<kTel>(t, mem);
+        // every inbox written before any gather reads
+        timed_barrier(runtime::Phase::kScatter);
         if (track) deltas_[t].value = 0.0;
-        gather_thread(t, mem, base, pr.damping,
-                      track ? &deltas_[t].value : nullptr);
-        ctl.barrier();  // new scaled ranks ready for the next scatter
+        gather_thread<kTel>(t, mem, base, pr.damping,
+                            track ? &deltas_[t].value : nullptr);
+        // new scaled ranks ready for the next scatter
+        timed_barrier(runtime::Phase::kGather);
         if (t == 0) {
           iters_done = it + 1;
+          if constexpr (kTel) {
+            timeline_.record_iteration(iter_timer.seconds());
+          }
           if (track) {
             last_delta = reduce_deltas();
             stop = last_delta <= pr.tolerance;
           }
         }
         if (!track) continue;
-        ctl.barrier();  // thread 0's stop decision reaches the team
+        // thread 0's stop decision reaches the team
+        timed_barrier(runtime::Phase::kGather);
         if (stop) break;
       }
     });
@@ -683,7 +762,12 @@ class PcpmEngine {
 
   // ---- kernels -------------------------------------------------------------
 
+  template <bool kTel = false>
   void init_thread(unsigned t, Mem& mem) {
+    // Per-thread kernel wall is only meaningful on native backends
+    // (simulated threads run in charged sim time, not host time).
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
     const vid_t n = graph_->num_vertices();
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
     for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
@@ -701,6 +785,12 @@ class PcpmEngine {
       }
       mem.work(r.size());
     });
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kInit];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+    }
   }
 
   /// Software-prefetch lookahead in the pair loops (entries, not
@@ -708,7 +798,11 @@ class PcpmEngine {
   /// inside the partition's resident slice.
   static constexpr eid_t kPrefetchDist = 16;
 
+  template <bool kTel = false>
   void scatter_thread(unsigned t, Mem& mem) {
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
+    [[maybe_unused]] std::uint64_t tel_msgs = 0;
     const auto& pairs = bins_.pairs();
     const auto& src_begin = bins_.src_pair_begin();
     const vid_t* src_list = bins_.src_list().data();
@@ -717,6 +811,7 @@ class PcpmEngine {
     for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
       for (std::uint32_t k = src_begin[p]; k < src_begin[p + 1]; ++k) {
         const pcp::PairInfo& pr = pairs[k];
+        if constexpr (kTel) tel_msgs += pr.msg_count;
         mem.stream_read(&pr, 1);  // bin metadata
         mem.stream_read(src_list + pr.src_off, pr.msg_count);
         mem.stream_write(vals + pr.value_off, pr.msg_count);
@@ -741,17 +836,26 @@ class PcpmEngine {
       }
       if (opt_.framework_overhead) framework_touch(p, mem);
     });
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kScatter];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+      row.messages_produced += tel_msgs;
+      row.bytes_produced += tel_msgs * sizeof(rank_t);
+    }
   }
 
   /// Inbox drain of one thread's destination partitions: accumulate
   /// message values into acc_ (shared by PageRank gather and SpMV).
   /// Dispatches once per run to the compact (16-bit) or wide (32-bit)
   /// destination-entry kernel.
+  template <bool kTel = false>
   void gather_accumulate(unsigned t, Mem& mem) {
     if (bins_.compact()) {
-      gather_accumulate_impl(t, mem, bins_.dst_list16().data());
+      gather_accumulate_impl<kTel>(t, mem, bins_.dst_list16().data());
     } else {
-      gather_accumulate_impl(t, mem, bins_.dst_list().data());
+      gather_accumulate_impl<kTel>(t, mem, bins_.dst_list().data());
     }
   }
 
@@ -761,11 +865,13 @@ class PcpmEngine {
   /// re-load is L1-resident. Compact entries are partition-local, so
   /// the destination partition's first vertex (loop-invariant) is
   /// added back; wide entries carry global ids (base 0).
-  template <class E>
+  template <bool kTel = false, class E>
   void gather_accumulate_impl(unsigned t, Mem& mem, const E* dst_list) {
     static_assert(sizeof(E) == 2 || sizeof(E) == 4);
     constexpr unsigned kShift = sizeof(E) == 2 ? 15 : 31;
     constexpr std::uint32_t kMask = (std::uint32_t{1} << kShift) - 1;
+    [[maybe_unused]] std::uint64_t tel_msgs = 0;
+    [[maybe_unused]] std::uint64_t tel_dsts = 0;
     const auto& pairs = bins_.pairs();
     const auto& dpi = bins_.dst_pair_index();
     const auto& dpb = bins_.dst_pair_begin();
@@ -777,6 +883,10 @@ class PcpmEngine {
       if constexpr (sizeof(E) == 2) vbase = plan_.parts.range(q).begin;
       for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
         const pcp::PairInfo& pr = pairs[dpi[idx]];
+        if constexpr (kTel) {
+          tel_msgs += pr.msg_count;
+          tel_dsts += pr.dst_count;
+        }
         mem.stream_read(&pr, 1);
         mem.stream_read(vals + pr.value_off, pr.msg_count);
         mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
@@ -810,15 +920,25 @@ class PcpmEngine {
         }
       }
     });
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kGather];
+      row.messages_consumed += tel_msgs;
+      row.bytes_consumed +=
+          tel_msgs * sizeof(rank_t) + tel_dsts * sizeof(E);
+    }
   }
 
   /// Gather + apply. When `delta_out` is non-null, accumulates this
   /// thread's L1 rank change (sum |new - old| over owned vertices, in
   /// vertex order) for the convergence check; the rank arithmetic is
   /// identical either way.
+  template <bool kTel = false>
   void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping,
                      double* delta_out = nullptr) {
-    gather_accumulate(t, mem);
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
+    gather_accumulate<kTel>(t, mem);
     double l1 = 0.0;
     for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
       // Apply: finish PageRank for this partition's vertices. All four
@@ -854,6 +974,12 @@ class PcpmEngine {
       if (opt_.framework_overhead) framework_touch(q, mem);
     });
     if (delta_out != nullptr) *delta_out += l1;
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kGather];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+    }
   }
 
   /// GPOP-style per-partition framework state (Flags, State, bin
@@ -882,6 +1008,9 @@ class PcpmEngine {
   /// Per-thread L1 convergence partials (only sized when a run tracks
   /// convergence); cache-line padded against false sharing.
   std::vector<PaddedDouble> deltas_;
+  /// Per-thread telemetry rows + phase-region totals; reset at the top
+  /// of every telemetered run, untouched (empty) otherwise.
+  runtime::PhaseTimeline timeline_;
   double preprocessing_seconds_ = 0.0;
   unsigned phase_salt_ = 0;
 };

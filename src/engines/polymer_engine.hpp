@@ -16,6 +16,7 @@
 //    NUMA-aware).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -60,9 +61,32 @@ class PolymerEngine {
     preprocessing_seconds_ = backend.now_seconds() - t0;
   }
 
+  /// Unified run surface: report + final ranks in one value.
+  [[nodiscard]] RunResult run(const PageRankOptions& pr) {
+    RunResult result;
+    result.report = run_pagerank(pr, &result.ranks);
+    return result;
+  }
+
+  /// Run PageRank; final ranks land in `ranks_out` when non-null.
+  /// Telemetry is a compile-time fork: the kOff instantiation contains
+  /// no instrumentation at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
+    return pr.telemetry == runtime::Telemetry::kOn
+               ? run_pagerank_impl<true>(pr, ranks_out)
+               : run_pagerank_impl<false>(pr, ranks_out);
+  }
+
+ private:
+  template <bool kTel>
+  RunReport run_pagerank_impl(const PageRankOptions& pr,
+                              std::vector<rank_t>* ranks_out) {
     const vid_t n = graph_->num_vertices();
+    if constexpr (kTel) {
+      timeline_.reset(opt_.num_threads);
+      timeline_.reserve_iterations(pr.iterations);
+    }
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
     spec.persistent = true;
@@ -79,7 +103,9 @@ class PolymerEngine {
 
     backend_->start_team(spec);
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
-    backend_->phase([&](unsigned t, Mem& mem) {
+    timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
+      runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+      sw.reset();
       const vid_t b = thread_vertex_bounds_[t];
       const vid_t e = thread_vertex_bounds_[t + 1];
       mem.stream_write(rank_.data() + b, e - b);
@@ -89,21 +115,38 @@ class PolymerEngine {
         frontier_[v] = 1;
       }
       mem.work(e - b);
+      if constexpr (kTel) {
+        runtime::PhaseSample& row =
+            timeline_.thread(t)[runtime::Phase::kInit];
+        ++row.invocations;
+        row.wall_seconds += sw.seconds();
+      }
     });
     const auto base =
         static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
     for (unsigned it = 0; it < pr.iterations; ++it) {
-      backend_->phase(
-          [&](unsigned t, Mem& mem) { replicate_pass(t, mem); });
+      [[maybe_unused]] double it0 = 0.0;
+      if constexpr (kTel) it0 = backend_->now_seconds();
+      // Polymer maps onto the shared phase vocabulary as
+      // replicate→scatter (produce per-node contribution replicas)
+      // and pull→gather (consume one replica entry per in-edge).
+      timed_phase<kTel>(runtime::Phase::kScatter, [&](unsigned t, Mem& mem) {
+        replicate_pass<kTel>(t, mem);
+      });
       for (unsigned m = 0; m < opt_.num_nodes; ++m) {
         const bool last = (m + 1 == opt_.num_nodes);
-        backend_->phase([&](unsigned t, Mem& mem) {
-          pull_pass(t, mem, m, last, base, pr.damping);
-        });
+        timed_phase<kTel>(runtime::Phase::kGather,
+                          [&](unsigned t, Mem& mem) {
+                            pull_pass<kTel>(t, mem, m, last, base,
+                                            pr.damping);
+                          });
       }
       // The frontier double-buffer flips once per iteration (framework
       // behavior; contents are all-ones for PageRank).
       std::swap(frontier_, next_frontier_);
+      if constexpr (kTel) {
+        timeline_.record_iteration(backend_->now_seconds() - it0);
+      }
     }
     backend_->end_team();
 
@@ -115,6 +158,9 @@ class PolymerEngine {
       report.stats =
           VprEngine<Backend>::delta(backend_->machine().stats(), before);
     }
+    if constexpr (kTel) {
+      report.telemetry = runtime::aggregate(timeline_);
+    }
     if (ranks_out != nullptr) {
       ranks_out->resize(n);
       for (vid_t v = 0; v < n; ++v) {
@@ -124,6 +170,30 @@ class PolymerEngine {
     return report;
   }
 
+  /// Region accounting around one phase() dispatch (see PcpmEngine for
+  /// the rationale); kOff is exactly `backend_->phase(kernel)`.
+  template <bool kTel, class F>
+  void timed_phase(runtime::Phase ph, F&& kernel) {
+    if constexpr (!kTel) {
+      backend_->phase(std::forward<F>(kernel));
+    } else {
+      [[maybe_unused]] sim::SimStats s0;
+      if constexpr (Backend::kSimulated) s0 = backend_->machine().stats();
+      const double t0 = backend_->now_seconds();
+      backend_->phase(std::forward<F>(kernel));
+      const double dt = backend_->now_seconds() - t0;
+      if constexpr (Backend::kSimulated) {
+        const sim::SimStats d =
+            VprEngine<Backend>::delta(backend_->machine().stats(), s0);
+        timeline_.record_region(ph, dt, d.dram_local_accesses,
+                                d.dram_remote_accesses);
+      } else {
+        timeline_.record_region(ph, dt);
+      }
+    }
+  }
+
+ public:
   [[nodiscard]] double preprocessing_seconds() const {
     return preprocessing_seconds_;
   }
@@ -260,7 +330,10 @@ class PolymerEngine {
 
   /// Compute contributions for the thread's own vertices and push them
   /// into every node's replica (Polymer's per-iteration replication).
+  template <bool kTel = false>
   void replicate_pass(unsigned t, Mem& mem) {
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
     const vid_t b = thread_vertex_bounds_[t];
     const vid_t e = thread_vertex_bounds_[t + 1];
     mem.stream_read(rank_.data() + b, e - b);
@@ -278,12 +351,28 @@ class PolymerEngine {
     }
     mem.work(std::uint64_t{e - b} *
              (2 + opt_.framework_cycles_per_vertex));
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kScatter];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+      // One contribution per vertex per replica (the N× write traffic
+      // that defines Polymer's replication cost).
+      const std::uint64_t msgs =
+          std::uint64_t{e - b} * opt_.num_nodes;
+      row.messages_produced += msgs;
+      row.bytes_produced += msgs * sizeof(rank_t);
+    }
   }
 
   /// One source-node sub-pass of the pull; the last sub-pass applies
   /// the PageRank update and refreshes the frontier.
+  template <bool kTel = false>
   void pull_pass(unsigned t, Mem& mem, unsigned m, bool last, rank_t base,
                  rank_t damping) {
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
+    [[maybe_unused]] std::uint64_t tel_edges = 0;
     const unsigned nd = node_of_thread(t);
     const vid_t node_begin = node_bounds_[nd];
     const vid_t b = thread_pull_bounds_[t];
@@ -306,6 +395,7 @@ class PolymerEngine {
       // when uncontended.
       mem.atomic_add(acc_.data() + v, sum);
       mem.work((hi - lo) * (1 + opt_.framework_cycles_per_edge) + 2);
+      if constexpr (kTel) tel_edges += hi - lo;
     }
     if (last) {
       mem.stream_read(acc_.data() + b, e - b);
@@ -320,6 +410,14 @@ class PolymerEngine {
       }
       mem.work(std::uint64_t{e - b} *
                (2 + opt_.framework_cycles_per_vertex));
+    }
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kGather];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+      row.messages_consumed += tel_edges;
+      row.bytes_consumed += tel_edges * sizeof(rank_t);
     }
   }
 
@@ -340,6 +438,9 @@ class PolymerEngine {
   std::vector<AlignedBuffer<rank_t>> replicas_;
   std::vector<AlignedBuffer<eid_t>> sub_offsets_;
   std::vector<AlignedBuffer<vid_t>> sub_targets_;
+  /// Per-thread telemetry rows + phase-region totals; reset at the top
+  /// of every telemetered run, untouched (empty) otherwise.
+  runtime::PhaseTimeline timeline_;
   double preprocessing_seconds_ = 0.0;
 };
 

@@ -10,6 +10,7 @@
 // partition-centric engines eliminate.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -61,9 +62,32 @@ class VprEngine {
     preprocessing_seconds_ = backend.now_seconds() - t0;
   }
 
+  /// Unified run surface: report + final ranks in one value.
+  [[nodiscard]] RunResult run(const PageRankOptions& pr) {
+    RunResult result;
+    result.report = run_pagerank(pr, &result.ranks);
+    return result;
+  }
+
+  /// Run PageRank; final ranks land in `ranks_out` when non-null.
+  /// Telemetry is a compile-time fork: the kOff instantiation contains
+  /// no instrumentation at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
+    return pr.telemetry == runtime::Telemetry::kOn
+               ? run_pagerank_impl<true>(pr, ranks_out)
+               : run_pagerank_impl<false>(pr, ranks_out);
+  }
+
+ private:
+  template <bool kTel>
+  RunReport run_pagerank_impl(const PageRankOptions& pr,
+                              std::vector<rank_t>* ranks_out) {
     const vid_t n = graph_->num_vertices();
+    if constexpr (kTel) {
+      timeline_.reset(opt_.num_threads);
+      timeline_.reserve_iterations(pr.iterations);
+    }
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
     spec.persistent = false;  // per-region fork-join, Algorithm 1 style
@@ -79,20 +103,38 @@ class VprEngine {
 
     backend_->start_team(spec);
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
-    backend_->phase([&](unsigned t, Mem& mem) {
+    timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
+      runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+      sw.reset();
       const vid_t b = vertex_chunks_[t];
       const vid_t e = vertex_chunks_[t + 1];
       mem.stream_write(rank_.data() + b, e - b);
       for (vid_t v = b; v < e; ++v) rank_[v] = r0;
       mem.work(e - b);
+      if constexpr (kTel) {
+        runtime::PhaseSample& row =
+            timeline_.thread(t)[runtime::Phase::kInit];
+        ++row.invocations;
+        row.wall_seconds += sw.seconds();
+      }
     });
     const auto base =
         static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
     for (unsigned it = 0; it < pr.iterations; ++it) {
-      backend_->phase([&](unsigned t, Mem& mem) { contrib_pass(t, mem); });
-      backend_->phase([&](unsigned t, Mem& mem) {
-        pull_pass(t, mem, base, pr.damping);
+      [[maybe_unused]] double it0 = 0.0;
+      if constexpr (kTel) it0 = backend_->now_seconds();
+      // v-PR maps onto the shared phase vocabulary as
+      // contrib→scatter (produce per-vertex contributions) and
+      // pull→gather (consume one contribution per in-edge).
+      timed_phase<kTel>(runtime::Phase::kScatter, [&](unsigned t, Mem& mem) {
+        contrib_pass<kTel>(t, mem);
       });
+      timed_phase<kTel>(runtime::Phase::kGather, [&](unsigned t, Mem& mem) {
+        pull_pass<kTel>(t, mem, base, pr.damping);
+      });
+      if constexpr (kTel) {
+        timeline_.record_iteration(backend_->now_seconds() - it0);
+      }
     }
     backend_->end_team();
 
@@ -103,9 +145,36 @@ class VprEngine {
     if constexpr (Backend::kSimulated) {
       report.stats = delta(backend_->machine().stats(), before);
     }
+    if constexpr (kTel) {
+      report.telemetry = runtime::aggregate(timeline_);
+    }
     if (ranks_out != nullptr) ranks_out->assign(rank_.begin(), rank_.end());
     return report;
   }
+
+  /// Region accounting around one phase() dispatch (see PcpmEngine for
+  /// the rationale); kOff is exactly `backend_->phase(kernel)`.
+  template <bool kTel, class F>
+  void timed_phase(runtime::Phase ph, F&& kernel) {
+    if constexpr (!kTel) {
+      backend_->phase(std::forward<F>(kernel));
+    } else {
+      [[maybe_unused]] sim::SimStats s0;
+      if constexpr (Backend::kSimulated) s0 = backend_->machine().stats();
+      const double t0 = backend_->now_seconds();
+      backend_->phase(std::forward<F>(kernel));
+      const double dt = backend_->now_seconds() - t0;
+      if constexpr (Backend::kSimulated) {
+        const sim::SimStats d = delta(backend_->machine().stats(), s0);
+        timeline_.record_region(ph, dt, d.dram_local_accesses,
+                                d.dram_remote_accesses);
+      } else {
+        timeline_.record_region(ph, dt);
+      }
+    }
+  }
+
+ public:
 
   [[nodiscard]] double preprocessing_seconds() const {
     return preprocessing_seconds_;
@@ -134,7 +203,10 @@ class VprEngine {
   }
 
  private:
+  template <bool kTel = false>
   void contrib_pass(unsigned t, Mem& mem) {
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
     const vid_t b = vertex_chunks_[t];
     const vid_t e = vertex_chunks_[t + 1];
     mem.stream_read(rank_.data() + b, e - b);
@@ -146,9 +218,21 @@ class VprEngine {
     // Branchless (sinks have inv == 0) and autovectorizable.
     for (vid_t v = b; v < e; ++v) contrib[v] = rank[v] * inv[v];
     mem.work(e - b);
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kScatter];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+      row.messages_produced += e - b;
+      row.bytes_produced += std::uint64_t{e - b} * sizeof(rank_t);
+    }
   }
 
+  template <bool kTel = false>
   void pull_pass(unsigned t, Mem& mem, rank_t base, rank_t damping) {
+    runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    sw.reset();
+    [[maybe_unused]] std::uint64_t tel_edges = 0;
     const vid_t b = pull_chunks_[t];
     const vid_t e = pull_chunks_[t + 1];
     const graph::CsrGraph& in = graph_->in;
@@ -167,6 +251,15 @@ class VprEngine {
       }
       rank_[v] = base + damping * sum;
       mem.work(hi - lo + 2);
+      if constexpr (kTel) tel_edges += hi - lo;
+    }
+    if constexpr (kTel) {
+      runtime::PhaseSample& row =
+          timeline_.thread(t)[runtime::Phase::kGather];
+      ++row.invocations;
+      row.wall_seconds += sw.seconds();
+      row.messages_consumed += tel_edges;
+      row.bytes_consumed += tel_edges * sizeof(rank_t);
     }
   }
 
@@ -178,6 +271,9 @@ class VprEngine {
   AlignedBuffer<rank_t> rank_;
   AlignedBuffer<rank_t> contrib_;
   AlignedBuffer<rank_t> inv_deg_;  ///< 1/out-degree, 0 for sinks
+  /// Per-thread telemetry rows + phase-region totals; reset at the top
+  /// of every telemetered run, untouched (empty) otherwise.
+  runtime::PhaseTimeline timeline_;
   double preprocessing_seconds_ = 0.0;
 };
 

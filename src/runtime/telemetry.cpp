@@ -1,0 +1,109 @@
+#include "runtime/telemetry.hpp"
+
+#include <algorithm>
+
+namespace hipa::runtime {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kInit:
+      return "init";
+    case Phase::kScatter:
+      return "scatter";
+    case Phase::kGather:
+      return "gather";
+  }
+  return "?";
+}
+
+void PhaseSample::merge(const PhaseSample& o) {
+  wall_seconds += o.wall_seconds;
+  barrier_seconds += o.barrier_seconds;
+  invocations += o.invocations;
+  barrier_crossings += o.barrier_crossings;
+  messages_produced += o.messages_produced;
+  messages_consumed += o.messages_consumed;
+  bytes_produced += o.bytes_produced;
+  bytes_consumed += o.bytes_consumed;
+}
+
+void PhaseTimeline::reset(unsigned num_threads) {
+  threads_.assign(num_threads, ThreadTimeline{});
+  regions_.fill(RegionTotals{});
+  iteration_seconds_.clear();
+}
+
+void PhaseTimeline::record_region(Phase p, double seconds,
+                                  std::uint64_t local, std::uint64_t remote) {
+  RegionTotals& r = regions_[static_cast<unsigned>(p)];
+  r.seconds += seconds;
+  r.invocations += 1;
+  r.sim_local_accesses += local;
+  r.sim_remote_accesses += remote;
+}
+
+double RunTelemetry::total_wall_seconds() const {
+  double s = 0.0;
+  for (const PhaseAggregate& p : phases) s += p.wall_sum_seconds;
+  return s;
+}
+
+double RunTelemetry::total_barrier_seconds() const {
+  double s = 0.0;
+  for (const PhaseAggregate& p : phases) s += p.barrier_sum_seconds;
+  return s;
+}
+
+std::uint64_t RunTelemetry::total_messages_produced() const {
+  std::uint64_t n = 0;
+  for (const PhaseAggregate& p : phases) n += p.messages_produced;
+  return n;
+}
+
+std::uint64_t RunTelemetry::total_messages_consumed() const {
+  std::uint64_t n = 0;
+  for (const PhaseAggregate& p : phases) n += p.messages_consumed;
+  return n;
+}
+
+RunTelemetry aggregate(const PhaseTimeline& timeline) {
+  RunTelemetry out;
+  out.enabled = true;
+  out.threads = timeline.num_threads();
+  out.iteration_seconds = timeline.iteration_seconds();
+  for (unsigned pi = 0; pi < kNumPhases; ++pi) {
+    const auto ph = static_cast<Phase>(pi);
+    PhaseAggregate& agg = out.phases[pi];
+    bool any_wall = false;
+    for (unsigned t = 0; t < timeline.num_threads(); ++t) {
+      const PhaseSample& s = timeline.thread(t)[ph];
+      if (s.invocations == 0 && s.barrier_crossings == 0) continue;
+      agg.invocations += s.invocations;
+      agg.barrier_crossings += s.barrier_crossings;
+      agg.messages_produced += s.messages_produced;
+      agg.messages_consumed += s.messages_consumed;
+      agg.bytes_produced += s.bytes_produced;
+      agg.bytes_consumed += s.bytes_consumed;
+      agg.barrier_sum_seconds += s.barrier_seconds;
+      agg.barrier_max_seconds =
+          std::max(agg.barrier_max_seconds, s.barrier_seconds);
+      if (s.invocations == 0) continue;
+      ++agg.participating_threads;
+      agg.wall_sum_seconds += s.wall_seconds;
+      agg.wall_max_seconds = std::max(agg.wall_max_seconds, s.wall_seconds);
+      agg.wall_min_seconds = any_wall
+                                 ? std::min(agg.wall_min_seconds,
+                                            s.wall_seconds)
+                                 : s.wall_seconds;
+      any_wall = true;
+    }
+    const PhaseTimeline::RegionTotals& r = timeline.region(ph);
+    agg.region_seconds = r.seconds;
+    agg.regions = r.invocations;
+    agg.sim_local_accesses = r.sim_local_accesses;
+    agg.sim_remote_accesses = r.sim_remote_accesses;
+  }
+  return out;
+}
+
+}  // namespace hipa::runtime

@@ -45,10 +45,9 @@ TEST_P(MethodCorrectness, SimMatchesReference) {
   const auto want = algo::pagerank_reference(g, 8);
   sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 8;
+  params.pr.iterations = 8;
   params.scale_denom = 64;
-  std::vector<rank_t> got;
-  algo::run_method_sim(m, g, machine, params, &got);
+  const auto got = algo::run_method_sim(m, g, machine, params).ranks;
   expect_close(got, want, algo::method_name(m));
 }
 
@@ -57,11 +56,10 @@ TEST_P(MethodCorrectness, NativeMatchesReference) {
   const graph::Graph g = test_graph(78);
   const auto want = algo::pagerank_reference(g, 8);
   algo::MethodParams params;
-  params.iterations = 8;
+  params.pr.iterations = 8;
   params.scale_denom = 64;
   params.threads = 4;
-  std::vector<rank_t> got;
-  algo::run_method_native(m, g, params, &got);
+  const auto got = algo::run_method_native(m, g, params).ranks;
   expect_close(got, want, algo::method_name(m));
 }
 
@@ -70,9 +68,9 @@ TEST_P(MethodCorrectness, ReportsPlausibleStats) {
   const graph::Graph g = test_graph(79);
   sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 4;
+  params.pr.iterations = 4;
   params.scale_denom = 64;
-  const auto report = algo::run_method_sim(m, g, machine, params);
+  const auto report = algo::run_method_sim(m, g, machine, params).report;
   EXPECT_GT(report.seconds, 0.0);
   EXPECT_GT(report.stats.total_cycles, 0u);
   EXPECT_GT(report.stats.loads, g.num_edges());  // at least one read/edge
@@ -83,8 +81,9 @@ TEST_P(MethodCorrectness, ReportsPlausibleStats) {
 INSTANTIATE_TEST_SUITE_P(AllMethods, MethodCorrectness,
                          ::testing::ValuesIn(algo::all_methods().begin(),
                                              algo::all_methods().end()),
-                         [](const auto& info) {
-                           std::string name = algo::method_name(info.param);
+                         [](const auto& param_info) {
+                           std::string name =
+                               algo::method_name(param_info.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }
@@ -104,8 +103,7 @@ TEST_P(HipaConfigSweep, CorrectAcrossThreadAndPartitionSizes) {
   engine::SimBackend backend(machine);
   auto opt = engine::PcpmOptions::hipa(threads, 2, part_bytes);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
-  std::vector<rank_t> got;
-  eng.run_pagerank({6, 0.85f}, &got);
+  const auto got = eng.run({6, 0.85f}).ranks;
   expect_close(got, want, "hipa");
 }
 
@@ -121,8 +119,7 @@ TEST(PcpmEngine, FcfsModeIsCorrect) {
   engine::SimBackend backend(machine);
   auto opt = engine::PcpmOptions::ppr(8, 2, 2048);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
-  std::vector<rank_t> got;
-  eng.run_pagerank({5, 0.85f}, &got);
+  const auto got = eng.run({5, 0.85f}).ranks;
   expect_close(got, want, "ppr-fcfs");
 }
 
@@ -134,8 +131,7 @@ TEST(PcpmEngine, SinglePartitionGraph) {
   engine::SimBackend backend(machine);
   auto opt = engine::PcpmOptions::hipa(4, 2, 1u << 22);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
-  std::vector<rank_t> got;
-  eng.run_pagerank({5, 0.85f}, &got);
+  const auto got = eng.run({5, 0.85f}).ranks;
   expect_close(got, want, "one-partition");
 }
 
@@ -149,8 +145,7 @@ TEST(PcpmEngine, DanglingVerticesHandled) {
   engine::SimBackend backend(machine);
   auto opt = engine::PcpmOptions::hipa(2, 2, 8);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
-  std::vector<rank_t> got;
-  eng.run_pagerank({10, 0.85f}, &got);
+  const auto got = eng.run({10, 0.85f}).ranks;
   expect_close(got, want, "dangling");
 }
 
@@ -160,8 +155,7 @@ TEST(PcpmEngine, ZeroIterationsKeepsInitialRanks) {
   engine::SimBackend backend(machine);
   auto opt = engine::PcpmOptions::hipa(2, 2, 64);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
-  std::vector<rank_t> got;
-  eng.run_pagerank({0, 0.85f}, &got);
+  const auto got = eng.run({0, 0.85f}).ranks;
   for (rank_t r : got) EXPECT_FLOAT_EQ(r, 0.01f);
 }
 
@@ -180,8 +174,7 @@ std::vector<rank_t> run_hipa_with_encoding(const graph::Graph& g,
   opt.dst_encoding = enc;
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
   if (was_compact != nullptr) *was_compact = eng.bins().compact();
-  std::vector<rank_t> got;
-  eng.run_pagerank({8, 0.85f}, &got);
+  const auto got = eng.run({8, 0.85f}).ranks;
   return got;
 }
 
@@ -248,7 +241,7 @@ TEST(DstEncoding, NativeBackendBitwiseMatchToo) {
     opt.dst_encoding = pcp::DstEncoding::kCompact;
     engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
     EXPECT_TRUE(eng.bins().compact());
-    eng.run_pagerank(pr, &c);
+    c = eng.run(pr).ranks;
   }
   {
     engine::NativeBackend backend;
@@ -256,7 +249,7 @@ TEST(DstEncoding, NativeBackendBitwiseMatchToo) {
     opt.dst_encoding = pcp::DstEncoding::kWide;
     engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
     EXPECT_FALSE(eng.bins().compact());
-    eng.run_pagerank(pr, &w);
+    w = eng.run(pr).ranks;
   }
   expect_bitwise_equal(c, w, "native compact-vs-wide");
 }
@@ -267,9 +260,9 @@ TEST(NumaBehavior, HipaKeepsTrafficMostlyLocal) {
   const graph::Graph g = test_graph(200, 20000, 200000);
   sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 3;
+  params.pr.iterations = 3;
   params.scale_denom = 64;
-  const auto hipa = algo::run_method_sim(Method::kHipa, g, machine, params);
+  const auto hipa = algo::run_method_sim(Method::kHipa, g, machine, params).report;
   // Paper §4.4: ~85% of HiPa's traffic stays node-local.
   EXPECT_LT(hipa.stats.remote_fraction(), 0.35);
 }
@@ -278,9 +271,9 @@ TEST(NumaBehavior, ObliviousPprIsHalfRemote) {
   const graph::Graph g = test_graph(200, 20000, 200000);
   sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 3;
+  params.pr.iterations = 3;
   params.scale_denom = 64;
-  const auto ppr = algo::run_method_sim(Method::kPpr, g, machine, params);
+  const auto ppr = algo::run_method_sim(Method::kPpr, g, machine, params).report;
   // Interleaved data on 2 nodes: ~50% remote (paper Fig. 5: 48.9%).
   EXPECT_GT(ppr.stats.remote_fraction(), 0.35);
   EXPECT_LT(ppr.stats.remote_fraction(), 0.65);
@@ -291,10 +284,10 @@ TEST(NumaBehavior, HipaBeatsPprOnRemoteAccesses) {
   sim::SimMachine m1(sim::Topology::skylake_2s().scaled(64));
   sim::SimMachine m2(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 3;
+  params.pr.iterations = 3;
   params.scale_denom = 64;
-  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params);
-  const auto ppr = algo::run_method_sim(Method::kPpr, g, m2, params);
+  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params).report;
+  const auto ppr = algo::run_method_sim(Method::kPpr, g, m2, params).report;
   // Paper: 1.87x-3.90x fewer remote accesses than the best alternative.
   EXPECT_LT(hipa.stats.dram_remote_bytes, ppr.stats.dram_remote_bytes);
 }
@@ -303,15 +296,15 @@ TEST(NumaBehavior, PersistentThreadsMigrateLessThanPerPhase) {
   const graph::Graph g = test_graph(202, 5000, 40000);
   sim::SimMachine m1(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 10;
+  params.pr.iterations = 10;
   params.scale_denom = 64;
-  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params);
+  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params).report;
   // Algorithm 2: creations bounded by team size, not iterations.
   EXPECT_LE(hipa.stats.thread_creations, 40u);
   EXPECT_LE(hipa.stats.thread_migrations, 40u);
 
   sim::SimMachine m2(sim::Topology::skylake_2s().scaled(64));
-  const auto ppr = algo::run_method_sim(Method::kPpr, g, m2, params);
+  const auto ppr = algo::run_method_sim(Method::kPpr, g, m2, params).report;
   // Algorithm 1: a fresh team per phase.
   EXPECT_GT(ppr.stats.thread_creations, hipa.stats.thread_creations * 5);
 }
@@ -324,10 +317,10 @@ TEST(NumaBehavior, VertexCentricMovesMoreBytesThanPartitionCentric) {
   sim::SimMachine m1(sim::Topology::skylake_2s().scaled(64));
   sim::SimMachine m2(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 3;
+  params.pr.iterations = 3;
   params.scale_denom = 64;
-  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params);
-  const auto vpr = algo::run_method_sim(Method::kVpr, g, m2, params);
+  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params).report;
+  const auto vpr = algo::run_method_sim(Method::kVpr, g, m2, params).report;
   // Paper Fig. 5: partition-centric MApE ~9.6 vs v-PR ~47.
   EXPECT_LT(hipa.stats.mape(g.num_edges()) * 1.5,
             vpr.stats.mape(g.num_edges()));
@@ -338,13 +331,13 @@ TEST(NumaBehavior, VertexCentricMovesMoreBytesThanPartitionCentric) {
 TEST(VprEngine, NativeAndSimAgree) {
   const graph::Graph g = test_graph(301, 800, 6000);
   algo::MethodParams params;
-  params.iterations = 7;
+  params.pr.iterations = 7;
   params.threads = 3;
-  std::vector<rank_t> native_ranks;
-  algo::run_method_native(Method::kVpr, g, params, &native_ranks);
+  const auto native_ranks =
+      algo::run_method_native(Method::kVpr, g, params).ranks;
   sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
-  std::vector<rank_t> sim_ranks;
-  algo::run_method_sim(Method::kVpr, g, machine, params, &sim_ranks);
+  const auto sim_ranks =
+      algo::run_method_sim(Method::kVpr, g, machine, params).ranks;
   expect_close(native_ranks, sim_ranks, "vpr native-vs-sim");
 }
 
@@ -357,8 +350,7 @@ TEST(PolymerEngine, WorksWithUnevenThreadSplit) {
   opt.num_threads = 5;  // 3 + 2 across two nodes
   opt.num_nodes = 2;
   engine::PolymerEngine<engine::SimBackend> eng(g, opt, backend);
-  std::vector<rank_t> got;
-  eng.run_pagerank({6, 0.85f}, &got);
+  const auto got = eng.run({6, 0.85f}).ranks;
   expect_close(got, want, "polymer-uneven");
 }
 
@@ -369,7 +361,7 @@ TEST(Report, PreprocessingTimeIsTracked) {
   auto opt = engine::PcpmOptions::hipa(8, 2, 1024);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
   EXPECT_GT(eng.preprocessing_seconds(), 0.0);
-  const auto report = eng.run_pagerank({2, 0.85f});
+  const auto report = eng.run({2, 0.85f}).report;
   EXPECT_EQ(report.preprocessing_seconds, eng.preprocessing_seconds());
   EXPECT_GT(report.seconds, 0.0);
 }

@@ -42,10 +42,9 @@ TEST(Integration, HipaOnReorderedGraphStillCorrect) {
 
   sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 8;
+  params.pr.iterations = 8;
   params.scale_denom = 64;
-  std::vector<rank_t> got;
-  algo::run_method_sim(Method::kHipa, h, machine, params, &got);
+  const auto got = algo::run_method_sim(Method::kHipa, h, machine, params).ranks;
   EXPECT_LT(algo::l1_distance(got, want), 1e-6 * 1500);
 }
 
@@ -55,10 +54,10 @@ TEST(Integration, AllDatasetStandInsRunHipa) {
     const auto want = algo::pagerank_reference(g, 4);
     sim::SimMachine machine(sim::Topology::skylake_2s().scaled(256));
     algo::MethodParams params;
-    params.iterations = 4;
+    params.pr.iterations = 4;
     params.scale_denom = 256;
-    std::vector<rank_t> got;
-    algo::run_method_sim(Method::kHipa, g, machine, params, &got);
+    const auto got =
+        algo::run_method_sim(Method::kHipa, g, machine, params).ranks;
     EXPECT_LT(algo::l1_distance(got, want), 1e-6 * g.num_vertices())
         << info.name;
   }
@@ -76,9 +75,9 @@ TEST(Integration, SimIsDeterministicAfterReset) {
   engine::SimBackend backend(machine);
   auto opt = engine::PcpmOptions::ppr(16, 2, 1024);
   engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
-  const auto a = eng.run_pagerank({3, 0.85f});
+  const auto a = eng.run({3, 0.85f}).report;
   machine.reset();
-  const auto b = eng.run_pagerank({3, 0.85f});
+  const auto b = eng.run({3, 0.85f}).report;
   EXPECT_EQ(a.stats.total_cycles, b.stats.total_cycles);
   EXPECT_EQ(a.stats.dram_bytes(), b.stats.dram_bytes());
   EXPECT_EQ(a.stats.llc_hits, b.stats.llc_hits);
@@ -119,9 +118,10 @@ TEST(Integration, CostModelOverridesChangeTiming) {
   auto run = [&](const sim::CostModel& cost) {
     sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64), cost);
     algo::MethodParams params;
-    params.iterations = 3;
+    params.pr.iterations = 3;
     params.scale_denom = 64;
-    return algo::run_method_sim(Method::kHipa, g, machine, params).seconds;
+    return algo::run_method_sim(Method::kHipa, g, machine, params)
+        .report.seconds;
   };
   sim::CostModel slow;
   slow.dram_local = 800;
@@ -138,11 +138,10 @@ TEST(Integration, HaswellTopologyRunsEverything) {
   for (Method m : algo::all_methods()) {
     sim::SimMachine machine(sim::Topology::haswell_2s().scaled(64));
     algo::MethodParams params;
-    params.iterations = 5;
+    params.pr.iterations = 5;
     params.scale_denom = 64;
     params.threads = algo::default_threads(m, machine.topology());
-    std::vector<rank_t> got;
-    algo::run_method_sim(m, g, machine, params, &got);
+    const auto got = algo::run_method_sim(m, g, machine, params).ranks;
     EXPECT_LT(algo::l1_distance(got, want), 1e-6 * 3000)
         << algo::method_name(m);
   }
@@ -156,16 +155,17 @@ TEST(Integration, SingleNodeTopologyWorks) {
   const auto want = algo::pagerank_reference(g, 5);
   sim::SimMachine machine(sim::Topology::skylake_1s().scaled(64));
   algo::MethodParams params;
-  params.iterations = 5;
+  params.pr.iterations = 5;
   params.scale_denom = 64;
   params.threads = 20;
-  std::vector<rank_t> got;
-  algo::run_method_sim(Method::kHipa, g, machine, params, &got);
+  const auto got =
+      algo::run_method_sim(Method::kHipa, g, machine, params).ranks;
   EXPECT_LT(algo::l1_distance(got, want), 1e-6 * 2000);
   // Single node: all traffic is local by construction.
   // (run again to grab the report)
   sim::SimMachine m2(sim::Topology::skylake_1s().scaled(64));
-  const auto report = algo::run_method_sim(Method::kHipa, g, m2, params);
+  const auto report =
+      algo::run_method_sim(Method::kHipa, g, m2, params).report;
   EXPECT_EQ(report.stats.dram_remote_bytes, 0u);
 }
 
@@ -202,12 +202,13 @@ TEST(Integration, FasterMethodMovesFewerOrCheaperBytes) {
                                    .num_edges = 500000,
                                    .seed = 38}));
   algo::MethodParams params;
-  params.iterations = 3;
+  params.pr.iterations = 3;
   params.scale_denom = 64;
   sim::SimMachine m1(sim::Topology::skylake_2s().scaled(64));
   sim::SimMachine m2(sim::Topology::skylake_2s().scaled(64));
-  const auto hipa = algo::run_method_sim(Method::kHipa, g, m1, params);
-  const auto vpr = algo::run_method_sim(Method::kVpr, g, m2, params);
+  const auto hipa =
+      algo::run_method_sim(Method::kHipa, g, m1, params).report;
+  const auto vpr = algo::run_method_sim(Method::kVpr, g, m2, params).report;
   EXPECT_LT(hipa.seconds, vpr.seconds);
   EXPECT_LT(hipa.stats.remote_fraction(), vpr.stats.remote_fraction());
 }

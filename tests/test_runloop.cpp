@@ -137,11 +137,11 @@ TEST(NativeBackend, AllocHonorsPlacementHintWithoutCrashing) {
 
 // ---- engine equivalence -----------------------------------------------------
 
-std::vector<rank_t> run_native(const graph::Graph& g, bool single_dispatch,
-                               unsigned threads, unsigned nodes,
-                               std::uint64_t part_bytes, unsigned iters,
-                               double tolerance = 0.0,
-                               engine::RunReport* report_out = nullptr) {
+std::vector<rank_t> run_native(
+    const graph::Graph& g, bool single_dispatch, unsigned threads,
+    unsigned nodes, std::uint64_t part_bytes, unsigned iters,
+    double tolerance = 0.0, engine::RunReport* report_out = nullptr,
+    runtime::Telemetry telemetry = runtime::Telemetry::kOff) {
   engine::NativeBackend backend;
   auto opt = engine::PcpmOptions::hipa(threads, nodes, part_bytes);
   opt.single_dispatch = single_dispatch;
@@ -150,10 +150,10 @@ std::vector<rank_t> run_native(const graph::Graph& g, bool single_dispatch,
   engine::PageRankOptions pr;
   pr.iterations = iters;
   pr.tolerance = tolerance;
-  std::vector<rank_t> ranks;
-  const auto report = eng.run_pagerank(pr, &ranks);
-  if (report_out != nullptr) *report_out = report;
-  return ranks;
+  pr.telemetry = telemetry;
+  auto result = eng.run(pr);
+  if (report_out != nullptr) *report_out = result.report;
+  return result.ranks;
 }
 
 void expect_bitwise_equal(const std::vector<rank_t>& a,
@@ -230,8 +230,7 @@ TEST(SingleDispatch, FcfsModeKeepsPerPhasePath) {
   engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
   EXPECT_FALSE(eng.uses_single_dispatch());
   // ...and still be correct.
-  std::vector<rank_t> got;
-  eng.run_pagerank({8, 0.85f}, &got);
+  const auto got = eng.run({8, 0.85f}).ranks;
   const auto want = algo::pagerank_reference(g, 8);
   EXPECT_LT(algo::l1_distance(got, want),
             1e-6 * static_cast<double>(want.size()));
@@ -258,13 +257,72 @@ TEST(SingleDispatch, SpmvStillWorksBetweenRunLoopRuns) {
   engine::NativeBackend backend;
   auto opt = engine::PcpmOptions::hipa(4, 1, 2048);
   engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
-  std::vector<rank_t> before, after;
-  eng.run_pagerank({5, 0.85f}, &before);
+  const auto before = eng.run({5, 0.85f}).ranks;
   std::vector<rank_t> x(g.num_vertices(), 1.0f), y;
   eng.run_spmv(x, y);
   ASSERT_EQ(y.size(), g.num_vertices());
-  eng.run_pagerank({5, 0.85f}, &after);
+  const auto after = eng.run({5, 0.85f}).ranks;
   expect_bitwise_equal(before, after, "rerun after spmv");
+}
+
+// ---- telemetry on the two execution paths ----------------------------------
+
+TEST(SingleDispatch, TelemetryAgreesBetweenPaths) {
+  // The per-phase and single-dispatch paths do identical work, so the
+  // deterministic telemetry counters (invocations, traffic) must
+  // agree; only the timing/barrier fields may differ.
+  const graph::Graph g = graph::build_graph(
+      1500, graph::generate_zipf({.num_vertices = 1500, .num_edges = 12000,
+                                  .seed = 11}));
+  constexpr unsigned kIters = 6;
+  engine::RunReport rl, rp;
+  const auto loop = run_native(g, true, 4, 1, 1024, kIters, 0.0, &rl,
+                               runtime::Telemetry::kOn);
+  const auto phased = run_native(g, false, 4, 1, 1024, kIters, 0.0, &rp,
+                                 runtime::Telemetry::kOn);
+  expect_bitwise_equal(loop, phased, "telemetered run_loop-vs-phase");
+  ASSERT_TRUE(rl.telemetry.enabled);
+  ASSERT_TRUE(rp.telemetry.enabled);
+  EXPECT_EQ(rl.telemetry.threads, rp.telemetry.threads);
+  for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+    const auto ph = static_cast<runtime::Phase>(pi);
+    const auto& a = rl.telemetry[ph];
+    const auto& b = rp.telemetry[ph];
+    EXPECT_EQ(a.invocations, b.invocations) << runtime::phase_name(ph);
+    EXPECT_EQ(a.messages_produced, b.messages_produced)
+        << runtime::phase_name(ph);
+    EXPECT_EQ(a.messages_consumed, b.messages_consumed)
+        << runtime::phase_name(ph);
+    EXPECT_EQ(a.bytes_produced, b.bytes_produced)
+        << runtime::phase_name(ph);
+    EXPECT_EQ(a.bytes_consumed, b.bytes_consumed)
+        << runtime::phase_name(ph);
+  }
+  // Barrier crossings exist only on the run_loop path: one after init,
+  // two per iteration (no tolerance barrier for untracked runs).
+  EXPECT_EQ(rl.telemetry[runtime::Phase::kInit].barrier_crossings, 4u);
+  EXPECT_EQ(rl.telemetry[runtime::Phase::kScatter].barrier_crossings,
+            4u * kIters);
+  EXPECT_EQ(rl.telemetry[runtime::Phase::kGather].barrier_crossings,
+            4u * kIters);
+  EXPECT_EQ(rp.telemetry[runtime::Phase::kInit].barrier_crossings, 0u);
+  // Both paths publish one wall entry per iteration.
+  EXPECT_EQ(rl.telemetry.iteration_seconds.size(), kIters);
+  EXPECT_EQ(rp.telemetry.iteration_seconds.size(), kIters);
+}
+
+TEST(SingleDispatch, TelemetryOffIsBitwiseIdenticalToOn) {
+  const graph::Graph g = graph::build_graph(
+      1200, graph::generate_zipf({.num_vertices = 1200, .num_edges = 9000,
+                                  .seed = 12}));
+  engine::RunReport off_rep, on_rep;
+  const auto off = run_native(g, true, 4, 1, 1024, 8, 0.0, &off_rep,
+                              runtime::Telemetry::kOff);
+  const auto on = run_native(g, true, 4, 1, 1024, 8, 0.0, &on_rep,
+                             runtime::Telemetry::kOn);
+  expect_bitwise_equal(off, on, "telemetry off-vs-on");
+  EXPECT_FALSE(off_rep.telemetry.enabled);
+  EXPECT_TRUE(on_rep.telemetry.enabled);
 }
 
 }  // namespace

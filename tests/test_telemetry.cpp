@@ -1,0 +1,337 @@
+// Run-level telemetry: the zero-overhead-off guarantee (kOff ranks are
+// bitwise identical to kOn — the collection guard is `if constexpr`,
+// so the kOff instantiation IS the untelemetered code), the counter
+// invariants that tie per-phase aggregates to run totals, and the
+// unified RunResult facade round-trip for all five methodologies on
+// both backends.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "algos/pagerank.hpp"
+#include "engines/pcpm_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "runtime/telemetry.hpp"
+
+namespace hipa {
+namespace {
+
+using algo::Method;
+using runtime::Phase;
+using runtime::Telemetry;
+
+graph::Graph test_graph(std::uint64_t seed, vid_t n = 2000,
+                        eid_t m = 16000) {
+  return graph::build_graph(
+      n, graph::generate_zipf({.num_vertices = n, .num_edges = m,
+                               .seed = seed}));
+}
+
+bool bitwise_equal(const std::vector<rank_t>& a,
+                   const std::vector<rank_t>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(rank_t)) == 0);
+}
+
+// ---- collector unit tests --------------------------------------------------
+
+TEST(Telemetry, PhaseNames) {
+  EXPECT_EQ(runtime::phase_name(Phase::kInit), "init");
+  EXPECT_EQ(runtime::phase_name(Phase::kScatter), "scatter");
+  EXPECT_EQ(runtime::phase_name(Phase::kGather), "gather");
+}
+
+TEST(Telemetry, ThreadTimelineRowsAreCacheLinePadded) {
+  EXPECT_GE(alignof(runtime::ThreadTimeline), kCacheLine);
+  EXPECT_EQ(sizeof(runtime::ThreadTimeline) % kCacheLine, 0u);
+}
+
+TEST(Telemetry, AggregateSumsExtremaAndImbalance) {
+  runtime::PhaseTimeline tl;
+  tl.reset(3);
+  // Thread 0: 2s scatter kernel, 100 msgs. Thread 1: 1s, 50 msgs.
+  // Thread 2 never participates and must not drag wall_min to 0.
+  auto& r0 = tl.thread(0)[Phase::kScatter];
+  r0.wall_seconds = 2.0;
+  r0.invocations = 4;
+  r0.messages_produced = 100;
+  r0.bytes_produced = 400;
+  r0.barrier_seconds = 0.5;
+  r0.barrier_crossings = 4;
+  auto& r1 = tl.thread(1)[Phase::kScatter];
+  r1.wall_seconds = 1.0;
+  r1.invocations = 4;
+  r1.messages_produced = 50;
+  r1.bytes_produced = 200;
+  tl.record_region(Phase::kScatter, 0.25, /*local=*/10, /*remote=*/30);
+  tl.record_region(Phase::kScatter, 0.75, /*local=*/20, /*remote=*/40);
+  tl.record_iteration(0.5);
+  tl.record_iteration(0.5);
+
+  const runtime::RunTelemetry t = runtime::aggregate(tl);
+  EXPECT_TRUE(t.enabled);
+  EXPECT_EQ(t.threads, 3u);
+  const runtime::PhaseAggregate& a = t[Phase::kScatter];
+  EXPECT_EQ(a.invocations, 8u);
+  EXPECT_EQ(a.participating_threads, 2u);
+  EXPECT_DOUBLE_EQ(a.wall_sum_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.wall_max_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(a.wall_min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.wall_avg_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 2.0 / 1.5);
+  EXPECT_DOUBLE_EQ(a.barrier_sum_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(a.barrier_max_seconds, 0.5);
+  EXPECT_EQ(a.barrier_crossings, 4u);
+  EXPECT_EQ(a.messages_produced, 150u);
+  EXPECT_EQ(a.bytes_produced, 600u);
+  EXPECT_DOUBLE_EQ(a.region_seconds, 1.0);
+  EXPECT_EQ(a.regions, 2u);
+  EXPECT_EQ(a.sim_local_accesses, 30u);
+  EXPECT_EQ(a.sim_remote_accesses, 70u);
+  EXPECT_EQ(t.iteration_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.total_wall_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(t.total_barrier_seconds(), 0.5);
+  EXPECT_EQ(t.total_messages_produced(), 150u);
+}
+
+TEST(Telemetry, MaybeTimerOffIsFree) {
+  static_assert(sizeof(runtime::MaybeTimer<false>) <=
+                sizeof(runtime::MaybeTimer<true>));
+  runtime::MaybeTimer<false> t;
+  t.reset();
+  EXPECT_EQ(t.seconds(), 0.0);
+}
+
+// ---- zero-overhead-off: kOff ranks bitwise identical to kOn ----------------
+
+TEST(Telemetry, OffAndOnRanksBitwiseIdenticalSim) {
+  const graph::Graph g = test_graph(91);
+  std::vector<rank_t> ranks[2];
+  for (int i = 0; i < 2; ++i) {
+    sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
+    algo::MethodParams params;
+    params.pr.iterations = 6;
+    params.pr.telemetry = i == 0 ? Telemetry::kOff : Telemetry::kOn;
+    params.scale_denom = 64;
+    ranks[i] =
+        algo::run_method_sim(Method::kHipa, g, machine, params).ranks;
+  }
+  EXPECT_TRUE(bitwise_equal(ranks[0], ranks[1]));
+}
+
+TEST(Telemetry, OffAndOnRanksBitwiseIdenticalNative) {
+  const graph::Graph g = test_graph(92);
+  std::vector<rank_t> ranks[2];
+  for (int i = 0; i < 2; ++i) {
+    algo::MethodParams params;
+    params.pr.iterations = 6;
+    params.pr.telemetry = i == 0 ? Telemetry::kOff : Telemetry::kOn;
+    params.scale_denom = 64;
+    params.threads = 4;
+    ranks[i] = algo::run_method_native(Method::kHipa, g, params).ranks;
+  }
+  EXPECT_TRUE(bitwise_equal(ranks[0], ranks[1]));
+}
+
+TEST(Telemetry, OffRunsCarryNoTelemetry) {
+  const graph::Graph g = test_graph(93);
+  sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
+  algo::MethodParams params;
+  params.pr.iterations = 3;
+  params.scale_denom = 64;
+  const auto report =
+      algo::run_method_sim(Method::kHipa, g, machine, params).report;
+  EXPECT_FALSE(report.telemetry.enabled);
+  EXPECT_EQ(report.telemetry.threads, 0u);
+  EXPECT_TRUE(report.telemetry.iteration_seconds.empty());
+  for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+    const auto& a = report.telemetry[static_cast<Phase>(pi)];
+    EXPECT_EQ(a.invocations, 0u);
+    EXPECT_EQ(a.messages_produced, 0u);
+    EXPECT_EQ(a.messages_consumed, 0u);
+  }
+}
+
+// ---- counter invariants: per-phase counts sum to run totals ----------------
+
+TEST(Telemetry, PcpmCountsSumToRunTotalsSim) {
+  const graph::Graph g = test_graph(94);
+  const unsigned iters = 5;
+  sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
+  engine::SimBackend backend(machine);
+  auto opt = engine::PcpmOptions::hipa(/*threads=*/8, /*nodes=*/2,
+                                       /*part bytes=*/4096);
+  engine::PcpmEngine<engine::SimBackend> eng(g, opt, backend);
+  engine::PageRankOptions pr;
+  pr.iterations = iters;
+  pr.telemetry = Telemetry::kOn;
+  const auto [report, ranks] = eng.run(pr);
+
+  const runtime::RunTelemetry& t = report.telemetry;
+  ASSERT_TRUE(t.enabled);
+  EXPECT_EQ(t.threads, 8u);
+
+  // Invocation arithmetic: init once per thread, scatter and gather
+  // once per (thread, iteration).
+  EXPECT_EQ(t[Phase::kInit].invocations, 8u);
+  EXPECT_EQ(t[Phase::kScatter].invocations, 8u * iters);
+  EXPECT_EQ(t[Phase::kGather].invocations, 8u * iters);
+  EXPECT_EQ(t.iteration_seconds.size(), iters);
+
+  // Message conservation: everything scatter produced, gather consumed.
+  EXPECT_GT(t[Phase::kScatter].messages_produced, 0u);
+  EXPECT_EQ(t[Phase::kScatter].messages_produced,
+            t[Phase::kGather].messages_consumed);
+  EXPECT_EQ(t[Phase::kScatter].bytes_produced,
+            t[Phase::kScatter].messages_produced * sizeof(rank_t));
+  // Gather also streams the destination entries.
+  EXPECT_GE(t[Phase::kGather].bytes_consumed,
+            t[Phase::kGather].messages_consumed * sizeof(rank_t));
+  EXPECT_EQ(t.total_messages_produced(),
+            t[Phase::kScatter].messages_produced);
+  EXPECT_EQ(t.total_messages_consumed(),
+            t[Phase::kGather].messages_consumed);
+
+  // Region accounting (per-phase dispatch on the sim backend): one
+  // init region, one scatter + one gather region per iteration, and
+  // the DRAM access split of the regions must add up to the run's.
+  EXPECT_EQ(t[Phase::kInit].regions, 1u);
+  EXPECT_EQ(t[Phase::kScatter].regions, iters);
+  EXPECT_EQ(t[Phase::kGather].regions, iters);
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  double region_seconds = 0.0;
+  for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+    const auto& a = t[static_cast<Phase>(pi)];
+    local += a.sim_local_accesses;
+    remote += a.sim_remote_accesses;
+    region_seconds += a.region_seconds;
+  }
+  EXPECT_EQ(local, report.stats.dram_local_accesses);
+  EXPECT_EQ(remote, report.stats.dram_remote_accesses);
+  EXPECT_GT(region_seconds, 0.0);
+  EXPECT_LE(region_seconds, report.seconds + 1e-9);
+
+  // Sim runs charge simulated cycles, not host time, to the kernels.
+  EXPECT_DOUBLE_EQ(t.total_wall_seconds(), 0.0);
+  EXPECT_EQ(ranks.size(), g.num_vertices());
+}
+
+TEST(Telemetry, PcpmNativeRecordsPerThreadWallAndBarriers) {
+  const graph::Graph g = test_graph(95);
+  const unsigned iters = 4;
+  const unsigned threads = 4;
+  engine::NativeBackend backend;
+  auto opt = engine::PcpmOptions::hipa(threads, 1, 4096);
+  engine::PcpmEngine<engine::NativeBackend> eng(g, opt, backend);
+  engine::PageRankOptions pr;
+  pr.iterations = iters;
+  pr.telemetry = Telemetry::kOn;
+  const auto report = eng.run(pr).report;
+
+  const runtime::RunTelemetry& t = report.telemetry;
+  ASSERT_TRUE(t.enabled);
+  EXPECT_EQ(t.threads, threads);
+  EXPECT_EQ(t[Phase::kInit].invocations, threads);
+  EXPECT_EQ(t[Phase::kScatter].invocations, threads * iters);
+  EXPECT_EQ(t[Phase::kGather].invocations, threads * iters);
+  // Native kernels run on host time; the per-thread wall must be
+  // populated and bounded by the run.
+  EXPECT_GT(t.total_wall_seconds(), 0.0);
+  EXPECT_GE(t[Phase::kScatter].imbalance(), 1.0);
+  EXPECT_LE(t[Phase::kScatter].wall_max_seconds, report.seconds);
+  if (eng.uses_single_dispatch()) {
+    // The run-loop path crosses one barrier per thread after init and
+    // one per (thread, iteration) after scatter and gather.
+    EXPECT_EQ(t[Phase::kInit].barrier_crossings, threads);
+    EXPECT_EQ(t[Phase::kScatter].barrier_crossings, threads * iters);
+    EXPECT_EQ(t[Phase::kGather].barrier_crossings, threads * iters);
+  }
+  EXPECT_EQ(t.iteration_seconds.size(), iters);
+}
+
+// ---- facade round-trip: every methodology, both backends -------------------
+
+class TelemetryFacade : public ::testing::TestWithParam<Method> {};
+
+TEST_P(TelemetryFacade, SimRunResultRoundTrip) {
+  const Method m = GetParam();
+  const graph::Graph g = test_graph(96);
+  const auto want = algo::pagerank_reference(g, 6);
+  sim::SimMachine machine(sim::Topology::skylake_2s().scaled(64));
+  algo::MethodParams params;
+  params.pr.iterations = 6;
+  params.pr.telemetry = Telemetry::kOn;
+  params.scale_denom = 64;
+  const auto [report, ranks] = algo::run_method_sim(m, g, machine, params);
+  ASSERT_EQ(ranks.size(), g.num_vertices());
+  EXPECT_LT(algo::l1_distance(ranks, want),
+            1e-6 * static_cast<double>(g.num_vertices()))
+      << algo::method_name(m);
+  EXPECT_EQ(report.iterations, 6u);
+  ASSERT_TRUE(report.telemetry.enabled);
+  EXPECT_GT(report.telemetry.threads, 0u);
+  EXPECT_EQ(report.telemetry.iteration_seconds.size(), 6u);
+  // Every methodology maps its passes onto scatter/gather.
+  EXPECT_GT(report.telemetry[Phase::kScatter].invocations, 0u);
+  EXPECT_GT(report.telemetry[Phase::kGather].invocations, 0u);
+  EXPECT_GT(report.telemetry[Phase::kScatter].messages_produced, 0u);
+  EXPECT_GT(report.telemetry[Phase::kGather].messages_consumed, 0u);
+}
+
+TEST_P(TelemetryFacade, NativeRunResultRoundTrip) {
+  const Method m = GetParam();
+  const graph::Graph g = test_graph(97);
+  const auto want = algo::pagerank_reference(g, 6);
+  algo::MethodParams params;
+  params.pr.iterations = 6;
+  params.pr.telemetry = Telemetry::kOn;
+  params.scale_denom = 64;
+  params.threads = 4;
+  const auto [report, ranks] = algo::run_method_native(m, g, params);
+  ASSERT_EQ(ranks.size(), g.num_vertices());
+  EXPECT_LT(algo::l1_distance(ranks, want),
+            1e-6 * static_cast<double>(g.num_vertices()))
+      << algo::method_name(m);
+  ASSERT_TRUE(report.telemetry.enabled);
+  EXPECT_EQ(report.telemetry.iteration_seconds.size(), 6u);
+  EXPECT_GT(report.telemetry.total_wall_seconds(), 0.0);
+  EXPECT_GT(report.telemetry[Phase::kScatter].invocations, 0u);
+  EXPECT_GT(report.telemetry[Phase::kGather].invocations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, TelemetryFacade,
+    ::testing::ValuesIn(algo::all_methods().begin(),
+                        algo::all_methods().end()),
+    [](const ::testing::TestParamInfo<Method>& param_info) {
+      std::string name = algo::method_name(param_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- method_from_name ------------------------------------------------------
+
+TEST(MethodFromName, RoundTripsAndAliases) {
+  for (Method m : algo::all_methods()) {
+    const auto back = algo::method_from_name(algo::method_name(m));
+    ASSERT_TRUE(back.has_value()) << algo::method_name(m);
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_EQ(algo::method_from_name("hipa"), Method::kHipa);
+  EXPECT_EQ(algo::method_from_name("ppr"), Method::kPpr);
+  EXPECT_EQ(algo::method_from_name("vpr"), Method::kVpr);
+  EXPECT_EQ(algo::method_from_name("gpop"), Method::kGpop);
+  EXPECT_EQ(algo::method_from_name("polymer"), Method::kPolymer);
+  EXPECT_FALSE(algo::method_from_name("").has_value());
+  EXPECT_FALSE(algo::method_from_name("HIPA").has_value());
+  EXPECT_FALSE(algo::method_from_name("pagerank").has_value());
+}
+
+}  // namespace
+}  // namespace hipa
