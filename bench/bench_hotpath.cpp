@@ -166,13 +166,21 @@ DispatchOverhead measure_dispatch_overhead(bool smoke) {
 
 // ---- run-level telemetry ----------------------------------------------------
 
-/// One native facade run of `m` with the requested telemetry mode.
+/// One native facade run of `m` with the requested telemetry mode and
+/// (for the kOn report runs) hardware counters, the placement audit
+/// and an optional Chrome trace.
 algo::RunResult run_native(const bench::ScaledDataset& d, algo::Method m,
-                           unsigned iters, runtime::Telemetry tel) {
+                           unsigned iters, runtime::Telemetry tel,
+                           runtime::HwProf hw = runtime::HwProf::kOff,
+                           bool audit = false,
+                           const std::string& trace_path = {}) {
   algo::MethodParams params;
   params.scale_denom = d.scale;
   params.pr.iterations = iters;
   params.pr.telemetry = tel;
+  params.pr.hw_counters = hw;
+  params.pr.audit_placement = audit;
+  params.pr.trace_path = trace_path;
   return algo::run_method_native(m, d.graph, params);
 }
 
@@ -394,8 +402,16 @@ int main(int argc, char** argv) {
     jw.kv("iterations", iters);
     jw.key("methods");
     jw.begin_array();
+    bool trace_written = false;
     for (algo::Method m : tel_methods) {
-      const auto res = run_native(d, m, iters, runtime::Telemetry::kOn);
+      // --trace-out= captures the first method's timeline (one file,
+      // one process track; pass --methods=hipa to pick the method).
+      const std::string trace_path =
+          !trace_written ? flags.trace_out : std::string();
+      trace_written = trace_written || !trace_path.empty();
+      const auto res =
+          run_native(d, m, iters, runtime::Telemetry::kOn,
+                     runtime::HwProf::kOn, /*audit=*/true, trace_path);
       for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
         const auto ph = static_cast<runtime::Phase>(pi);
         const auto& agg = res.report.telemetry[ph];
@@ -407,10 +423,48 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(agg.messages_produced),
                     static_cast<unsigned long long>(agg.messages_consumed));
       }
+      const runtime::RunTelemetry& t = res.report.telemetry;
+      if (t.hw_available) {
+        const runtime::HwCounters hw = [&] {
+          runtime::HwCounters sum;
+          for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+            sum.add(t[static_cast<runtime::Phase>(pi)].hw);
+          }
+          return sum;
+        }();
+        std::printf(
+            "         hw: %.2f Gcycles  IPC %.2f  LLC miss %5.1f%%  "
+            "(%u/%u thread groups, mux %.2f)\n",
+            static_cast<double>(hw.cycles) / 1e9, hw.ipc(),
+            hw.llc_loads > 0
+                ? 100.0 * static_cast<double>(hw.llc_load_misses) /
+                      static_cast<double>(hw.llc_loads)
+                : 0.0,
+            t.hw_threads, t.threads, hw.multiplex_ratio());
+      } else {
+        std::printf("         hw: unavailable (errno %d; see "
+                    "perf_event_paranoid)\n",
+                    t.hw_errno);
+      }
+      const numa::PlacementAudit& pa = res.report.placement_audit;
+      if (pa.available) {
+        std::printf("         placement: %.1f%% min on-node across %zu "
+                    "buffers (%s%s)\n",
+                    100.0 * pa.min_fraction(), pa.buffers.size(),
+                    pa.source.c_str(),
+                    pa.page_granular ? "" : ", VMA estimate");
+      }
+      if (!trace_path.empty()) {
+        std::printf("         trace: %s (open with ui.perfetto.dev)\n",
+                    trace_path.c_str());
+      }
+
       jw.begin_object();
       jw.kv("method", algo::method_name(m));
       jw.kv("native_seconds", res.report.seconds);
+      jw.kv("trace_path", trace_path);
       bench::emit_telemetry(jw, res.report.telemetry);
+      bench::emit_placement_audit(jw, res.report.placement_audit);
       jw.end_object();
     }
     jw.end_array();

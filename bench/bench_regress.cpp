@@ -1,0 +1,275 @@
+// Perf-regression gate over the hot-path bench JSON: compares the
+// metrics of a fresh BENCH_hotpath run against the committed
+// BENCH_baseline.json with per-metric tolerance bands, and fails CI
+// when a *deterministic* metric drifts.
+//
+// Two classes of metric, on purpose:
+//
+//  * Simulator metrics (sim_cycles, sim_bytes_per_edge), encoding
+//    metrics (dst_bytes_per_edge, bins_footprint_bytes) and invariant
+//    booleans (compact selection, bitwise-identical ranks) are
+//    machine-independent — the simulator is deterministic and the
+//    encodings depend only on the graph. These get tight bands and are
+//    HARD failures: if sim_cycles moved 20%, the code changed the hot
+//    path's memory behaviour.
+//
+//  * Native wall-clock metrics (native_seconds, edges/sec, dispatch
+//    overhead) depend on the CI host and its noisy neighbours. These
+//    are reported as warnings only — the committed baseline was
+//    measured on some other machine.
+//
+// Violations are reported with RFC 6901 JSON pointers, same style as
+// bench_schema_check.
+//
+//   bench_regress <current.json> <baseline.json>
+//
+// Runs as the third stage of the `perf-smoke` ctest fixture chain
+// (bench_hotpath --smoke -> bench_schema_check -> bench_regress).
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/minijson.hpp"
+
+namespace {
+
+using hipa::json::Value;
+using hipa::json::ValuePtr;
+
+int g_errors = 0;
+int g_warnings = 0;
+
+void fail(const std::string& pointer, const std::string& what) {
+  std::fprintf(stderr, "regress FAIL %s: %s\n", pointer.c_str(),
+               what.c_str());
+  ++g_errors;
+}
+
+void warn(const std::string& pointer, const std::string& what) {
+  std::fprintf(stderr, "regress warn %s: %s\n", pointer.c_str(),
+               what.c_str());
+  ++g_warnings;
+}
+
+std::string at(const std::string& pointer, const std::string& token) {
+  return pointer + "/" + token;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+const Value* get(const Value* obj, const char* key) {
+  if (obj == nullptr || obj->type != Value::Type::kObject) return nullptr;
+  return obj->find(key);
+}
+
+bool get_number(const Value* obj, const char* key, double* out) {
+  const Value* v = get(obj, key);
+  if (v == nullptr || v->type != Value::Type::kNumber) return false;
+  *out = v->number;
+  return true;
+}
+
+/// Relative drift |cur - base| / max(|base|, floor). The floor keeps
+/// near-zero baselines (e.g. 0.0 bytes saved) from amplifying noise.
+double rel_drift(double cur, double base, double floor_abs) {
+  const double denom = std::fmax(std::fabs(base), floor_abs);
+  return denom > 0.0 ? std::fabs(cur - base) / denom : 0.0;
+}
+
+/// Compare one numeric metric under a relative tolerance band.
+/// hard=true -> failure; hard=false -> warning only.
+void compare_metric(const Value* cur, const Value* base,
+                    const std::string& path, const char* key,
+                    double tolerance, bool hard,
+                    double floor_abs = 1e-12) {
+  double c = 0.0;
+  double b = 0.0;
+  if (!get_number(base, key, &b)) return;  // baseline lacks it: nothing to gate
+  if (!get_number(cur, key, &c)) {
+    fail(at(path, key), "metric present in baseline but missing in current");
+    return;
+  }
+  const double drift = rel_drift(c, b, floor_abs);
+  if (drift <= tolerance) return;
+  const std::string msg = "drifted " + fmt(drift * 100.0) + "% (baseline " +
+                          fmt(b) + ", current " + fmt(c) + ", band ±" +
+                          fmt(tolerance * 100.0) + "%)";
+  if (hard) {
+    fail(at(path, key), msg);
+  } else {
+    warn(at(path, key), msg);
+  }
+}
+
+void compare_encoding_run(const Value* cur, const Value* base,
+                          const std::string& path) {
+  if (cur == nullptr) {
+    fail(path, "encoding run missing in current");
+    return;
+  }
+  // Deterministic: the encoding choice and footprint depend only on
+  // the graph and partition plan.
+  const Value* cc = get(cur, "compact");
+  const Value* bc = get(base, "compact");
+  if (cc != nullptr && bc != nullptr && cc->boolean != bc->boolean) {
+    fail(at(path, "compact"),
+         std::string("encoding flipped (baseline ") +
+             (bc->boolean ? "compact" : "wide") + ", current " +
+             (cc->boolean ? "compact" : "wide") + ")");
+  }
+  compare_metric(cur, base, path, "bins_footprint_bytes", 0.10, true);
+  compare_metric(cur, base, path, "dst_bytes_per_edge", 0.10, true);
+  compare_metric(cur, base, path, "sim_bytes_per_edge", 0.15, true, 0.01);
+  compare_metric(cur, base, path, "sim_cycles", 0.15, true);
+  // Host-dependent: advisory only.
+  compare_metric(cur, base, path, "native_seconds", 3.0, false, 1e-6);
+  compare_metric(cur, base, path, "native_edges_per_sec", 3.0, false, 1.0);
+}
+
+const Value* find_dataset(const Value* root, const std::string& name) {
+  const Value* ds = get(root, "datasets");
+  if (ds == nullptr || ds->type != Value::Type::kArray) return nullptr;
+  for (const ValuePtr& d : ds->array) {
+    const Value* n = get(d.get(), "name");
+    if (n != nullptr && n->str == name) return d.get();
+  }
+  return nullptr;
+}
+
+const Value* find_method(const Value* dataset, const std::string& name) {
+  const Value* ms = get(dataset, "methods");
+  if (ms == nullptr || ms->type != Value::Type::kArray) return nullptr;
+  for (const ValuePtr& m : ms->array) {
+    const Value* n = get(m.get(), "method");
+    if (n != nullptr && n->str == name) return m.get();
+  }
+  return nullptr;
+}
+
+ValuePtr load(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return nullptr;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::string perr;
+  ValuePtr v = hipa::json::parse(std::move(text), &perr);
+  if (v == nullptr) std::fprintf(stderr, "%s: %s\n", path, perr.c_str());
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <current.json> <baseline.json>\n",
+                 argv[0]);
+    return 2;
+  }
+  const ValuePtr curp = load(argv[1]);
+  const ValuePtr basep = load(argv[2]);
+  if (curp == nullptr || basep == nullptr) return 2;
+  const Value* cur = curp.get();
+  const Value* base = basep.get();
+
+  {  // Same artifact kind?
+    const Value* cb = get(cur, "bench");
+    const Value* bb = get(base, "bench");
+    if (cb == nullptr || bb == nullptr || cb->str != bb->str) {
+      fail("/bench", "bench tag mismatch between current and baseline");
+    }
+  }
+
+  // Invariant booleans: these must HOLD in current regardless of the
+  // baseline (they are correctness claims, not measurements).
+  {
+    const Value* toh = get(cur, "telemetry_overhead");
+    const Value* ident = get(toh, "ranks_bitwise_identical");
+    if (ident != nullptr &&
+        (ident->type != Value::Type::kBool || !ident->boolean)) {
+      fail("/telemetry_overhead/ranks_bitwise_identical", "must be true");
+    }
+  }
+
+  // Dataset x method x encoding grid: every cell in the baseline must
+  // still exist and stay inside its band.
+  const Value* bds = get(base, "datasets");
+  if (bds != nullptr && bds->type == Value::Type::kArray) {
+    for (const ValuePtr& bd : bds->array) {
+      const Value* name = get(bd.get(), "name");
+      if (name == nullptr) continue;
+      const std::string dpath = "/datasets[name=" + name->str + "]";
+      const Value* cd = find_dataset(cur, name->str);
+      if (cd == nullptr) {
+        fail(dpath, "dataset present in baseline but missing in current");
+        continue;
+      }
+      // Graph shape is generated deterministically from the name/scale.
+      compare_metric(cd, bd.get(), dpath, "vertices", 0.0, true);
+      compare_metric(cd, bd.get(), dpath, "edges", 0.0, true);
+      const Value* bms = get(bd.get(), "methods");
+      if (bms == nullptr || bms->type != Value::Type::kArray) continue;
+      for (const ValuePtr& bm : bms->array) {
+        const Value* mname = get(bm.get(), "method");
+        if (mname == nullptr) continue;
+        const std::string mpath = dpath + "/methods[method=" + mname->str +
+                                  "]";
+        const Value* cm = find_method(cd, mname->str);
+        if (cm == nullptr) {
+          fail(mpath, "method present in baseline but missing in current");
+          continue;
+        }
+        compare_encoding_run(get(cm, "auto"), get(bm.get(), "auto"),
+                             mpath + "/auto");
+        compare_encoding_run(get(cm, "wide"), get(bm.get(), "wide"),
+                             mpath + "/wide");
+        // The compression ratio is a pure data-structure property.
+        compare_metric(cm, bm.get(), mpath, "bins_compression_ratio", 0.10,
+                       true);
+        double l1 = 1.0;
+        if (get_number(cm, "ranks_l1_vs_wide", &l1) && l1 != 0.0) {
+          fail(at(mpath, "ranks_l1_vs_wide"), "must be 0");
+        }
+      }
+    }
+  }
+
+  // Dispatch overhead: host-dependent, advisory. The *ordering*
+  // (run_loop cheaper than per-phase dispatch) is the paper's claim
+  // and is machine-independent enough to warn loudly about.
+  {
+    const Value* cov = get(cur, "dispatch_overhead");
+    double phase_ns = 0.0;
+    double loop_ns = 0.0;
+    if (get_number(cov, "phase_ns_per_iter", &phase_ns) &&
+        get_number(cov, "run_loop_ns_per_iter", &loop_ns) &&
+        loop_ns > phase_ns) {
+      warn("/dispatch_overhead",
+           "run_loop (" + fmt(loop_ns) + " ns) slower than per-phase "
+           "dispatch (" + fmt(phase_ns) + " ns) on this host");
+    }
+    compare_metric(cov, get(base, "dispatch_overhead"), "/dispatch_overhead",
+                   "phase_ns_per_iter", 5.0, false, 1.0);
+    compare_metric(cov, get(base, "dispatch_overhead"), "/dispatch_overhead",
+                   "run_loop_ns_per_iter", 5.0, false, 1.0);
+  }
+
+  if (g_errors > 0) {
+    std::fprintf(stderr,
+                 "%d hard regression(s), %d warning(s) vs baseline %s\n",
+                 g_errors, g_warnings, argv[2]);
+    return 1;
+  }
+  std::printf("regress OK: %s vs %s (%d warning(s))\n", argv[1], argv[2],
+              g_warnings);
+  return 0;
+}

@@ -1,226 +1,64 @@
-// Schema validator for the machine-readable bench output
-// (BENCH_hotpath*.json). Runs as the second half of the `perf-smoke`
-// ctest fixture: bench_hotpath --smoke writes the JSON, this binary
-// re-parses it with a standalone minimal JSON reader (no third-party
-// deps) and enforces the contract CI relies on — required fields
-// present, counters non-negative, the three-phase telemetry arrays
-// complete, and the zero-overhead-off invariant (`ranks
-// bitwise-identical` across telemetry modes and destination
-// encodings) actually asserted by the producer.
+// Schema validator for the machine-readable bench artifacts
+// (BENCH_hotpath*.json, BENCH_table3*.json). Runs inside the
+// `perf-smoke` ctest fixture chain: the bench writes the JSON, this
+// binary re-parses it with the shared minimal reader
+// (common/minijson.hpp) and enforces the contract CI relies on —
+// required fields present, counters non-negative, the three-phase
+// telemetry arrays complete (now including the per-phase hardware
+// counter aggregates and the `hw` availability block), the
+// `placement_audit` object well-formed, and the zero-overhead-off
+// invariant (`ranks bitwise-identical` across telemetry modes and
+// destination encodings) actually asserted by the producer.
 //
-//   bench_schema_check <path/to/BENCH_hotpath.json>
-#include <cctype>
+// Violations are reported as RFC 6901 JSON pointers into the offending
+// document (`/datasets/0/methods/1/auto/native_seconds`), so a CI
+// failure names the exact field rather than a boolean verdict.
+//
+//   bench_schema_check <file.json> [more.json ...]
+//
+// The top-level "bench" tag selects the schema: "hotpath" or
+// "table3_microarch".
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
-#include <memory>
 #include <string>
-#include <vector>
+
+#include "common/minijson.hpp"
 
 namespace {
 
-// ---- minimal JSON ----------------------------------------------------------
-
-struct Value;
-using ValuePtr = std::shared_ptr<Value>;
-
-struct Value {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<ValuePtr> array;
-  std::vector<std::pair<std::string, ValuePtr>> object;
-
-  [[nodiscard]] const Value* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return v.get();
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string text) : text_(std::move(text)) {}
-
-  ValuePtr parse() {
-    ValuePtr v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) const {
-    std::fprintf(stderr, "JSON parse error at offset %zu: %s\n", pos_,
-                 what);
-    std::exit(1);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail("unexpected character");
-    ++pos_;
-  }
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  ValuePtr parse_value() {
-    skip_ws();
-    auto v = std::make_shared<Value>();
-    const char c = peek();
-    if (c == '{') {
-      v->type = Value::Type::kObject;
-      ++pos_;
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        skip_ws();
-        const std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        v->object.emplace_back(key, parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        return v;
-      }
-    }
-    if (c == '[') {
-      v->type = Value::Type::kArray;
-      ++pos_;
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        v->array.push_back(parse_value());
-        skip_ws();
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        return v;
-      }
-    }
-    if (c == '"') {
-      v->type = Value::Type::kString;
-      v->str = parse_string();
-      return v;
-    }
-    if (consume_literal("true")) {
-      v->type = Value::Type::kBool;
-      v->boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      v->type = Value::Type::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return v;
-    // Number.
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E' || text_[pos_] == '+' ||
-            text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    v->type = Value::Type::kNumber;
-    v->number = std::strtod(text_.c_str() + start, nullptr);
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          case 'b': out.push_back('\b'); break;
-          case 'f': out.push_back('\f'); break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            // Escaped control characters only ever carry ASCII here.
-            const std::string hex = text_.substr(pos_, 4);
-            pos_ += 4;
-            out.push_back(static_cast<char>(
-                std::strtoul(hex.c_str(), nullptr, 16) & 0x7f));
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
-
-// ---- schema checks ---------------------------------------------------------
+using hipa::json::Value;
+using hipa::json::ValuePtr;
 
 int g_errors = 0;
 
-void err(const std::string& what) {
-  std::fprintf(stderr, "schema: %s\n", what.c_str());
+void err(const std::string& pointer, const std::string& what) {
+  std::fprintf(stderr, "schema: %s: %s\n",
+               pointer.empty() ? "/" : pointer.c_str(), what.c_str());
   ++g_errors;
+}
+
+/// pointer + "/" + token (RFC 6901; our keys never contain '/' or '~'
+/// so no escaping is needed).
+std::string at(const std::string& pointer, const std::string& token) {
+  return pointer + "/" + token;
+}
+std::string at(const std::string& pointer, std::size_t index) {
+  return pointer + "/" + std::to_string(index);
 }
 
 const Value* require(const Value& obj, const std::string& path,
                      const char* key, Value::Type type) {
   if (obj.type != Value::Type::kObject) {
-    err(path + " is not an object");
+    err(path, "is not an object");
     return nullptr;
   }
   const Value* v = obj.find(key);
   if (v == nullptr) {
-    err(path + " missing key '" + key + "'");
+    err(at(path, key), "missing");
     return nullptr;
   }
   if (v->type != type) {
-    err(path + "." + key + " has wrong type");
+    err(at(path, key), std::string("expected ") + type_name(type) +
+                           ", got " + type_name(v->type));
     return nullptr;
   }
   return v;
@@ -233,11 +71,22 @@ double require_nonneg(const Value& obj, const std::string& path,
   const Value* v = require(obj, path, key, Value::Type::kNumber);
   if (v == nullptr) return 0.0;
   if (v->number < 0.0) {
-    err(path + "." + key + " is negative");
-    return v->number;
+    err(at(path, key), "is negative (" + std::to_string(v->number) + ")");
   }
   return v->number;
 }
+
+/// Required numeric field constrained to [0, 1].
+double require_fraction(const Value& obj, const std::string& path,
+                        const char* key) {
+  const double v = require_nonneg(obj, path, key);
+  if (v > 1.0) {
+    err(at(path, key), "exceeds 1 (" + std::to_string(v) + ")");
+  }
+  return v;
+}
+
+// ---- shared sub-schemas ----------------------------------------------------
 
 void check_telemetry(const Value& t, const std::string& path) {
   require(t, path, "enabled", Value::Type::kBool);
@@ -245,19 +94,24 @@ void check_telemetry(const Value& t, const std::string& path) {
   const Value* phases = require(t, path, "phases", Value::Type::kArray);
   if (phases != nullptr) {
     if (phases->array.size() != 3) {
-      err(path + ".phases must have exactly 3 entries (init, scatter, "
-                 "gather)");
+      err(at(path, "phases"),
+          "must have exactly 3 entries (init, scatter, gather)");
     }
     static const char* kNumeric[] = {
-        "invocations",     "barrier_crossings",   "participating_threads",
-        "wall_sum_seconds", "wall_max_seconds",   "wall_min_seconds",
-        "imbalance",        "barrier_sum_seconds", "barrier_max_seconds",
-        "messages_produced", "messages_consumed", "bytes_produced",
-        "bytes_consumed",   "region_seconds",     "sim_local_accesses",
-        "sim_remote_accesses"};
+        "invocations",       "barrier_crossings",  "participating_threads",
+        "wall_sum_seconds",  "wall_max_seconds",   "wall_min_seconds",
+        "imbalance",         "barrier_sum_seconds", "barrier_max_seconds",
+        "messages_produced", "messages_consumed",  "bytes_produced",
+        "bytes_consumed",    "region_seconds",     "sim_local_accesses",
+        "sim_remote_accesses",
+        // Per-phase hardware counter aggregates (zero when the PMU is
+        // inaccessible, but the keys must exist).
+        "hw_cycles",         "hw_instructions",    "hw_llc_loads",
+        "hw_llc_load_misses", "hw_node_loads",     "hw_node_load_misses",
+        "hw_multiplex_ratio"};
     for (std::size_t i = 0; i < phases->array.size(); ++i) {
       const Value& ph = *phases->array[i];
-      const std::string pp = path + ".phases[" + std::to_string(i) + "]";
+      const std::string pp = at(at(path, "phases"), i);
       require(ph, pp, "phase", Value::Type::kString);
       for (const char* key : kNumeric) require_nonneg(ph, pp, key);
     }
@@ -267,7 +121,77 @@ void check_telemetry(const Value& t, const std::string& path) {
   require_nonneg(t, path, "total_barrier_seconds");
   require_nonneg(t, path, "total_messages_produced");
   require_nonneg(t, path, "total_messages_consumed");
+
+  // Hardware-counter availability block. `available` may legitimately
+  // be false (perf_event_paranoid, containers, non-Linux) — the
+  // contract is that the block is always present and self-consistent.
+  const Value* hw = require(t, path, "hw", Value::Type::kObject);
+  if (hw != nullptr) {
+    const std::string hp = at(path, "hw");
+    const Value* avail = require(*hw, hp, "available", Value::Type::kBool);
+    const double threads = require_nonneg(*hw, hp, "threads");
+    const double mask = require_nonneg(*hw, hp, "event_mask");
+    require(*hw, hp, "errno", Value::Type::kNumber);
+    const Value* events = require(*hw, hp, "events", Value::Type::kArray);
+    if (events != nullptr) {
+      for (std::size_t i = 0; i < events->array.size(); ++i) {
+        if (!events->array[i]->is(Value::Type::kString)) {
+          err(at(at(hp, "events"), i), "expected string");
+        }
+      }
+    }
+    if (avail != nullptr && avail->boolean) {
+      if (threads <= 0.0) {
+        err(at(hp, "threads"), "available=true but no thread groups open");
+      }
+      if (mask <= 0.0) {
+        err(at(hp, "event_mask"), "available=true but event mask empty");
+      }
+      if (events != nullptr && events->array.empty()) {
+        err(at(hp, "events"), "available=true but event list empty");
+      }
+    }
+  }
 }
+
+void check_placement_audit(const Value& parent, const std::string& path) {
+  const Value* pa =
+      require(parent, path, "placement_audit", Value::Type::kObject);
+  if (pa == nullptr) return;
+  const std::string pp = at(path, "placement_audit");
+  const Value* avail = require(*pa, pp, "available", Value::Type::kBool);
+  const Value* source = require(*pa, pp, "source", Value::Type::kString);
+  require(*pa, pp, "page_granular", Value::Type::kBool);
+  require_fraction(*pa, pp, "min_fraction");
+  const Value* buffers = require(*pa, pp, "buffers", Value::Type::kArray);
+  if (avail != nullptr && avail->boolean) {
+    if (source != nullptr && source->str != "move_pages" &&
+        source->str != "numa_maps") {
+      err(at(pp, "source"),
+          "available=true but source is '" + source->str + "'");
+    }
+    if (buffers != nullptr && buffers->array.empty()) {
+      err(at(pp, "buffers"), "available=true but no buffers audited");
+    }
+  }
+  if (buffers == nullptr) return;
+  for (std::size_t i = 0; i < buffers->array.size(); ++i) {
+    const Value& b = *buffers->array[i];
+    const std::string bp = at(at(pp, "buffers"), i);
+    require(b, bp, "name", Value::Type::kString);
+    require_nonneg(b, bp, "intended_node");
+    const double total = require_nonneg(b, bp, "pages_total");
+    const double on = require_nonneg(b, bp, "pages_on_node");
+    const double elsewhere = require_nonneg(b, bp, "pages_elsewhere");
+    const double unmapped = require_nonneg(b, bp, "pages_unmapped");
+    require_fraction(b, bp, "fraction_on_node");
+    if (on + elsewhere + unmapped > total + 0.5) {
+      err(bp, "page counts exceed pages_total");
+    }
+  }
+}
+
+// ---- hotpath schema --------------------------------------------------------
 
 void check_encoding_run(const Value& r, const std::string& path) {
   require(r, path, "compact", Value::Type::kBool);
@@ -279,102 +203,77 @@ void check_encoding_run(const Value& r, const std::string& path) {
   require_nonneg(r, path, "sim_cycles");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <BENCH_hotpath.json>\n", argv[0]);
-    return 2;
-  }
-  std::FILE* f = std::fopen(argv[1], "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
-    return 2;
-  }
-  std::string text;
-  char buf[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    text.append(buf, n);
-  }
-  std::fclose(f);
-
-  const ValuePtr rootp = Parser(std::move(text)).parse();
-  const Value& root = *rootp;
-  const std::string top = "$";
-
-  require(root, top, "bench", Value::Type::kString);
+void check_hotpath(const Value& root) {
+  const std::string top;
   require_nonneg(root, top, "iterations");
   const Value* host = require(root, top, "host", Value::Type::kObject);
   if (host != nullptr) {
-    require_nonneg(*host, top + ".host", "cpus");
-    require_nonneg(*host, top + ".host", "numa_nodes");
+    require_nonneg(*host, at(top, "host"), "cpus");
+    require_nonneg(*host, at(top, "host"), "numa_nodes");
   }
 
   const Value* ov =
       require(root, top, "dispatch_overhead", Value::Type::kObject);
   if (ov != nullptr) {
-    const std::string p = top + ".dispatch_overhead";
+    const std::string p = at(top, "dispatch_overhead");
     require_nonneg(*ov, p, "threads");
     require_nonneg(*ov, p, "phase_ns_per_iter");
     require_nonneg(*ov, p, "run_loop_ns_per_iter");
   }
 
-  const Value* datasets =
-      require(root, top, "datasets", Value::Type::kArray);
+  const Value* datasets = require(root, top, "datasets", Value::Type::kArray);
   if (datasets != nullptr) {
-    if (datasets->array.empty()) err("$.datasets is empty");
+    if (datasets->array.empty()) err(at(top, "datasets"), "is empty");
     for (std::size_t di = 0; di < datasets->array.size(); ++di) {
       const Value& d = *datasets->array[di];
-      const std::string dp = "$.datasets[" + std::to_string(di) + "]";
+      const std::string dp = at(at(top, "datasets"), di);
       require(d, dp, "name", Value::Type::kString);
       require_nonneg(d, dp, "vertices");
       require_nonneg(d, dp, "edges");
-      const Value* methods =
-          require(d, dp, "methods", Value::Type::kArray);
+      const Value* methods = require(d, dp, "methods", Value::Type::kArray);
       if (methods == nullptr) continue;
       for (std::size_t mi = 0; mi < methods->array.size(); ++mi) {
         const Value& m = *methods->array[mi];
-        const std::string mp = dp + ".methods[" + std::to_string(mi) + "]";
+        const std::string mp = at(at(dp, "methods"), mi);
         require(m, mp, "method", Value::Type::kString);
         const Value* a = require(m, mp, "auto", Value::Type::kObject);
         const Value* w = require(m, mp, "wide", Value::Type::kObject);
-        if (a != nullptr) check_encoding_run(*a, mp + ".auto");
-        if (w != nullptr) check_encoding_run(*w, mp + ".wide");
+        if (a != nullptr) check_encoding_run(*a, at(mp, "auto"));
+        if (w != nullptr) check_encoding_run(*w, at(mp, "wide"));
         // Compact and wide encodings must agree bitwise.
-        const Value* l1 = require(m, mp, "ranks_l1_vs_wide",
-                                  Value::Type::kNumber);
+        const Value* l1 =
+            require(m, mp, "ranks_l1_vs_wide", Value::Type::kNumber);
         if (l1 != nullptr && l1->number != 0.0) {
-          err(mp + ".ranks_l1_vs_wide must be 0 (got " +
-              std::to_string(l1->number) + ")");
+          err(at(mp, "ranks_l1_vs_wide"),
+              "must be 0 (got " + std::to_string(l1->number) + ")");
         }
       }
     }
   }
 
-  const Value* tel =
-      require(root, top, "telemetry_runs", Value::Type::kObject);
+  const Value* tel = require(root, top, "telemetry_runs", Value::Type::kObject);
   if (tel != nullptr) {
-    const std::string tp = top + ".telemetry_runs";
+    const std::string tp = at(top, "telemetry_runs");
     require(*tel, tp, "dataset", Value::Type::kString);
-    const Value* methods =
-        require(*tel, tp, "methods", Value::Type::kArray);
+    const Value* methods = require(*tel, tp, "methods", Value::Type::kArray);
     if (methods != nullptr) {
-      if (methods->array.empty()) err(tp + ".methods is empty");
+      if (methods->array.empty()) err(at(tp, "methods"), "is empty");
       for (std::size_t mi = 0; mi < methods->array.size(); ++mi) {
         const Value& m = *methods->array[mi];
-        const std::string mp = tp + ".methods[" + std::to_string(mi) + "]";
+        const std::string mp = at(at(tp, "methods"), mi);
         require(m, mp, "method", Value::Type::kString);
         require_nonneg(m, mp, "native_seconds");
-        const Value* t =
-            require(m, mp, "telemetry", Value::Type::kObject);
+        require(m, mp, "trace_path", Value::Type::kString);
+        const Value* t = require(m, mp, "telemetry", Value::Type::kObject);
         if (t != nullptr) {
-          check_telemetry(*t, mp + ".telemetry");
+          check_telemetry(*t, at(mp, "telemetry"));
           const Value* enabled = t->find("enabled");
           if (enabled != nullptr && !enabled->boolean) {
-            err(mp + ".telemetry.enabled must be true for kOn runs");
+            err(at(at(mp, "telemetry"), "enabled"),
+                "must be true for kOn runs");
           }
         }
+        check_placement_audit(m, mp);
       }
     }
   }
@@ -382,7 +281,7 @@ int main(int argc, char** argv) {
   const Value* toh =
       require(root, top, "telemetry_overhead", Value::Type::kObject);
   if (toh != nullptr) {
-    const std::string p = top + ".telemetry_overhead";
+    const std::string p = at(top, "telemetry_overhead");
     require_nonneg(*toh, p, "reps");
     require_nonneg(*toh, p, "off_seconds");
     require_nonneg(*toh, p, "on_seconds");
@@ -390,16 +289,145 @@ int main(int argc, char** argv) {
     const Value* ident =
         require(*toh, p, "ranks_bitwise_identical", Value::Type::kBool);
     if (ident != nullptr && !ident->boolean) {
-      err(p + ".ranks_bitwise_identical must be true — telemetry "
-              "perturbed the ranks");
+      err(at(p, "ranks_bitwise_identical"),
+          "must be true — telemetry perturbed the ranks");
+    }
+  }
+}
+
+// ---- table3 schema ---------------------------------------------------------
+
+void check_table3(const Value& root) {
+  const std::string top;
+  require_nonneg(root, top, "iterations");
+  const Value* host = require(root, top, "host", Value::Type::kObject);
+  if (host != nullptr) {
+    require_nonneg(*host, at(top, "host"), "cpus");
+    require_nonneg(*host, at(top, "host"), "numa_nodes");
+  }
+  const Value* datasets = require(root, top, "datasets", Value::Type::kArray);
+  if (datasets != nullptr && datasets->array.empty()) {
+    err(at(top, "datasets"), "is empty");
+  }
+
+  const Value* arches = require(root, top, "arches", Value::Type::kArray);
+  if (arches != nullptr) {
+    if (arches->array.empty()) err(at(top, "arches"), "is empty");
+    for (std::size_t ai = 0; ai < arches->array.size(); ++ai) {
+      const Value& a = *arches->array[ai];
+      const std::string ap = at(at(top, "arches"), ai);
+      require(a, ap, "arch", Value::Type::kString);
+      require_nonneg(a, ap, "l2_kb");
+      require(a, ap, "inclusive_llc", Value::Type::kBool);
+      require_nonneg(a, ap, "norm_kb");
+      const Value* methods = require(a, ap, "methods", Value::Type::kArray);
+      if (methods == nullptr) continue;
+      for (std::size_t mi = 0; mi < methods->array.size(); ++mi) {
+        const Value& m = *methods->array[mi];
+        const std::string mp = at(at(ap, "methods"), mi);
+        require(m, mp, "method", Value::Type::kString);
+        const Value* norm =
+            require(m, mp, "normalized", Value::Type::kArray);
+        if (norm == nullptr) continue;
+        if (norm->array.empty()) err(at(mp, "normalized"), "is empty");
+        for (std::size_t si = 0; si < norm->array.size(); ++si) {
+          const Value& s = *norm->array[si];
+          const std::string sp = at(at(mp, "normalized"), si);
+          require_nonneg(s, sp, "kb");
+          require_nonneg(s, sp, "value");
+        }
+      }
     }
   }
 
-  if (g_errors > 0) {
-    std::fprintf(stderr, "%d schema violation(s) in %s\n", g_errors,
-                 argv[1]);
+  const Value* nh = require(root, top, "native_hw", Value::Type::kObject);
+  if (nh != nullptr) {
+    const std::string np = at(top, "native_hw");
+    require(*nh, np, "dataset", Value::Type::kString);
+    require_nonneg(*nh, np, "iterations");
+    const Value* methods = require(*nh, np, "methods", Value::Type::kArray);
+    if (methods != nullptr) {
+      if (methods->array.empty()) err(at(np, "methods"), "is empty");
+      for (std::size_t mi = 0; mi < methods->array.size(); ++mi) {
+        const Value& m = *methods->array[mi];
+        const std::string mp = at(at(np, "methods"), mi);
+        require(m, mp, "method", Value::Type::kString);
+        const Value* sizes = require(m, mp, "sizes", Value::Type::kArray);
+        if (sizes == nullptr) continue;
+        if (sizes->array.empty()) err(at(mp, "sizes"), "is empty");
+        for (std::size_t si = 0; si < sizes->array.size(); ++si) {
+          const Value& s = *sizes->array[si];
+          const std::string sp = at(at(mp, "sizes"), si);
+          require_nonneg(s, sp, "kb");
+          require_nonneg(s, sp, "partition_bytes");
+          require_nonneg(s, sp, "native_seconds");
+          require_nonneg(s, sp, "normalized");
+          require_nonneg(s, sp, "llc_miss_pct");
+          const Value* t = require(s, sp, "telemetry", Value::Type::kObject);
+          if (t != nullptr) check_telemetry(*t, at(sp, "telemetry"));
+          check_placement_audit(s, sp);
+        }
+      }
+    }
+  }
+}
+
+// ---- driver ----------------------------------------------------------------
+
+int check_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::string perr;
+  const ValuePtr rootp = hipa::json::parse(std::move(text), &perr);
+  if (rootp == nullptr) {
+    std::fprintf(stderr, "%s: %s\n", path, perr.c_str());
     return 1;
   }
-  std::printf("schema OK: %s\n", argv[1]);
+  const Value& root = *rootp;
+
+  const int before = g_errors;
+  const Value* bench = require(root, "", "bench", Value::Type::kString);
+  if (bench != nullptr) {
+    if (bench->str == "hotpath") {
+      check_hotpath(root);
+    } else if (bench->str == "table3_microarch") {
+      check_table3(root);
+    } else {
+      err("/bench", "unknown bench tag '" + bench->str + "'");
+    }
+  }
+
+  const int file_errors = g_errors - before;
+  if (file_errors > 0) {
+    std::fprintf(stderr, "%d schema violation(s) in %s\n", file_errors,
+                 path);
+    return 1;
+  }
+  std::printf("schema OK: %s\n", path);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <BENCH_*.json> [more.json ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const int r = check_file(argv[i]);
+    if (r > rc) rc = r;
+  }
+  return rc;
 }

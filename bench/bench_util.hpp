@@ -15,6 +15,8 @@
 
 #include "algos/pagerank.hpp"
 #include "graph/datasets.hpp"
+#include "runtime/numa_audit.hpp"
+#include "runtime/telemetry.hpp"
 #include "sim/machine.hpp"
 
 namespace hipa::bench {
@@ -24,14 +26,17 @@ namespace hipa::bench {
 /// --dataset=name (restrict to one), --methods=a,b (restrict the
 /// methodology set; names per algo::method_from_name, e.g.
 /// "hipa,ppr,GPOP"), --out=path (JSON output path for benches that
-/// emit machine-readable results), --help.
+/// emit machine-readable results), --trace-out=path (Chrome/Perfetto
+/// trace_events timeline of the instrumented native run; open with
+/// ui.perfetto.dev), --help.
 struct Flags {
   unsigned iterations = 0;  ///< 0 = per-bench default
   bool quick = false;
   bool smoke = false;  ///< implies quick; benches also trim datasets
   std::string dataset;
   std::vector<algo::Method> methods;  ///< empty = bench default set
-  std::string out;  ///< JSON output path ("" = bench default)
+  std::string out;        ///< JSON output path ("" = bench default)
+  std::string trace_out;  ///< Chrome trace path ("" = no trace)
 
   static Flags parse(int argc, char** argv) {
     Flags f;
@@ -52,10 +57,12 @@ struct Flags {
         f.methods = parse_methods(a + 10);
       } else if (std::strncmp(a, "--out=", 6) == 0) {
         f.out = a + 6;
+      } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+        f.trace_out = a + 12;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "flags: --iters=N  --quick  --smoke  --dataset=<name>  "
-            "--methods=a,b  --out=<path>\n"
+            "--methods=a,b  --out=<path>  --trace-out=<path>\n"
             "datasets: journal pld wiki kron twitter mpi\n"
             "methods:  hipa ppr vpr gpop polymer (or the paper names)\n");
         std::exit(0);
@@ -246,8 +253,16 @@ class JsonWriter {
 //                   "sim_remote_accesses": .. }, x3 ],
 //     "iterations_recorded": I,
 //     "total_wall_seconds": .., "total_barrier_seconds": ..,
-//     "total_messages_produced": .., "total_messages_consumed": ..
+//     "total_messages_produced": .., "total_messages_consumed": ..,
+//     "hw": { "available": bool, "threads": N, "event_mask": M,
+//             "errno": E, "events": ["cycles", ...] }
 //   }
+//
+// Each phase entry additionally carries the per-phase hardware counter
+// aggregates (hw_cycles, hw_instructions, hw_llc_loads,
+// hw_llc_load_misses, hw_node_loads, hw_node_load_misses,
+// hw_multiplex_ratio) — all zero when hw.available is false, scaled
+// for multiplexing consult hw_multiplex_ratio.
 
 /// Emit `telemetry` (or a custom key) as one object in the shared
 /// schema above. Call with the writer positioned inside an object.
@@ -280,6 +295,13 @@ inline void emit_telemetry(JsonWriter& jw, const runtime::RunTelemetry& t,
     jw.kv("region_seconds", a.region_seconds);
     jw.kv("sim_local_accesses", a.sim_local_accesses);
     jw.kv("sim_remote_accesses", a.sim_remote_accesses);
+    jw.kv("hw_cycles", a.hw.cycles);
+    jw.kv("hw_instructions", a.hw.instructions);
+    jw.kv("hw_llc_loads", a.hw.llc_loads);
+    jw.kv("hw_llc_load_misses", a.hw.llc_load_misses);
+    jw.kv("hw_node_loads", a.hw.node_loads);
+    jw.kv("hw_node_load_misses", a.hw.node_load_misses);
+    jw.kv("hw_multiplex_ratio", a.hw.multiplex_ratio());
     jw.end_object();
   }
   jw.end_array();
@@ -289,6 +311,51 @@ inline void emit_telemetry(JsonWriter& jw, const runtime::RunTelemetry& t,
   jw.kv("total_barrier_seconds", t.total_barrier_seconds());
   jw.kv("total_messages_produced", t.total_messages_produced());
   jw.kv("total_messages_consumed", t.total_messages_consumed());
+  jw.key("hw");
+  jw.begin_object();
+  jw.kv("available", t.hw_available);
+  jw.kv("threads", t.hw_threads);
+  jw.kv("event_mask", static_cast<std::uint64_t>(t.hw_event_mask));
+  jw.kv("errno", t.hw_errno);
+  jw.key("events");
+  jw.begin_array();
+  for (unsigned e = 0; e < runtime::kNumHwEvents; ++e) {
+    if ((t.hw_event_mask & (1u << e)) != 0) {
+      jw.value(runtime::hw_event_name(e));
+    }
+  }
+  jw.end_array();
+  jw.end_object();
+  jw.end_object();
+}
+
+/// Emit a RunReport's NUMA placement audit (or a custom key) as one
+/// object. Call with the writer positioned inside an object. Emitted
+/// even when unavailable (available=false, empty buffers) so the
+/// schema checker can assert the key's presence unconditionally.
+inline void emit_placement_audit(JsonWriter& jw,
+                                 const numa::PlacementAudit& a,
+                                 const char* key = "placement_audit") {
+  jw.key(key);
+  jw.begin_object();
+  jw.kv("available", a.available);
+  jw.kv("source", a.source);
+  jw.kv("page_granular", a.page_granular);
+  jw.kv("min_fraction", a.min_fraction());
+  jw.key("buffers");
+  jw.begin_array();
+  for (const numa::BufferAudit& b : a.buffers) {
+    jw.begin_object();
+    jw.kv("name", b.name);
+    jw.kv("intended_node", b.intended_node);
+    jw.kv("pages_total", b.pages_total);
+    jw.kv("pages_on_node", b.pages_on_node);
+    jw.kv("pages_elsewhere", b.pages_elsewhere);
+    jw.kv("pages_unmapped", b.pages_unmapped);
+    jw.kv("fraction_on_node", b.fraction_on_node());
+    jw.end_object();
+  }
+  jw.end_array();
   jw.end_object();
 }
 

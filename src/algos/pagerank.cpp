@@ -126,7 +126,7 @@ template <class Backend>
 RunResult dispatch(Method m, const graph::Graph& g, Backend& backend,
                    unsigned threads, std::uint64_t part_bytes,
                    unsigned num_nodes, const MethodParams& params) {
-  const engine::PageRankOptions pr = params.resolved();
+  const engine::PageRankOptions& pr = params.pr;
   switch (m) {
     case Method::kHipa: {
       auto opt = engine::PcpmOptions::hipa(threads, num_nodes, part_bytes);

@@ -47,14 +47,6 @@ enum class Method { kHipa, kPpr, kVpr, kGpop, kPolymer };
 
 /// Parameters common to every runner. Zeros mean "paper default for
 /// this methodology on this machine".
-// Deprecation warnings are suppressed across the struct definition so
-// the *implicit* special members (which reference the deprecated
-// fields' initializers) stay quiet; explicit uses of the legacy
-// fields at call sites still warn.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
 struct MethodParams {
   unsigned threads = 0;
   std::uint64_t partition_bytes = 0;
@@ -62,36 +54,12 @@ struct MethodParams {
   /// cache scaling; see DatasetInfo::recommended_scale).
   unsigned scale_denom = 1;
   /// The engine-level run options (iterations, damping, tolerance,
-  /// telemetry) — ONE source of truth shared with every engine's
-  /// run()/run_pagerank() instead of the historic duplicated flat
-  /// fields.
+  /// telemetry, hw counters, trace path, placement audit) — ONE source
+  /// of truth shared with every engine's run()/run_pagerank(). The
+  /// historic flat iterations/damping duplicates (deprecated in the
+  /// previous PR) are gone; set `pr.iterations` / `pr.damping`.
   engine::PageRankOptions pr{};
-
-  // Deprecated duplicates of pr.iterations / pr.damping, kept for one
-  // PR as a migration shim. Sentinels (0) mean "not set"; a non-zero
-  // value overrides the embedded options in resolved().
-  [[deprecated("set MethodParams::pr.iterations")]] unsigned iterations = 0;
-  [[deprecated("set MethodParams::pr.damping")]] rank_t damping = 0.0f;
-
-  /// Effective engine options: `pr` with any legacy flat fields folded
-  /// in (legacy wins when explicitly set, preserving old call sites).
-  [[nodiscard]] engine::PageRankOptions resolved() const {
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-    engine::PageRankOptions out = pr;
-    if (iterations != 0) out.iterations = iterations;
-    if (damping != 0.0f) out.damping = damping;
-    return out;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-  }
 };
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 /// Paper-default thread count of a methodology on a topology
 /// (HiPa/v-PR/Polymer use all logical cores; p-PR and GPOP stay at or

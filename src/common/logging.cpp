@@ -1,14 +1,24 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
+
+#include "common/timer.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 namespace hipa {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_emit_mutex;
+
+thread_local int tl_node = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,6 +33,15 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+long current_tid() {
+#if defined(__linux__)
+  thread_local const long tid = static_cast<long>(::syscall(SYS_gettid));
+  return tid;
+#else
+  return 0;
+#endif
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -33,10 +52,26 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void log_set_thread_node(int node) { tl_node = node; }
+
 namespace detail {
+// Line shape: `[hipa:WARN +12.345678s t:4321 n:1] message`.
+// The `+...s` timestamp is steady (monotonic) process uptime on the
+// same epoch the Chrome-trace exporter uses for span `ts` values, so
+// a log line at +12.345678s sits at 12,345,678 us on the Perfetto
+// timeline; t:/n: are the OS thread id and pinned NUMA node.
 void log_emit(LogLevel level, const std::string& message) {
+  const double up = steady_uptime_seconds();
+  char prefix[96];
+  if (tl_node >= 0) {
+    std::snprintf(prefix, sizeof(prefix), "[hipa:%s +%.6fs t:%ld n:%d] ",
+                  level_name(level), up, current_tid(), tl_node);
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[hipa:%s +%.6fs t:%ld n:?] ",
+                  level_name(level), up, current_tid());
+  }
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::cerr << "[hipa:" << level_name(level) << "] " << message << '\n';
+  std::cerr << prefix << message << '\n';
 }
 }  // namespace detail
 

@@ -15,6 +15,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
+/// Tag the calling thread's log lines with the NUMA node it is pinned
+/// to (shown as `n:<node>`; untagged threads print `n:?`). Called by
+/// pin_current_thread after a successful pin so worker log lines
+/// correlate with per-node trace tracks. Pass -1 to clear.
+void log_set_thread_node(int node);
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
 }

@@ -26,4 +26,12 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Seconds since the process-wide steady epoch (first call). Shared
+/// by log timestamps and trace spans so "+12.345678s" in a log line
+/// lands at ts=12345678us on the Perfetto timeline.
+[[nodiscard]] inline double steady_uptime_seconds() {
+  static const Timer t0;
+  return t0.seconds();
+}
+
 }  // namespace hipa

@@ -17,11 +17,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "common/aligned_buffer.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/numa_audit.hpp"
 #include "runtime/placement.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
@@ -372,6 +375,28 @@ struct PageRankOptions {
   /// default) compiles the instrumentation out of the run path
   /// entirely — ranks are bitwise identical to an untelemetered build.
   runtime::Telemetry telemetry = runtime::Telemetry::kOff;
+  /// Per-thread perf_event counter groups around the same recording
+  /// sites (native backends only; implies the telemetered code path).
+  /// Soft-degrades — RunTelemetry::hw_available stays false — when the
+  /// kernel denies perf_event_open.
+  runtime::HwProf hw_counters = runtime::HwProf::kOff;
+  /// When non-empty (native backends), collect per-thread spans and
+  /// write a Chrome/Perfetto trace-events JSON here after the run.
+  /// Implies the telemetered code path.
+  std::string trace_path;
+  /// Audit physical page placement of the engine's attribute/bin
+  /// buffers after allocation (native backends; RunReport::
+  /// placement_audit). Reports available=false on single-node hosts or
+  /// when both move_pages and numa_maps are inaccessible.
+  bool audit_placement = false;
+
+  /// True when any instrumentation was requested — the engines'
+  /// run-path dispatch: instrumented() picks the kTel=true
+  /// instantiation, plain runs pick the token-identical kOff path.
+  [[nodiscard]] bool instrumented() const {
+    return telemetry == runtime::Telemetry::kOn ||
+           hw_counters == runtime::HwProf::kOn || !trace_path.empty();
+  }
 };
 
 /// Result of one engine run.
@@ -386,6 +411,10 @@ struct RunReport {
   /// Per-phase/per-thread breakdown; default (enabled == false,
   /// all-zero) unless the run requested Telemetry::kOn.
   runtime::RunTelemetry telemetry;
+  /// NUMA page-placement verification (PageRankOptions::
+  /// audit_placement on a native multi-node run); default
+  /// available=false otherwise.
+  numa::PlacementAudit placement_audit;
 };
 
 /// The unified run surface every engine and the `algo::` facade return:

@@ -27,11 +27,13 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/prefetch.hpp"
 #include "engines/backend.hpp"
 #include "graph/csr.hpp"
 #include "partition/plan.hpp"
 #include "pcp/bins.hpp"
+#include "runtime/trace.hpp"
 
 namespace hipa::engine {
 
@@ -124,13 +126,13 @@ class PcpmEngine {
   }
 
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
-  /// Telemetry is a compile-time fork: the kOff instantiation contains
-  /// no instrumentation at all.
+  /// Instrumentation (telemetry, hw counters, trace spans) is a
+  /// compile-time fork: the uninstrumented instantiation contains no
+  /// recording code at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
-    return pr.telemetry == runtime::Telemetry::kOn
-               ? run_pagerank_impl<true>(pr, ranks_out)
-               : run_pagerank_impl<false>(pr, ranks_out);
+    return pr.instrumented() ? run_pagerank_impl<true>(pr, ranks_out)
+                             : run_pagerank_impl<false>(pr, ranks_out);
   }
 
  private:
@@ -141,6 +143,15 @@ class PcpmEngine {
     if constexpr (kTel) {
       timeline_.reset(opt_.num_threads);
       timeline_.reserve_iterations(pr.iterations);
+      if constexpr (!Backend::kSimulated) {
+        // Hardware counters + trace spans are host-side concepts; the
+        // simulated backend keeps its modeled counters instead.
+        hwprof_.reset(opt_.num_threads,
+                      pr.hw_counters == runtime::HwProf::kOn);
+        if (!pr.trace_path.empty()) {
+          timeline_.enable_spans(4 * std::size_t{pr.iterations} + 8);
+        }
+      }
     }
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
@@ -221,11 +232,41 @@ class PcpmEngine {
     }
     if constexpr (kTel) {
       report.telemetry = runtime::aggregate(timeline_);
+      if constexpr (!Backend::kSimulated) {
+        if (pr.hw_counters == runtime::HwProf::kOn) {
+          report.telemetry.hw_available = hwprof_.any_open();
+          report.telemetry.hw_threads = hwprof_.open_threads();
+          report.telemetry.hw_event_mask = hwprof_.event_mask();
+          if (!report.telemetry.hw_available && hwprof_.num_threads() > 0) {
+            report.telemetry.hw_errno = hwprof_.group(0).last_errno();
+          }
+        }
+        if (!pr.trace_path.empty() &&
+            !trace::ChromeTraceWriter::write(pr.trace_path, timeline_,
+                                             engine_label())) {
+          HIPA_WARN("trace write failed: " << pr.trace_path);
+        }
+      }
+    }
+    if constexpr (!Backend::kSimulated) {
+      // Plain runtime branch after the parallel region — never on the
+      // hot path, works with or without telemetry.
+      if (pr.audit_placement) report.placement_audit = run_placement_audit();
     }
     if (ranks_out != nullptr) {
       ranks_out->assign(rank_.begin(), rank_.end());
     }
     return report;
+  }
+
+  /// Human label for traces: which of the three PCPM configurations
+  /// this engine instance embodies.
+  [[nodiscard]] const char* engine_label() const {
+    if (opt_.numa_aware && opt_.persistent_threads &&
+        opt_.pinned_partitions) {
+      return "HiPa";
+    }
+    return opt_.framework_overhead ? "GPOP" : "p-PR";
   }
 
   /// Wrap one phase() dispatch in region accounting: region wall time
@@ -616,6 +657,38 @@ class PcpmEngine {
     }
   }
 
+  /// Verify the physical placement place_data() asked for: register
+  /// each per-node slice of the attribute arrays plus the
+  /// destination-side inbox with the auditor and query the kernel for
+  /// where the pages actually live. NUMA-oblivious configurations have
+  /// no intended node per buffer, so they audit nothing (available
+  /// stays false unless the host is multi-node AND numa_aware).
+  [[nodiscard]] numa::PlacementAudit run_placement_audit() const {
+    numa::PlacementAuditor auditor;
+    if (opt_.numa_aware) {
+      for (unsigned node = 0; node < plan_.num_nodes; ++node) {
+        const VertexRange vr = plan_.node_vertex_range(node);
+        const std::string tag = "[node" + std::to_string(node) + "]";
+        auto add_verts = [&](const char* nm, const void* base,
+                             std::size_t elem) {
+          auditor.add(nm + tag,
+                      static_cast<const char*>(base) +
+                          std::size_t{vr.begin} * elem,
+                      std::size_t{vr.size()} * elem, node);
+        };
+        add_verts("rank", rank_.data(), sizeof(rank_t));
+        add_verts("rank_scaled", rank_scaled_.data(), sizeof(rank_t));
+        add_verts("acc", acc_.data(), sizeof(rank_t));
+        const std::uint32_t pb = plan_.node_part_begin[node];
+        const std::uint32_t pe = plan_.node_part_begin[node + 1];
+        const auto [mb, me] = bins_.msg_slice(pb, pe);
+        auditor.add("values" + tag, values_.data() + mb,
+                    (me - mb) * sizeof(rank_t), node);
+      }
+    }
+    return auditor.audit();
+  }
+
   void charge_preprocessing() {
     if constexpr (Backend::kSimulated) {
       // Two CSR passes (count + fill) plus writing the bin structure,
@@ -669,12 +742,14 @@ class PcpmEngine {
     backend_->run_loop([&](unsigned t, Mem& mem, LoopCtl& ctl) {
       auto timed_barrier = [&](runtime::Phase ph) {
         runtime::MaybeTimer<kTel> bt;
+        runtime::MaybeSpan<kTel> bspan(timeline_);
         bt.reset();
         ctl.barrier();
         if constexpr (kTel) {
           runtime::PhaseSample& row = timeline_.thread(t)[ph];
           row.barrier_seconds += bt.seconds();
           ++row.barrier_crossings;
+          bspan.finish(t, ph, runtime::SpanKind::kBarrier);
         }
       };
       runtime::MaybeTimer<kTel> iter_timer;
@@ -767,6 +842,8 @@ class PcpmEngine {
     // Per-thread kernel wall is only meaningful on native backends
     // (simulated threads run in charged sim time, not host time).
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     const vid_t n = graph_->num_vertices();
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
@@ -790,6 +867,8 @@ class PcpmEngine {
           timeline_.thread(t)[runtime::Phase::kInit];
       ++row.invocations;
       row.wall_seconds += sw.seconds();
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kInit, runtime::SpanKind::kKernel);
     }
   }
 
@@ -801,6 +880,8 @@ class PcpmEngine {
   template <bool kTel = false>
   void scatter_thread(unsigned t, Mem& mem) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     [[maybe_unused]] std::uint64_t tel_msgs = 0;
     const auto& pairs = bins_.pairs();
@@ -843,6 +924,8 @@ class PcpmEngine {
       row.wall_seconds += sw.seconds();
       row.messages_produced += tel_msgs;
       row.bytes_produced += tel_msgs * sizeof(rank_t);
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kScatter, runtime::SpanKind::kKernel);
     }
   }
 
@@ -937,6 +1020,8 @@ class PcpmEngine {
   void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping,
                      double* delta_out = nullptr) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     gather_accumulate<kTel>(t, mem);
     double l1 = 0.0;
@@ -979,6 +1064,8 @@ class PcpmEngine {
           timeline_.thread(t)[runtime::Phase::kGather];
       ++row.invocations;
       row.wall_seconds += sw.seconds();
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kGather, runtime::SpanKind::kKernel);
     }
   }
 
@@ -1011,6 +1098,9 @@ class PcpmEngine {
   /// Per-thread telemetry rows + phase-region totals; reset at the top
   /// of every telemetered run, untouched (empty) otherwise.
   runtime::PhaseTimeline timeline_;
+  /// Per-thread perf_event counter groups; provisioned only when a
+  /// native run asks for HwProf::kOn (otherwise empty, zero syscalls).
+  runtime::HwProfiler hwprof_;
   double preprocessing_seconds_ = 0.0;
   unsigned phase_salt_ = 0;
 };

@@ -16,15 +16,18 @@
 //    NUMA-aware).
 #pragma once
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/numeric.hpp"
 #include "engines/backend.hpp"
 #include "engines/vpr_engine.hpp"  // SimStats delta helper
 #include "graph/csr.hpp"
 #include "partition/edge_balanced.hpp"
+#include "runtime/trace.hpp"
 
 namespace hipa::engine {
 
@@ -69,13 +72,12 @@ class PolymerEngine {
   }
 
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
-  /// Telemetry is a compile-time fork: the kOff instantiation contains
-  /// no instrumentation at all.
+  /// Instrumentation is a compile-time fork: the uninstrumented
+  /// instantiation contains no recording code at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
-    return pr.telemetry == runtime::Telemetry::kOn
-               ? run_pagerank_impl<true>(pr, ranks_out)
-               : run_pagerank_impl<false>(pr, ranks_out);
+    return pr.instrumented() ? run_pagerank_impl<true>(pr, ranks_out)
+                             : run_pagerank_impl<false>(pr, ranks_out);
   }
 
  private:
@@ -86,6 +88,14 @@ class PolymerEngine {
     if constexpr (kTel) {
       timeline_.reset(opt_.num_threads);
       timeline_.reserve_iterations(pr.iterations);
+      if constexpr (!Backend::kSimulated) {
+        hwprof_.reset(opt_.num_threads,
+                      pr.hw_counters == runtime::HwProf::kOn);
+        if (!pr.trace_path.empty()) {
+          timeline_.enable_spans(
+              std::size_t{pr.iterations} * (1 + opt_.num_nodes) + 4);
+        }
+      }
     }
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
@@ -105,6 +115,8 @@ class PolymerEngine {
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
     timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
       runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+      runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+      runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
       sw.reset();
       const vid_t b = thread_vertex_bounds_[t];
       const vid_t e = thread_vertex_bounds_[t + 1];
@@ -120,6 +132,8 @@ class PolymerEngine {
             timeline_.thread(t)[runtime::Phase::kInit];
         ++row.invocations;
         row.wall_seconds += sw.seconds();
+        hwsec.finish(row.hw);
+        span.finish(t, runtime::Phase::kInit, runtime::SpanKind::kKernel);
       }
     });
     const auto base =
@@ -160,6 +174,24 @@ class PolymerEngine {
     }
     if constexpr (kTel) {
       report.telemetry = runtime::aggregate(timeline_);
+      if constexpr (!Backend::kSimulated) {
+        if (pr.hw_counters == runtime::HwProf::kOn) {
+          report.telemetry.hw_available = hwprof_.any_open();
+          report.telemetry.hw_threads = hwprof_.open_threads();
+          report.telemetry.hw_event_mask = hwprof_.event_mask();
+          if (!report.telemetry.hw_available && hwprof_.num_threads() > 0) {
+            report.telemetry.hw_errno = hwprof_.group(0).last_errno();
+          }
+        }
+        if (!pr.trace_path.empty() &&
+            !trace::ChromeTraceWriter::write(pr.trace_path, timeline_,
+                                             "Polymer")) {
+          HIPA_WARN("trace write failed: " << pr.trace_path);
+        }
+      }
+    }
+    if constexpr (!Backend::kSimulated) {
+      if (pr.audit_placement) report.placement_audit = run_placement_audit();
     }
     if (ranks_out != nullptr) {
       ranks_out->resize(n);
@@ -312,6 +344,23 @@ class PolymerEngine {
     }
   }
 
+  /// Verify the per-node placement build_layout() asked for: each
+  /// node's slice of the double-precision attributes plus its full
+  /// contribution replica.
+  [[nodiscard]] numa::PlacementAudit run_placement_audit() const {
+    numa::PlacementAuditor auditor;
+    for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
+      const vid_t b = node_bounds_[nd];
+      const vid_t sz = node_bounds_[nd + 1] - b;
+      const std::string tag = "[node" + std::to_string(nd) + "]";
+      auditor.add("rank" + tag, rank_.data() + b, sz * sizeof(double), nd);
+      auditor.add("acc" + tag, acc_.data() + b, sz * sizeof(double), nd);
+      auditor.add("replica" + tag, replicas_[nd].data(),
+                  replicas_[nd].size() * sizeof(rank_t), nd);
+    }
+    return auditor.audit();
+  }
+
   [[nodiscard]] unsigned node_of_vertex(vid_t v) const {
     for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
       if (v < node_bounds_[nd + 1]) return nd;
@@ -333,6 +382,8 @@ class PolymerEngine {
   template <bool kTel = false>
   void replicate_pass(unsigned t, Mem& mem) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     const vid_t b = thread_vertex_bounds_[t];
     const vid_t e = thread_vertex_bounds_[t + 1];
@@ -362,6 +413,8 @@ class PolymerEngine {
           std::uint64_t{e - b} * opt_.num_nodes;
       row.messages_produced += msgs;
       row.bytes_produced += msgs * sizeof(rank_t);
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kScatter, runtime::SpanKind::kKernel);
     }
   }
 
@@ -371,6 +424,8 @@ class PolymerEngine {
   void pull_pass(unsigned t, Mem& mem, unsigned m, bool last, rank_t base,
                  rank_t damping) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     [[maybe_unused]] std::uint64_t tel_edges = 0;
     const unsigned nd = node_of_thread(t);
@@ -418,6 +473,8 @@ class PolymerEngine {
       row.wall_seconds += sw.seconds();
       row.messages_consumed += tel_edges;
       row.bytes_consumed += tel_edges * sizeof(rank_t);
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kGather, runtime::SpanKind::kKernel);
     }
   }
 
@@ -441,6 +498,8 @@ class PolymerEngine {
   /// Per-thread telemetry rows + phase-region totals; reset at the top
   /// of every telemetered run, untouched (empty) otherwise.
   runtime::PhaseTimeline timeline_;
+  /// Per-thread perf_event counter groups (native + HwProf::kOn only).
+  runtime::HwProfiler hwprof_;
   double preprocessing_seconds_ = 0.0;
 };
 

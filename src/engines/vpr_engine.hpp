@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/numeric.hpp"
 #include "engines/backend.hpp"
 #include "graph/csr.hpp"
 #include "partition/edge_balanced.hpp"
+#include "runtime/trace.hpp"
 
 namespace hipa::engine {
 
@@ -70,13 +72,12 @@ class VprEngine {
   }
 
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
-  /// Telemetry is a compile-time fork: the kOff instantiation contains
-  /// no instrumentation at all.
+  /// Instrumentation is a compile-time fork: the uninstrumented
+  /// instantiation contains no recording code at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
-    return pr.telemetry == runtime::Telemetry::kOn
-               ? run_pagerank_impl<true>(pr, ranks_out)
-               : run_pagerank_impl<false>(pr, ranks_out);
+    return pr.instrumented() ? run_pagerank_impl<true>(pr, ranks_out)
+                             : run_pagerank_impl<false>(pr, ranks_out);
   }
 
  private:
@@ -87,6 +88,13 @@ class VprEngine {
     if constexpr (kTel) {
       timeline_.reset(opt_.num_threads);
       timeline_.reserve_iterations(pr.iterations);
+      if constexpr (!Backend::kSimulated) {
+        hwprof_.reset(opt_.num_threads,
+                      pr.hw_counters == runtime::HwProf::kOn);
+        if (!pr.trace_path.empty()) {
+          timeline_.enable_spans(2 * std::size_t{pr.iterations} + 4);
+        }
+      }
     }
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
@@ -105,6 +113,8 @@ class VprEngine {
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
     timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
       runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+      runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+      runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
       sw.reset();
       const vid_t b = vertex_chunks_[t];
       const vid_t e = vertex_chunks_[t + 1];
@@ -116,6 +126,8 @@ class VprEngine {
             timeline_.thread(t)[runtime::Phase::kInit];
         ++row.invocations;
         row.wall_seconds += sw.seconds();
+        hwsec.finish(row.hw);
+        span.finish(t, runtime::Phase::kInit, runtime::SpanKind::kKernel);
       }
     });
     const auto base =
@@ -147,7 +159,25 @@ class VprEngine {
     }
     if constexpr (kTel) {
       report.telemetry = runtime::aggregate(timeline_);
+      if constexpr (!Backend::kSimulated) {
+        if (pr.hw_counters == runtime::HwProf::kOn) {
+          report.telemetry.hw_available = hwprof_.any_open();
+          report.telemetry.hw_threads = hwprof_.open_threads();
+          report.telemetry.hw_event_mask = hwprof_.event_mask();
+          if (!report.telemetry.hw_available && hwprof_.num_threads() > 0) {
+            report.telemetry.hw_errno = hwprof_.group(0).last_errno();
+          }
+        }
+        if (!pr.trace_path.empty() &&
+            !trace::ChromeTraceWriter::write(pr.trace_path, timeline_,
+                                             "v-PR")) {
+          HIPA_WARN("trace write failed: " << pr.trace_path);
+        }
+      }
     }
+    // v-PR is NUMA-oblivious (interleaved data, no per-buffer owner
+    // node), so a placement audit has nothing to verify: the default
+    // available=false RunReport::placement_audit stands.
     if (ranks_out != nullptr) ranks_out->assign(rank_.begin(), rank_.end());
     return report;
   }
@@ -206,6 +236,8 @@ class VprEngine {
   template <bool kTel = false>
   void contrib_pass(unsigned t, Mem& mem) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     const vid_t b = vertex_chunks_[t];
     const vid_t e = vertex_chunks_[t + 1];
@@ -225,12 +257,16 @@ class VprEngine {
       row.wall_seconds += sw.seconds();
       row.messages_produced += e - b;
       row.bytes_produced += std::uint64_t{e - b} * sizeof(rank_t);
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kScatter, runtime::SpanKind::kKernel);
     }
   }
 
   template <bool kTel = false>
   void pull_pass(unsigned t, Mem& mem, rank_t base, rank_t damping) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
+    runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
+    runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     [[maybe_unused]] std::uint64_t tel_edges = 0;
     const vid_t b = pull_chunks_[t];
@@ -260,6 +296,8 @@ class VprEngine {
       row.wall_seconds += sw.seconds();
       row.messages_consumed += tel_edges;
       row.bytes_consumed += tel_edges * sizeof(rank_t);
+      hwsec.finish(row.hw);
+      span.finish(t, runtime::Phase::kGather, runtime::SpanKind::kKernel);
     }
   }
 
@@ -274,6 +312,8 @@ class VprEngine {
   /// Per-thread telemetry rows + phase-region totals; reset at the top
   /// of every telemetered run, untouched (empty) otherwise.
   runtime::PhaseTimeline timeline_;
+  /// Per-thread perf_event counter groups (native + HwProf::kOn only).
+  runtime::HwProfiler hwprof_;
   double preprocessing_seconds_ = 0.0;
 };
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <thread>
 
+#include "common/logging.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -12,12 +14,33 @@
 
 namespace hipa::runtime {
 
+namespace {
+
+/// NUMA node owning `cpu` per the cached topology; -1 when unknown.
+int node_of_cpu(unsigned cpu) {
+  const HostTopology& topo = topology();
+  if (!topo.from_sysfs) return -1;
+  for (std::size_t n = 0; n < topo.node_cpus.size(); ++n) {
+    for (unsigned c : topo.node_cpus[n]) {
+      if (c == cpu) return static_cast<int>(n);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
 bool pin_current_thread([[maybe_unused]] unsigned cpu) {
 #if defined(__linux__)
   cpu_set_t set;
   CPU_ZERO(&set);
   CPU_SET(cpu, &set);
-  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+  const bool ok =
+      pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+  // Tag this thread's log lines with its node so `n:<id>` in the log
+  // correlates with the per-node structure of the trace timeline.
+  if (ok) log_set_thread_node(node_of_cpu(cpu));
+  return ok;
 #else
   return false;
 #endif

@@ -1,0 +1,303 @@
+#include "runtime/hwprof.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define HIPA_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define HIPA_HAVE_PERF_EVENT 0
+#endif
+
+namespace hipa::runtime {
+
+namespace {
+
+std::atomic<std::uint64_t> g_open_attempts{0};
+std::atomic<PerfEventOpenFn> g_open_override{nullptr};
+
+#if HIPA_HAVE_PERF_EVENT
+
+long real_perf_event_open(perf_event_attr* attr, int pid, int cpu,
+                          int group_fd, unsigned long flags) {
+  const long fd =
+      ::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+  if (fd < 0) return -static_cast<long>(errno);
+  return fd;
+}
+
+long current_tid() { return static_cast<long>(::syscall(SYS_gettid)); }
+
+/// Event descriptors in kHw* bit order. The leader (cycles) must be
+/// index 0.
+struct EventDesc {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+const EventDesc kEvents[kNumHwEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_NODE, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_NODE, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+/// Group read layout for PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+/// TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING.
+struct GroupRead {
+  std::uint64_t nr;
+  std::uint64_t time_enabled;
+  std::uint64_t time_running;
+  struct Entry {
+    std::uint64_t value;
+    std::uint64_t id;
+  } entries[kNumHwEvents];
+};
+
+#endif  // HIPA_HAVE_PERF_EVENT
+
+long dispatch_perf_event_open(perf_event_attr* attr, int pid, int cpu,
+                              int group_fd, unsigned long flags) {
+  g_open_attempts.fetch_add(1, std::memory_order_relaxed);
+  if (PerfEventOpenFn fn = g_open_override.load(std::memory_order_acquire)) {
+    return fn(attr, pid, cpu, group_fd, flags);
+  }
+#if HIPA_HAVE_PERF_EVENT
+  return real_perf_event_open(attr, pid, cpu, group_fd, flags);
+#else
+  (void)attr;
+  (void)pid;
+  (void)cpu;
+  (void)group_fd;
+  (void)flags;
+  return -ENOSYS;
+#endif
+}
+
+}  // namespace
+
+const char* hw_event_name(unsigned index) {
+  static const char* const kNames[kNumHwEvents] = {
+      "cycles",     "instructions",    "llc_loads",
+      "llc_misses", "node_loads",      "node_misses"};
+  return index < kNumHwEvents ? kNames[index] : "?";
+}
+
+void set_perf_event_open_override(PerfEventOpenFn fn) {
+  g_open_override.store(fn, std::memory_order_release);
+}
+
+std::uint64_t perf_event_open_attempts() {
+  return g_open_attempts.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// HwCounterGroup
+
+void HwCounterGroup::move_from(HwCounterGroup& other) {
+  leader_fd_ = other.leader_fd_;
+  fds_ = other.fds_;
+  ids_ = other.ids_;
+  event_mask_ = other.event_mask_;
+  last_errno_ = other.last_errno_;
+  tid_ = other.tid_;
+  failed_ = other.failed_;
+  other.leader_fd_ = -1;
+  other.fds_.fill(-1);
+  other.event_mask_ = 0;
+  other.tid_ = -1;
+  other.failed_ = false;
+}
+
+void HwCounterGroup::close_group() {
+#if HIPA_HAVE_PERF_EVENT
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+#else
+  fds_.fill(-1);
+#endif
+  leader_fd_ = -1;
+  event_mask_ = 0;
+  tid_ = -1;
+  // `failed_` is deliberately preserved: a degraded group stays
+  // degraded until reset() provisions a fresh one.
+}
+
+bool HwCounterGroup::ensure_open_for_current_thread() {
+#if HIPA_HAVE_PERF_EVENT
+  const long tid = current_tid();
+  if (leader_fd_ >= 0 && tid == tid_) return true;
+  if (failed_ && tid == tid_) return false;
+  // New thread (fork-join backends recreate workers per phase) or
+  // first use: (re)open the whole group bound to this tid.
+  close_group();
+  tid_ = tid;
+  failed_ = false;
+
+  perf_event_attr attr;
+  for (unsigned i = 0; i < kNumHwEvents; ++i) {
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = kEvents[i].type;
+    attr.config = kEvents[i].config;
+    attr.disabled = (i == 0) ? 1 : 0;  // leader starts disabled
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const int group_fd = (i == 0) ? -1 : leader_fd_;
+    const long fd = dispatch_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                                             group_fd, /*flags=*/0);
+    if (fd < 0) {
+      if (i == 0) {
+        // Leader failed: the group is unavailable on this thread.
+        last_errno_ = static_cast<int>(-fd);
+        failed_ = true;
+        return false;
+      }
+      // Sibling failed (PMU lacks the event, e.g. NODE events on
+      // client parts or LLC events in VMs): drop the bit, keep going.
+      continue;
+    }
+    fds_[i] = static_cast<int>(fd);
+    if (i == 0) leader_fd_ = static_cast<int>(fd);
+    std::uint64_t id = 0;
+    if (::ioctl(static_cast<int>(fd), PERF_EVENT_IOC_ID, &id) == 0) {
+      ids_[i] = id;
+      event_mask_ |= 1u << i;
+    } else {
+      // Cannot identify the event inside group reads; drop it.
+      ::close(static_cast<int>(fd));
+      fds_[i] = -1;
+      if (i == 0) {
+        leader_fd_ = -1;
+        last_errno_ = errno;
+        failed_ = true;
+        return false;
+      }
+    }
+  }
+  ::ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return true;
+#else
+  if (!failed_) {
+    // Record one honest attempt so the accounting matches Linux.
+    perf_event_attr* null_attr = nullptr;
+    const long rc = dispatch_perf_event_open(null_attr, 0, -1, -1, 0);
+    last_errno_ = static_cast<int>(-rc);
+    failed_ = true;
+  }
+  return false;
+#endif
+}
+
+bool HwCounterGroup::read_group(HwCounters& out) {
+#if HIPA_HAVE_PERF_EVENT
+  GroupRead buf;
+  std::memset(&buf, 0, sizeof(buf));
+  const ssize_t n = ::read(leader_fd_, &buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return false;
+  out = HwCounters{};
+  out.time_enabled_ns = buf.time_enabled;
+  out.time_running_ns = buf.time_running;
+  const std::uint64_t nr = buf.nr > kNumHwEvents ? kNumHwEvents : buf.nr;
+  for (std::uint64_t e = 0; e < nr; ++e) {
+    const std::uint64_t id = buf.entries[e].id;
+    const std::uint64_t v = buf.entries[e].value;
+    for (unsigned i = 0; i < kNumHwEvents; ++i) {
+      if (!(event_mask_ & (1u << i)) || ids_[i] != id) continue;
+      switch (i) {
+        case 0: out.cycles = v; break;
+        case 1: out.instructions = v; break;
+        case 2: out.llc_loads = v; break;
+        case 3: out.llc_load_misses = v; break;
+        case 4: out.node_loads = v; break;
+        case 5: out.node_load_misses = v; break;
+        default: break;
+      }
+      break;
+    }
+  }
+  return true;
+#else
+  (void)out;
+  return false;
+#endif
+}
+
+bool HwCounterGroup::begin(HwCounters& snap) {
+  if (!ensure_open_for_current_thread()) return false;
+  return read_group(snap);
+}
+
+void HwCounterGroup::end(const HwCounters& since, HwCounters& into) {
+  if (leader_fd_ < 0) return;
+  HwCounters now;
+  if (!read_group(now)) return;
+  HwCounters delta;
+  delta.cycles = now.cycles - since.cycles;
+  delta.instructions = now.instructions - since.instructions;
+  delta.llc_loads = now.llc_loads - since.llc_loads;
+  delta.llc_load_misses = now.llc_load_misses - since.llc_load_misses;
+  delta.node_loads = now.node_loads - since.node_loads;
+  delta.node_load_misses = now.node_load_misses - since.node_load_misses;
+  delta.time_enabled_ns = now.time_enabled_ns - since.time_enabled_ns;
+  delta.time_running_ns = now.time_running_ns - since.time_running_ns;
+  into.add(delta);
+}
+
+// ---------------------------------------------------------------------------
+// HwProfiler
+
+void HwProfiler::reset(unsigned num_threads, bool enable) {
+  slots_.clear();
+  enabled_ = enable;
+  if (enable) slots_.resize(num_threads);
+}
+
+bool HwProfiler::any_open() const {
+  for (const Slot& s : slots_) {
+    if (s.group.open()) return true;
+  }
+  return false;
+}
+
+unsigned HwProfiler::open_threads() const {
+  unsigned n = 0;
+  for (const Slot& s : slots_) {
+    if (s.group.open()) ++n;
+  }
+  return n;
+}
+
+unsigned HwProfiler::event_mask() const {
+  unsigned mask = 0;
+  for (const Slot& s : slots_) mask |= s.group.event_mask();
+  return mask;
+}
+
+}  // namespace hipa::runtime

@@ -1,0 +1,245 @@
+// Hardware performance-counter groups via perf_event_open(2).
+//
+// One HwCounterGroup per worker thread opens a *counter group* — a
+// leader (cycles) plus grouped siblings (instructions, LLC loads /
+// misses and, where the PMU exposes them, node loads / misses as a
+// remote-DRAM proxy) — so all events are scheduled onto the PMU
+// together and a single group read yields a consistent snapshot.
+// Scoped begin()/end() sections bracket the same kernel regions the
+// software PhaseTimeline times, and the deltas land in
+// PhaseSample::hw right next to the software counters.
+//
+// Design constraints (mirrors runtime/telemetry.hpp):
+//  * soft degradation — when perf_event_paranoid, seccomp, a
+//    container runtime, or a non-Linux host denies the syscall, the
+//    group stays closed, available() is false, and every section is
+//    a cheap no-op. Never aborts, never throws.
+//  * zero cost when compiled out — engines instantiate
+//    HwSection<false> on the kOff path, which is an empty struct, so
+//    the untelemetered binary contains no hwprof calls at all
+//    (verified by the attempts-counter test in test_hwprof.cpp).
+//  * testable — the raw syscall is routed through an injectable
+//    function pointer so tests can simulate EACCES/ENOSYS without
+//    touching the kernel, and a global attempt counter proves the
+//    off path makes zero calls.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+// Forward-declared; the full definition (from <linux/perf_event.h>)
+// is only needed inside hwprof.cpp. Non-Linux builds never complete
+// the type.
+struct perf_event_attr;
+
+namespace hipa::runtime {
+
+/// Compile-time switch for hardware-counter collection, mirroring
+/// `Telemetry`. kOff keeps the build token-identical to a build
+/// without hwprof.
+enum class HwProf : std::uint8_t { kOff = 0, kOn = 1 };
+
+/// The events a group tries to open, in bit order for
+/// HwProfiler::event_mask(). The leader (cycles) is mandatory: if it
+/// cannot be opened the whole group degrades. Every other event is
+/// best-effort — PMUs without NODE cache events (or VMs without LLC
+/// events) simply drop those bits from the mask.
+inline constexpr unsigned kNumHwEvents = 6;
+[[nodiscard]] const char* hw_event_name(unsigned index);
+
+inline constexpr unsigned kHwCycles = 1u << 0;
+inline constexpr unsigned kHwInstructions = 1u << 1;
+inline constexpr unsigned kHwLlcLoads = 1u << 2;
+inline constexpr unsigned kHwLlcLoadMisses = 1u << 3;
+inline constexpr unsigned kHwNodeLoads = 1u << 4;
+inline constexpr unsigned kHwNodeLoadMisses = 1u << 5;
+
+/// Accumulated hardware-counter deltas for one phase on one thread
+/// (or an aggregate over threads). time_enabled/time_running expose
+/// the kernel's multiplexing bookkeeping: when more groups contend
+/// for the PMU than it has slots, running < enabled and counts
+/// should be read as `count * enabled / running` estimates.
+struct HwCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_load_misses = 0;
+  std::uint64_t node_loads = 0;
+  std::uint64_t node_load_misses = 0;
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+
+  void add(const HwCounters& other) {
+    cycles += other.cycles;
+    instructions += other.instructions;
+    llc_loads += other.llc_loads;
+    llc_load_misses += other.llc_load_misses;
+    node_loads += other.node_loads;
+    node_load_misses += other.node_load_misses;
+    time_enabled_ns += other.time_enabled_ns;
+    time_running_ns += other.time_running_ns;
+  }
+
+  /// Fraction of enabled time the group was actually counting
+  /// (1.0 = no multiplexing). 0 when the group never ran.
+  [[nodiscard]] double multiplex_ratio() const {
+    if (time_enabled_ns == 0) return 0.0;
+    return static_cast<double>(time_running_ns) /
+           static_cast<double>(time_enabled_ns);
+  }
+
+  [[nodiscard]] double ipc() const {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Injectable syscall + attempt accounting (test seams).
+
+/// Signature of the perf_event_open entry point. Returns a file
+/// descriptor >= 0 on success or a *negative errno* on failure (the
+/// wrapper folds the glibc -1/errno convention into one value).
+using PerfEventOpenFn = long (*)(perf_event_attr* attr, int pid, int cpu,
+                                 int group_fd, unsigned long flags);
+
+/// Replace the syscall used by every subsequently opened group
+/// (nullptr restores the real one). Tests inject EACCES/ENOSYS
+/// failures here. Not thread-safe against concurrently *opening*
+/// groups — install before starting a run.
+void set_perf_event_open_override(PerfEventOpenFn fn);
+
+/// Total perf_event_open attempts (real or overridden) since process
+/// start. The off-path test asserts this does not move.
+[[nodiscard]] std::uint64_t perf_event_open_attempts();
+
+// ---------------------------------------------------------------------------
+
+/// One per-thread counter group. Move-only (owns fds). All methods
+/// are cheap no-ops once degraded.
+class HwCounterGroup {
+ public:
+  HwCounterGroup() = default;
+  ~HwCounterGroup() { close_group(); }
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+  HwCounterGroup(HwCounterGroup&& other) noexcept { move_from(other); }
+  HwCounterGroup& operator=(HwCounterGroup&& other) noexcept {
+    if (this != &other) {
+      close_group();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  /// Snapshot the group's current counts into `snap` and enable
+  /// counting. Called at the top of a kernel region *on the worker
+  /// thread itself*; the group is lazily (re)opened for the calling
+  /// thread — fork-join backends create fresh OS threads per phase,
+  /// so the cached tid detects the change and reopens. Returns false
+  /// (and leaves `snap` untouched) when the group is unavailable.
+  bool begin(HwCounters& snap);
+
+  /// Read the group again and accumulate the delta from `since` into
+  /// `into`. No-op when begin() returned false.
+  void end(const HwCounters& since, HwCounters& into);
+
+  /// True once a group has been successfully opened and not lost.
+  [[nodiscard]] bool open() const { return leader_fd_ >= 0; }
+
+  /// Bitmask (kHw*) of events that actually opened.
+  [[nodiscard]] unsigned event_mask() const { return event_mask_; }
+
+  /// errno of the most recent failed open attempt (0 = none).
+  [[nodiscard]] int last_errno() const { return last_errno_; }
+
+  void close_group();
+
+ private:
+  void move_from(HwCounterGroup& other);
+  bool ensure_open_for_current_thread();
+  bool read_group(HwCounters& out);
+
+  int leader_fd_ = -1;
+  std::array<int, kNumHwEvents> fds_{{-1, -1, -1, -1, -1, -1}};
+  std::array<std::uint64_t, kNumHwEvents> ids_{};
+  unsigned event_mask_ = 0;
+  int last_errno_ = 0;
+  long tid_ = -1;      ///< OS tid the group is bound to.
+  bool failed_ = false;  ///< Open failed for this tid; don't retry every call.
+};
+
+/// Per-run profiler: one cache-line-padded group slot per worker
+/// thread. reset() is called once per run (serial section); begin/end
+/// run on the worker threads, each touching only its own slot.
+class HwProfiler {
+ public:
+  /// Drop all groups and, when `enable`, provision `num_threads`
+  /// fresh slots. Disabled profilers make zero syscalls.
+  void reset(unsigned num_threads, bool enable);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(slots_.size());
+  }
+
+  [[nodiscard]] HwCounterGroup& group(unsigned t) { return slots_[t].group; }
+
+  /// True when at least one thread's group opened successfully.
+  [[nodiscard]] bool any_open() const;
+  /// Number of threads whose group opened.
+  [[nodiscard]] unsigned open_threads() const;
+  /// Union of per-thread event masks.
+  [[nodiscard]] unsigned event_mask() const;
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    HwCounterGroup group;
+  };
+  std::vector<Slot> slots_;
+  bool enabled_ = false;
+};
+
+/// Scoped counter section. The `false` specialization is an empty
+/// struct whose methods vanish entirely — the compile-time guarantee
+/// that the kOff path contains no hwprof code. The `true` version
+/// snapshots on construction and accumulates on finish().
+template <bool kEnabled>
+class HwSection;
+
+template <>
+class HwSection<false> {
+ public:
+  HwSection() = default;
+  template <typename... Args>
+  explicit HwSection(Args&&...) {}
+  void finish(HwCounters&) {}
+};
+
+template <>
+class HwSection<true> {
+ public:
+  HwSection() = default;
+  HwSection(HwProfiler& prof, unsigned t) {
+    if (prof.enabled()) {
+      group_ = &prof.group(t);
+      active_ = group_->begin(start_);
+    }
+  }
+  /// Accumulate the section's counter deltas into `into` (typically
+  /// PhaseSample::hw). Safe to call when the group degraded.
+  void finish(HwCounters& into) {
+    if (active_) group_->end(start_, into);
+    active_ = false;
+  }
+
+ private:
+  HwCounterGroup* group_ = nullptr;
+  HwCounters start_{};
+  bool active_ = false;
+};
+
+}  // namespace hipa::runtime

@@ -25,12 +25,20 @@ void PhaseSample::merge(const PhaseSample& o) {
   messages_consumed += o.messages_consumed;
   bytes_produced += o.bytes_produced;
   bytes_consumed += o.bytes_consumed;
+  hw.add(o.hw);
 }
 
 void PhaseTimeline::reset(unsigned num_threads) {
   threads_.assign(num_threads, ThreadTimeline{});
   regions_.fill(RegionTotals{});
   iteration_seconds_.clear();
+  iteration_marks_.clear();
+  spans_enabled_ = false;
+}
+
+void PhaseTimeline::enable_spans(std::size_t reserve_per_thread) {
+  spans_enabled_ = true;
+  for (ThreadTimeline& t : threads_) t.spans.reserve(reserve_per_thread);
 }
 
 void PhaseTimeline::record_region(Phase p, double seconds,
@@ -87,6 +95,7 @@ RunTelemetry aggregate(const PhaseTimeline& timeline) {
       agg.barrier_sum_seconds += s.barrier_seconds;
       agg.barrier_max_seconds =
           std::max(agg.barrier_max_seconds, s.barrier_seconds);
+      agg.hw.add(s.hw);
       if (s.invocations == 0) continue;
       ++agg.participating_threads;
       agg.wall_sum_seconds += s.wall_seconds;

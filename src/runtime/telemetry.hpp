@@ -30,6 +30,7 @@
 
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "runtime/hwprof.hpp"
 
 namespace hipa::runtime {
 
@@ -61,8 +62,27 @@ struct PhaseSample {
   std::uint64_t messages_consumed = 0;
   std::uint64_t bytes_produced = 0;
   std::uint64_t bytes_consumed = 0;
+  /// Hardware-counter deltas for this (thread, phase), accumulated by
+  /// HwSection when PageRankOptions::hw_counters is kOn and the PMU
+  /// is accessible; all-zero otherwise.
+  HwCounters hw{};
 
   void merge(const PhaseSample& o);
+};
+
+/// What a recorded span covers: a kernel region (init/scatter/gather
+/// body) or a barrier wait. Used by the Chrome-trace exporter to give
+/// spans distinct categories/colors.
+enum class SpanKind : unsigned char { kKernel = 0, kBarrier = 1 };
+
+/// One timeline span on one thread, timestamped against the
+/// process-wide steady epoch (steady_uptime_seconds()) so spans from
+/// all threads — and log lines — share one clock.
+struct SpanEvent {
+  double start_seconds = 0.0;
+  double dur_seconds = 0.0;
+  Phase phase = Phase::kInit;
+  SpanKind kind = SpanKind::kKernel;
 };
 
 /// One thread's telemetry row. Cache-line padded (alignas rounds
@@ -70,6 +90,10 @@ struct PhaseSample {
 /// never share a line.
 struct alignas(kCacheLine) ThreadTimeline {
   std::array<PhaseSample, kNumPhases> phases{};
+  /// Per-thread span log (empty unless PhaseTimeline::enable_spans
+  /// was called, i.e. a trace file was requested). Appended only by
+  /// the owning thread inside the parallel region.
+  std::vector<SpanEvent> spans;
 
   [[nodiscard]] PhaseSample& operator[](Phase p) {
     return phases[static_cast<unsigned>(p)];
@@ -118,15 +142,41 @@ class PhaseTimeline {
   void reserve_iterations(unsigned n) { iteration_seconds_.reserve(n); }
   void record_iteration(double seconds) {
     iteration_seconds_.push_back(seconds);
+    if (spans_enabled_) iteration_marks_.push_back(now());
   }
   [[nodiscard]] const std::vector<double>& iteration_seconds() const {
     return iteration_seconds_;
+  }
+
+  // -- Span recording (trace export) ---------------------------------
+  /// Turn on span collection for this run (called before the parallel
+  /// region when a trace file was requested) and pre-reserve each
+  /// thread's span log so the hot path never reallocates for typical
+  /// runs. Must be called after reset().
+  void enable_spans(std::size_t reserve_per_thread = 256);
+  [[nodiscard]] bool spans_enabled() const { return spans_enabled_; }
+
+  /// Timestamp source for spans: process-wide steady uptime.
+  [[nodiscard]] static double now() { return steady_uptime_seconds(); }
+
+  /// Append a span to thread `t`'s log (owning thread only).
+  void record_span(unsigned t, Phase p, SpanKind kind, double start,
+                   double dur) {
+    threads_[t].spans.push_back(SpanEvent{start, dur, p, kind});
+  }
+
+  /// Steady-uptime instants at which each iteration ended (same
+  /// cardinality as iteration_seconds when spans are enabled).
+  [[nodiscard]] const std::vector<double>& iteration_marks() const {
+    return iteration_marks_;
   }
 
  private:
   std::vector<ThreadTimeline> threads_;
   std::array<RegionTotals, kNumPhases> regions_{};
   std::vector<double> iteration_seconds_;
+  std::vector<double> iteration_marks_;
+  bool spans_enabled_ = false;
 };
 
 /// Compile-time-optional stopwatch: `MaybeTimer<true>` is a Timer,
@@ -150,6 +200,40 @@ class MaybeTimer<false> {
  public:
   void reset() {}
   [[nodiscard]] static constexpr double seconds() { return 0.0; }
+};
+
+/// Compile-time-optional span recorder, the trace-export counterpart
+/// of MaybeTimer. The enabled version captures the steady-uptime
+/// start on construction and, in finish(), appends a SpanEvent iff
+/// the timeline is collecting spans; the disabled version is empty
+/// and folds away — same token-identity guarantee as the rest of the
+/// kOff path.
+template <bool kEnabled>
+class MaybeSpan;
+
+template <>
+class MaybeSpan<true> {
+ public:
+  explicit MaybeSpan(PhaseTimeline& tl) : timeline_(&tl) {
+    if (tl.spans_enabled()) start_ = PhaseTimeline::now();
+  }
+  void finish(unsigned t, Phase p, SpanKind kind) {
+    if (!timeline_->spans_enabled()) return;
+    const double end = PhaseTimeline::now();
+    timeline_->record_span(t, p, kind, start_, end - start_);
+  }
+
+ private:
+  PhaseTimeline* timeline_;
+  double start_ = 0.0;
+};
+
+template <>
+class MaybeSpan<false> {
+ public:
+  template <typename... Args>
+  explicit MaybeSpan(Args&&...) {}
+  void finish(unsigned, Phase, SpanKind) {}
 };
 
 // ---------------------------------------------------------------------------
@@ -178,6 +262,8 @@ struct PhaseAggregate {
   std::uint64_t regions = 0;
   std::uint64_t sim_local_accesses = 0;
   std::uint64_t sim_remote_accesses = 0;
+  // Hardware counters summed over threads (native + PMU accessible).
+  HwCounters hw{};
 
   [[nodiscard]] double wall_avg_seconds() const {
     return participating_threads == 0
@@ -201,6 +287,13 @@ struct RunTelemetry {
   unsigned threads = 0;
   std::array<PhaseAggregate, kNumPhases> phases{};
   std::vector<double> iteration_seconds;
+  // Hardware-counter availability (filled by the engine from its
+  // HwProfiler after aggregation; all-false/zero when hw_counters was
+  // kOff, the backend is simulated, or perf_event_open was denied).
+  bool hw_available = false;    ///< at least one thread's group opened
+  unsigned hw_threads = 0;      ///< threads whose group opened
+  unsigned hw_event_mask = 0;   ///< union of per-thread kHw* bits
+  int hw_errno = 0;             ///< errno of a failed open (0 if none)
 
   [[nodiscard]] const PhaseAggregate& operator[](Phase p) const {
     return phases[static_cast<unsigned>(p)];

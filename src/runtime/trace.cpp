@@ -1,0 +1,130 @@
+#include "runtime/trace.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace hipa::trace {
+
+namespace {
+
+/// Minimal JSON string escaping for names we control (method names,
+/// phase names): quotes, backslashes and control chars.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Seconds → integer microseconds (trace-event ts/dur unit).
+long long us(double seconds) {
+  const double v = seconds * 1e6;
+  return v <= 0.0 ? 0 : static_cast<long long>(v + 0.5);
+}
+
+class EventStream {
+ public:
+  explicit EventStream(std::FILE* f) : f_(f) {}
+
+  void emit(const std::string& body) {
+    std::fprintf(f_, "%s  {%s}", first_ ? "" : ",\n", body.c_str());
+    first_ = false;
+  }
+
+ private:
+  std::FILE* f_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+bool ChromeTraceWriter::write(const std::string& path,
+                              const runtime::PhaseTimeline& timeline,
+                              const std::string& process_name) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::fprintf(f, "{\n\"traceEvents\": [\n");
+  EventStream ev(f);
+  char buf[256];
+
+  // Process + thread metadata: one named track per worker thread.
+  std::snprintf(buf, sizeof(buf),
+                "\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+                "\"args\":{\"name\":\"%s\"}",
+                escape(process_name).c_str());
+  ev.emit(buf);
+  const unsigned nthreads = timeline.num_threads();
+  for (unsigned t = 0; t < nthreads; ++t) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"worker %u\"}",
+                  t, t);
+    ev.emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"sort_index\":%u}",
+                  t, t);
+    ev.emit(buf);
+  }
+
+  // Complete ("X") events: kernel spans named by phase, barrier spans
+  // named "barrier:<phase>"; distinct cat so Perfetto colors differ.
+  for (unsigned t = 0; t < nthreads; ++t) {
+    for (const runtime::SpanEvent& s : timeline.thread(t).spans) {
+      const std::string phase{runtime::phase_name(s.phase)};
+      const bool barrier = s.kind == runtime::SpanKind::kBarrier;
+      const std::string name = barrier ? "barrier:" + phase : phase;
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\","
+                    "\"pid\":1,\"tid\":%u,\"ts\":%lld,\"dur\":%lld",
+                    escape(name).c_str(), barrier ? "barrier" : "phase", t,
+                    us(s.start_seconds), us(s.dur_seconds));
+      ev.emit(buf);
+    }
+  }
+
+  // Iteration boundaries: instant marks (scoped to the process so the
+  // vertical line crosses every track) plus a counter track of
+  // per-iteration wall seconds.
+  const std::vector<double>& marks = timeline.iteration_marks();
+  const std::vector<double>& iters = timeline.iteration_seconds();
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"ph\":\"i\",\"name\":\"iteration %zu\","
+                  "\"cat\":\"iteration\",\"s\":\"p\",\"pid\":1,\"tid\":0,"
+                  "\"ts\":%lld",
+                  i, us(marks[i]));
+    ev.emit(buf);
+    if (i < iters.size()) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"C\",\"name\":\"iteration_ms\",\"pid\":1,"
+                    "\"tid\":0,\"ts\":%lld,\"args\":{\"ms\":%.6f}",
+                    us(marks[i]), iters[i] * 1e3);
+      ev.emit(buf);
+    }
+  }
+
+  std::fprintf(f, "\n],\n\"displayTimeUnit\": \"ms\"\n}\n");
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hipa::trace

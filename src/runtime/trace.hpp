@@ -1,0 +1,41 @@
+// Chrome/Perfetto trace export of a run's PhaseTimeline.
+//
+// Serializes the per-thread span logs (kernel regions + barrier
+// waits), per-iteration marks and per-iteration duration samples into
+// the Trace Event Format JSON that chrome://tracing and
+// https://ui.perfetto.dev load directly:
+//
+//   { "traceEvents": [
+//       {"ph":"M","name":"process_name", ...},          // metadata
+//       {"ph":"M","name":"thread_name","tid":T, ...},   // one per track
+//       {"ph":"X","name":"scatter","cat":"phase",
+//        "ts":<us>,"dur":<us>,"pid":1,"tid":T},         // complete span
+//       {"ph":"i","name":"iteration 3", ...},           // instant mark
+//       {"ph":"C","name":"iteration_seconds", ...} ] }  // counter track
+//
+// Timestamps are microseconds on the process-wide steady epoch
+// (steady_uptime_seconds()), the same clock the logging layer prints,
+// so log lines and trace spans correlate by eyeball.
+#pragma once
+
+#include <string>
+
+#include "runtime/telemetry.hpp"
+
+namespace hipa::trace {
+
+/// Stateless writer: one call serializes one run's timeline.
+class ChromeTraceWriter {
+ public:
+  /// Write `timeline` to `path` as Chrome trace-events JSON.
+  /// `process_name` labels the pid-1 track group (typically the
+  /// method name, e.g. "HiPa"). Spans must have been collected
+  /// (PhaseTimeline::enable_spans before the run); a spanless
+  /// timeline still produces a valid — just sparse — trace. Returns
+  /// false when the file cannot be opened or written; never throws.
+  static bool write(const std::string& path,
+                    const runtime::PhaseTimeline& timeline,
+                    const std::string& process_name);
+};
+
+}  // namespace hipa::trace
