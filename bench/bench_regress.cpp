@@ -23,8 +23,12 @@
 //
 //   bench_regress <current.json> <baseline.json>
 //
-// Runs as the third stage of the `perf-smoke` ctest fixture chain
-// (bench_hotpath --smoke -> bench_schema_check -> bench_regress).
+// Runs as the third stage of the `perf-smoke` ctest fixture chains
+// (bench_hotpath --smoke -> bench_schema_check -> bench_regress, and
+// the same shape for bench_serve). A current document tagged "serve"
+// is gated against the `serve` bands object embedded in
+// BENCH_baseline.json: torn reads and publish identity are hard
+// invariants, QPS/latency advisory.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -150,6 +154,96 @@ const Value* find_method(const Value* dataset, const std::string& name) {
   return nullptr;
 }
 
+const Value* find_mix(const Value* root, const std::string& name) {
+  const Value* ms = get(root, "mixes");
+  if (ms == nullptr || ms->type != Value::Type::kArray) return nullptr;
+  for (const ValuePtr& m : ms->array) {
+    const Value* n = get(m.get(), "mix");
+    if (n != nullptr && n->str == name) return m.get();
+  }
+  return nullptr;
+}
+
+/// Serve-mode gate. `base` is the "serve" bands object embedded in
+/// BENCH_baseline.json (the baseline artifact itself is the hotpath
+/// run; serve rides along as a sub-document so one committed file
+/// gates the whole perf-smoke chain).
+///
+/// Hard invariants are correctness claims about the CURRENT run —
+/// zero torn reads across concurrent republishes and bitwise identity
+/// of the published snapshot — and hold regardless of the baseline.
+/// QPS and latency percentiles are host-dependent: advisory bands.
+void regress_serve(const Value* cur, const Value* base) {
+  {  // publish protocol correctness (hard, baseline-independent)
+    const Value* cr = get(cur, "concurrent_refresh");
+    double torn = -1.0;
+    if (!get_number(cr, "torn_reads", &torn) || torn != 0.0) {
+      fail("/concurrent_refresh/torn_reads",
+           "must be 0 — readers observed mixed or regressing epochs");
+    }
+    double epochs = 0.0;
+    if (!get_number(cr, "epochs_published", &epochs) || epochs < 1.0) {
+      fail("/concurrent_refresh/epochs_published",
+           "no republish happened during the concurrent window — the "
+           "scenario did not exercise publish-while-serving");
+    }
+    const Value* pi = get(cur, "publish_identity");
+    const Value* ident = get(pi, "ranks_bitwise_identical");
+    if (ident == nullptr || ident->type != Value::Type::kBool ||
+        !ident->boolean) {
+      fail("/publish_identity/ranks_bitwise_identical",
+           "must be true — published ranks diverged from a standalone "
+           "engine run");
+    }
+  }
+
+  if (base == nullptr) {
+    fail("/serve", "baseline has no serve bands (extend "
+                   "BENCH_baseline.json)");
+    return;
+  }
+
+  // Graph shape is generated deterministically from the dataset name.
+  compare_metric(get(cur, "dataset"), get(base, "dataset"), "/dataset",
+                 "vertices", 0.0, true);
+  compare_metric(get(cur, "dataset"), get(base, "dataset"), "/dataset",
+                 "edges", 0.0, true);
+  // Slot count is an options default (deterministic); node count
+  // follows the host topology (advisory).
+  compare_metric(get(cur, "store"), get(base, "store"), "/store", "slots",
+                 0.0, true);
+  compare_metric(get(cur, "store"), get(base, "store"), "/store",
+                 "num_nodes", 0.0, false, 1.0);
+
+  const Value* bmixes = get(base, "mixes");
+  if (bmixes != nullptr && bmixes->type == Value::Type::kArray) {
+    for (const ValuePtr& bm : bmixes->array) {
+      const Value* name = get(bm.get(), "mix");
+      if (name == nullptr) continue;
+      const std::string mpath = "/mixes[mix=" + name->str + "]";
+      const Value* cm = find_mix(cur, name->str);
+      if (cm == nullptr) {
+        fail(mpath, "mix present in baseline but missing in current");
+        continue;
+      }
+      double requests = 0.0;
+      if (get_number(cm, "requests", &requests) && requests < 1.0) {
+        fail(at(mpath, "requests"), "mix served zero requests");
+      }
+      // Throughput/latency: committed on some other machine — warn only.
+      compare_metric(cm, bm.get(), mpath, "qps", 5.0, false, 1.0);
+      compare_metric(cm, bm.get(), mpath, "p50_us", 10.0, false, 1.0);
+      compare_metric(cm, bm.get(), mpath, "p99_us", 10.0, false, 1.0);
+    }
+  }
+  compare_metric(get(cur, "concurrent_refresh"),
+                 get(base, "concurrent_refresh"), "/concurrent_refresh",
+                 "qps", 5.0, false, 1.0);
+  compare_metric(get(cur, "concurrent_refresh"),
+                 get(base, "concurrent_refresh"), "/concurrent_refresh",
+                 "p99_us", 10.0, false, 1.0);
+}
+
 ValuePtr load(const char* path) {
   std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
@@ -181,9 +275,25 @@ int main(int argc, char** argv) {
   const Value* cur = curp.get();
   const Value* base = basep.get();
 
-  {  // Same artifact kind?
+  {  // Same artifact kind? Serve currents may instead match the
+     // baseline's embedded "serve" bands object.
     const Value* cb = get(cur, "bench");
     const Value* bb = get(base, "bench");
+    if (cb != nullptr && cb->str == "serve") {
+      const Value* sbase = (bb != nullptr && bb->str == "serve")
+                               ? base
+                               : get(base, "serve");
+      regress_serve(cur, sbase);
+      if (g_errors > 0) {
+        std::fprintf(stderr,
+                     "%d hard regression(s), %d warning(s) vs baseline %s\n",
+                     g_errors, g_warnings, argv[2]);
+        return 1;
+      }
+      std::printf("regress OK: %s vs %s (%d warning(s))\n", argv[1],
+                  argv[2], g_warnings);
+      return 0;
+    }
     if (cb == nullptr || bb == nullptr || cb->str != bb->str) {
       fail("/bench", "bench tag mismatch between current and baseline");
     }

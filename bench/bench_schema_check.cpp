@@ -16,8 +16,10 @@
 //
 //   bench_schema_check <file.json> [more.json ...]
 //
-// The top-level "bench" tag selects the schema: "hotpath" or
-// "table3_microarch".
+// The top-level "bench" tag selects the schema: "hotpath",
+// "table3_microarch", or "serve" (BENCH_serve.json: QPS/latency mixes,
+// the concurrent-refresh section with its zero-torn-reads invariant,
+// and the publish-identity bit).
 #include <cstdio>
 #include <string>
 
@@ -372,6 +374,109 @@ void check_table3(const Value& root) {
   }
 }
 
+// ---- serve schema ----------------------------------------------------------
+
+/// One QPS/latency block (read-only mix or the concurrent-refresh
+/// section): counts non-negative and the percentile ladder ordered.
+void check_latency_block(const Value& m, const std::string& path) {
+  require_nonneg(m, path, "clients");
+  require_nonneg(m, path, "seconds");
+  require_nonneg(m, path, "requests");
+  require_nonneg(m, path, "qps");
+  const double p50 = require_nonneg(m, path, "p50_us");
+  const double p95 = require_nonneg(m, path, "p95_us");
+  const double p99 = require_nonneg(m, path, "p99_us");
+  if (p50 > p95 + 1e-9 || p95 > p99 + 1e-9) {
+    err(path, "latency percentiles not monotone (p50 <= p95 <= p99)");
+  }
+}
+
+void check_serve(const Value& root) {
+  const std::string top;
+  const Value* host = require(root, top, "host", Value::Type::kObject);
+  if (host != nullptr) {
+    const std::string hp = at(top, "host");
+    require_nonneg(*host, hp, "cpus");
+    require_nonneg(*host, hp, "numa_nodes");
+    require(*host, hp, "topology_source", Value::Type::kString);
+    require(*host, hp, "numa_binding_available", Value::Type::kBool);
+  }
+
+  const Value* ds = require(root, top, "dataset", Value::Type::kObject);
+  if (ds != nullptr) {
+    const std::string dp = at(top, "dataset");
+    require(*ds, dp, "name", Value::Type::kString);
+    require_nonneg(*ds, dp, "scale");
+    require_nonneg(*ds, dp, "vertices");
+    require_nonneg(*ds, dp, "edges");
+  }
+
+  const Value* store = require(root, top, "store", Value::Type::kObject);
+  if (store != nullptr) {
+    const std::string sp = at(top, "store");
+    const double nodes = require_nonneg(*store, sp, "num_nodes");
+    const double slots = require_nonneg(*store, sp, "slots");
+    require_nonneg(*store, sp, "vertices");
+    if (nodes < 1.0) err(at(sp, "num_nodes"), "must be >= 1");
+    // Fewer than 3 slots cannot overlap readers + in-flight publish.
+    if (slots < 2.0) err(at(sp, "slots"), "must be >= 2");
+  }
+
+  const Value* mixes = require(root, top, "mixes", Value::Type::kArray);
+  if (mixes != nullptr) {
+    if (mixes->array.size() != 4) {
+      err(at(top, "mixes"),
+          "must have exactly 4 entries (point, batch, topk, mixed)");
+    }
+    for (std::size_t i = 0; i < mixes->array.size(); ++i) {
+      const Value& m = *mixes->array[i];
+      const std::string mp = at(at(top, "mixes"), i);
+      require(m, mp, "mix", Value::Type::kString);
+      check_latency_block(m, mp);
+      const Value* requests = m.find("requests");
+      if (requests != nullptr && requests->number < 1.0) {
+        err(at(mp, "requests"), "mix served no requests at all");
+      }
+    }
+  }
+
+  const Value* cr =
+      require(root, top, "concurrent_refresh", Value::Type::kObject);
+  if (cr != nullptr) {
+    const std::string cp = at(top, "concurrent_refresh");
+    check_latency_block(*cr, cp);
+    const double epochs = require_nonneg(*cr, cp, "epochs_published");
+    require_nonneg(*cr, cp, "full_refreshes");
+    require_nonneg(*cr, cp, "delta_refreshes");
+    require_nonneg(*cr, cp, "reclaim_waits");
+    if (epochs < 1.0) {
+      err(at(cp, "epochs_published"),
+          "no snapshot was republished during the concurrent window");
+    }
+    const Value* torn = require(*cr, cp, "torn_reads", Value::Type::kNumber);
+    if (torn != nullptr && torn->number != 0.0) {
+      err(at(cp, "torn_reads"),
+          "must be 0 — readers observed mixed/regressing epochs (" +
+              std::to_string(torn->number) + ")");
+    }
+  }
+
+  const Value* pi =
+      require(root, top, "publish_identity", Value::Type::kObject);
+  if (pi != nullptr) {
+    const std::string pp = at(top, "publish_identity");
+    const Value* ident =
+        require(*pi, pp, "ranks_bitwise_identical", Value::Type::kBool);
+    if (ident != nullptr && !ident->boolean) {
+      err(at(pp, "ranks_bitwise_identical"),
+          "must be true — published snapshot diverged from a standalone "
+          "engine run");
+    }
+    require_nonneg(*pi, pp, "epoch");
+    require_nonneg(*pi, pp, "iterations");
+  }
+}
+
 // ---- driver ----------------------------------------------------------------
 
 int check_file(const char* path) {
@@ -401,6 +506,8 @@ int check_file(const char* path) {
       check_hotpath(root);
     } else if (bench->str == "table3_microarch") {
       check_table3(root);
+    } else if (bench->str == "serve") {
+      check_serve(root);
     } else {
       err("/bench", "unknown bench tag '" + bench->str + "'");
     }

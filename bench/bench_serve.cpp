@@ -1,0 +1,318 @@
+// Serving-layer benchmark: query QPS + latency percentiles by request
+// mix, with and without a concurrent snapshot refresh.
+//
+// Four read-only mixes (point / batch / topk / mixed) run first, each
+// against a fresh RankService over one published snapshot: C client
+// threads issue requests for a fixed window, per-request wall latency
+// lands in client-local recorders and is merged into p50/p95/p99.
+//
+// The `concurrent_refresh` section then repeats the mixed workload
+// while the background UpdateRefresher keeps draining edge-update
+// bursts with FULL engine recomputes (small_batch_max = 0 forces the
+// deterministic HiPa run) and republishing — the acceptance scenario:
+// readers sustained across a full recompute, zero torn reads. A torn
+// read is any batch whose responses mix epochs or any client whose
+// observed epoch regresses; both would indicate a broken publish
+// protocol and are counted (and expected to be zero).
+//
+// `publish_identity` closes the loop: after the concurrent phase the
+// final published snapshot is memcmp'd against a standalone
+// run_method_native() on the refresher's final graph with the same
+// options — bitwise identity, not tolerance.
+//
+// Emits BENCH_serve.json (override with --out=); validated by
+// bench_schema_check and diffed against the "serve" bands of
+// BENCH_baseline.json by bench_regress. `--smoke` shrinks the windows
+// for the perf-smoke ctest chain.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/timer.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/placement.hpp"
+#include "serve/query.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/updates.hpp"
+
+namespace {
+
+using namespace hipa;
+
+struct MixResult {
+  std::string mix;
+  unsigned clients = 0;
+  double seconds = 0.0;
+  std::uint64_t requests = 0;
+  double qps = 0.0;
+  serve::LatencySummary latency;
+};
+
+/// One client thread's request generator for a named mix.
+std::vector<serve::Query> make_batch(const std::string& mix, vid_t n,
+                                     std::mt19937& rng) {
+  std::uniform_int_distribution<vid_t> pick(0, n - 1);
+  std::vector<serve::Query> qs;
+  if (mix == "point") {
+    qs.push_back(serve::Query::point(pick(rng)));
+  } else if (mix == "batch") {
+    std::vector<vid_t> ids(16);
+    for (vid_t& v : ids) v = pick(rng);
+    qs.push_back(serve::Query::batch(std::move(ids)));
+  } else if (mix == "topk") {
+    qs.push_back(serve::Query::top_k(10));
+  } else {  // mixed
+    qs.push_back(serve::Query::point(pick(rng)));
+    std::vector<vid_t> ids(8);
+    for (vid_t& v : ids) v = pick(rng);
+    qs.push_back(serve::Query::batch(std::move(ids)));
+    qs.push_back(serve::Query::top_k(10));
+  }
+  return qs;
+}
+
+/// Drive `service` with `clients` threads for `window` seconds.
+/// `torn_reads` (when non-null) accumulates epoch-consistency
+/// violations: responses of one batch disagreeing on the epoch, or a
+/// client's observed epoch going backwards.
+MixResult drive(const std::string& mix, serve::RankService& service,
+                vid_t n, unsigned clients, double window,
+                std::atomic<std::uint64_t>* torn_reads) {
+  MixResult result;
+  result.mix = mix;
+  result.clients = clients;
+
+  std::atomic<bool> stop{false};
+  std::vector<serve::LatencyRecorder> recorders(clients);
+  std::vector<std::uint64_t> counts(clients, 0);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937 rng(1234u + c);
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::vector<serve::Query> qs = make_batch(mix, n, rng);
+        Timer t;
+        const auto rs = service.execute_batch(qs);
+        const double sec = t.seconds();
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+          recorders[c].record(sec);
+          if (torn_reads != nullptr &&
+              (rs[i].epoch != rs[0].epoch || rs[i].epoch < last_epoch)) {
+            torn_reads->fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        last_epoch = rs[0].epoch;
+        counts[c] += rs.size();
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(window));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  result.seconds = wall.seconds();
+
+  serve::LatencyRecorder merged;
+  for (unsigned c = 0; c < clients; ++c) {
+    merged.merge(recorders[c]);
+    result.requests += counts[c];
+  }
+  result.latency = merged.summarize();
+  result.qps = result.seconds > 0.0
+                   ? static_cast<double>(result.requests) / result.seconds
+                   : 0.0;
+  return result;
+}
+
+void emit_host(bench::JsonWriter& jw) {
+  const runtime::HostTopology& topo = runtime::topology();
+  jw.key("host");
+  jw.begin_object();
+  jw.kv("cpus", topo.num_cpus());
+  jw.kv("numa_nodes", topo.num_nodes());
+  jw.kv("topology_source", topo.from_sysfs ? "sysfs" : "fallback");
+  jw.kv("numa_binding_available", runtime::numa_binding_available());
+  jw.kv("pinning", "node");  // service workers pin per store node
+  jw.end_object();
+}
+
+void emit_mix(bench::JsonWriter& jw, const MixResult& r) {
+  jw.begin_object();
+  jw.kv("mix", r.mix);
+  jw.kv("clients", r.clients);
+  jw.kv("seconds", r.seconds);
+  jw.kv("requests", r.requests);
+  jw.kv("qps", r.qps);
+  jw.kv("p50_us", r.latency.p50_seconds * 1e6);
+  jw.kv("p95_us", r.latency.p95_seconds * 1e6);
+  jw.kv("p99_us", r.latency.p99_seconds * 1e6);
+  jw.kv("mean_us", r.latency.mean_seconds * 1e6);
+  jw.kv("max_us", r.latency.max_seconds * 1e6);
+  jw.end_object();
+}
+
+void print_mix(const MixResult& r) {
+  std::printf("%-8s %3u clients %9.0f qps | p50 %7.1f  p95 %7.1f  "
+              "p99 %7.1f us\n",
+              r.mix.c_str(), r.clients, r.qps,
+              r.latency.p50_seconds * 1e6, r.latency.p95_seconds * 1e6,
+              r.latency.p99_seconds * 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hipa;
+  bench::Flags flags = bench::Flags::parse(argc, argv);
+  if (flags.dataset.empty()) flags.dataset = flags.smoke ? "journal" : "wiki";
+  const std::string out_path =
+      flags.out.empty() ? "BENCH_serve.json" : flags.out;
+  const double window = flags.smoke ? 0.15 : flags.quick ? 0.4 : 1.0;
+  const unsigned clients =
+      std::max(2u, std::min(4u, runtime::available_cpus()));
+
+  bench::print_banner("Serving layer: QPS + latency by request mix",
+                      "ROADMAP north star: serve while recomputing");
+  const bench::ScaledDataset d = bench::load_scaled(flags.dataset,
+                                                    flags.quick);
+  const vid_t n = d.graph.num_vertices();
+  std::printf("dataset %s (1/%u): %u vertices, %llu edges\n\n",
+              d.name.c_str(), d.scale, n,
+              static_cast<unsigned long long>(d.graph.num_edges()));
+
+  // Edge list for the refresher (it owns the evolving copy).
+  std::vector<Edge> edges;
+  edges.reserve(d.graph.num_edges());
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t u : d.graph.out.neighbors(v)) edges.push_back(Edge{v, u});
+  }
+
+  serve::SnapshotStore store(n);
+  serve::UpdateQueue queue;
+  serve::RefreshOptions ropt;
+  ropt.small_batch_max = 0;  // every refresh = full HiPa run (exact)
+  ropt.full.threads = std::max(1u, runtime::available_cpus());
+  ropt.full.pr.iterations = flags.iterations != 0 ? flags.iterations
+                            : flags.smoke         ? 3
+                                                  : 10;
+  ropt.poll_seconds = 0.001;
+  serve::UpdateRefresher refresher(n, std::move(edges), store, queue, ropt);
+  refresher.publish_initial();
+
+  std::FILE* jf = std::fopen(out_path.c_str(), "w");
+  if (jf == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  bench::JsonWriter jw(jf);
+  jw.begin_object();
+  jw.kv("bench", "serve");
+  jw.kv("quick", flags.quick);
+  jw.kv("smoke", flags.smoke);
+  emit_host(jw);
+  jw.key("dataset");
+  jw.begin_object();
+  jw.kv("name", d.name);
+  jw.kv("scale", d.scale);
+  jw.kv("vertices", static_cast<std::uint64_t>(n));
+  jw.kv("edges", static_cast<std::uint64_t>(d.graph.num_edges()));
+  jw.end_object();
+  jw.key("store");
+  jw.begin_object();
+  jw.kv("num_nodes", store.num_nodes());
+  jw.kv("slots", store.num_slots());
+  jw.kv("vertices", static_cast<std::uint64_t>(store.num_vertices()));
+  jw.end_object();
+
+  // ---- Read-only mixes --------------------------------------------
+  std::printf("read-only mixes (%.2fs windows):\n", window);
+  jw.key("mixes");
+  jw.begin_array();
+  for (const char* mix : {"point", "batch", "topk", "mixed"}) {
+    serve::RankService service(store);
+    const MixResult r = drive(mix, service, n, clients, window, nullptr);
+    print_mix(r);
+    emit_mix(jw, r);
+  }
+  jw.end_array();
+
+  // ---- Mixed workload under concurrent full recomputes ------------
+  std::printf("\nmixed workload with concurrent full-recompute "
+              "refreshes:\n");
+  const std::uint64_t epoch_before = store.epoch();
+  std::atomic<std::uint64_t> torn{0};
+  MixResult concurrent;
+  {
+    serve::RankService service(store);
+    refresher.start();
+    std::atomic<bool> producing{true};
+    std::thread producer([&] {
+      std::mt19937 rng(99);
+      std::uniform_int_distribution<vid_t> pick(0, n - 1);
+      while (producing.load(std::memory_order_acquire)) {
+        for (unsigned i = 0; i < 4; ++i) {
+          queue.push_add(Edge{pick(rng), pick(rng)});
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    concurrent = drive("mixed", service, n, clients, window, &torn);
+    producing.store(false, std::memory_order_release);
+    producer.join();
+    refresher.stop();  // drains the tail of the queue
+    print_mix(concurrent);
+  }
+  const std::uint64_t epochs_published = store.epoch() - epoch_before;
+  std::printf("  %llu full recomputes published during the window; "
+              "torn reads: %llu\n",
+              static_cast<unsigned long long>(epochs_published),
+              static_cast<unsigned long long>(torn.load()));
+
+  jw.key("concurrent_refresh");
+  jw.begin_object();
+  jw.kv("clients", concurrent.clients);
+  jw.kv("seconds", concurrent.seconds);
+  jw.kv("requests", concurrent.requests);
+  jw.kv("qps", concurrent.qps);
+  jw.kv("p50_us", concurrent.latency.p50_seconds * 1e6);
+  jw.kv("p95_us", concurrent.latency.p95_seconds * 1e6);
+  jw.kv("p99_us", concurrent.latency.p99_seconds * 1e6);
+  jw.kv("epochs_published", epochs_published);
+  jw.kv("full_refreshes", refresher.full_refreshes());
+  jw.kv("delta_refreshes", refresher.delta_refreshes());
+  jw.kv("torn_reads", torn.load());
+  jw.kv("reclaim_waits", store.reclaim_waits());
+  jw.end_object();
+
+  // ---- Bitwise identity of the live snapshot ----------------------
+  bool bitwise = false;
+  {
+    const engine::RunResult direct = algo::run_method_native(
+        algo::Method::kHipa, refresher.graph(), ropt.full);
+    const serve::SnapshotRef snap = store.current();
+    bitwise = snap.valid() &&
+              std::memcmp(snap->ranks().data(), direct.ranks.data(),
+                          std::size_t{n} * sizeof(rank_t)) == 0;
+    std::printf("\npublished snapshot vs standalone engine run: %s\n",
+                bitwise ? "bitwise identical" : "MISMATCH");
+  }
+  jw.key("publish_identity");
+  jw.begin_object();
+  jw.kv("ranks_bitwise_identical", bitwise);
+  jw.kv("epoch", store.epoch());
+  jw.kv("iterations", ropt.full.pr.iterations);
+  jw.end_object();
+  jw.end_object();
+  std::fputc('\n', jf);
+  std::fclose(jf);
+  std::printf("wrote %s\n", out_path.c_str());
+  return (bitwise && torn.load() == 0) ? 0 : 1;
+}

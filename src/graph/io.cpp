@@ -1,8 +1,20 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HIPA_IO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "common/error.hpp"
 
@@ -23,30 +35,220 @@ FilePtr open_file(const std::string& path, const char* mode) {
   return f;
 }
 
-constexpr std::uint64_t kMagic = 0x48435352'00000001ULL;  // "HCSR" v1
+// HCSR container versions. v2 (current) adds a header checksum so
+// foreign/corrupted files fail with a clear message instead of an
+// absurd allocation; v1 files (no checksum) are still accepted.
+constexpr std::uint64_t kMagicV1 = 0x48435352'00000001ULL;  // "HCSR" v1
+constexpr std::uint64_t kMagicV2 = 0x48435352'00000002ULL;  // "HCSR" v2
+
+/// FNV-1a over the header's magic/V/E words — cheap, order-sensitive,
+/// and catches both bit rot in the counts and files that merely start
+/// with the right magic.
+std::uint64_t header_checksum(std::uint64_t magic, std::uint64_t v,
+                              std::uint64_t e) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const std::uint64_t words[3] = {magic, v, e};
+  for (const std::uint64_t w : words) {
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+struct HcsrHeader {
+  std::uint64_t magic = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t checksum = 0;  ///< v2 only
+
+  [[nodiscard]] std::size_t size_bytes() const {
+    return magic == kMagicV1 ? 24 : 32;
+  }
+  [[nodiscard]] std::size_t offsets_bytes() const {
+    return static_cast<std::size_t>(num_vertices + 1) * sizeof(eid_t);
+  }
+  [[nodiscard]] std::size_t targets_bytes() const {
+    return static_cast<std::size_t>(num_edges) * sizeof(vid_t);
+  }
+  [[nodiscard]] std::size_t file_bytes() const {
+    return size_bytes() + offsets_bytes() + targets_bytes();
+  }
+};
+
+/// Parse + validate an HCSR header from `raw` (at least
+/// `raw_bytes` readable). `file_bytes` is the actual on-disk size;
+/// both truncated and padded files are rejected with exact numbers.
+HcsrHeader check_header(const std::string& path, const void* raw,
+                        std::size_t raw_bytes, std::size_t file_bytes) {
+  HIPA_CHECK(raw_bytes >= 24, "'" << path << "' is not a HCSR file: only "
+                                  << raw_bytes
+                                  << " bytes, smaller than any header");
+  HcsrHeader h;
+  const char* p = static_cast<const char*>(raw);
+  std::memcpy(&h.magic, p, 8);
+  HIPA_CHECK(h.magic == kMagicV1 || h.magic == kMagicV2,
+             "'" << path << "' is not a HCSR file (magic 0x" << std::hex
+                 << h.magic << std::dec
+                 << "; expected HCSR v1 or v2) — refusing to parse a "
+                    "foreign format");
+  std::memcpy(&h.num_vertices, p + 8, 8);
+  std::memcpy(&h.num_edges, p + 16, 8);
+  if (h.magic == kMagicV2) {
+    HIPA_CHECK(raw_bytes >= 32, "'" << path
+                                    << "' truncated inside the v2 header ("
+                                    << raw_bytes << " of 32 bytes)");
+    std::memcpy(&h.checksum, p + 24, 8);
+    const std::uint64_t want =
+        header_checksum(h.magic, h.num_vertices, h.num_edges);
+    HIPA_CHECK(h.checksum == want,
+               "'" << path << "' header checksum mismatch (file 0x"
+                   << std::hex << h.checksum << ", computed 0x" << want
+                   << std::dec << ") — corrupted or foreign file");
+  }
+  HIPA_CHECK(h.num_vertices < kInvalidVid,
+             "'" << path << "' vertex count " << h.num_vertices
+                 << " overflows vid_t — corrupted header");
+  HIPA_CHECK(file_bytes == h.file_bytes(),
+             "'" << path << "' size mismatch: " << file_bytes
+                 << " bytes on disk, header implies " << h.file_bytes()
+                 << " (" << h.num_vertices << " vertices, " << h.num_edges
+                 << " edges) — truncated or corrupted file");
+  return h;
+}
+
+CsrGraph payload_to_csr(const HcsrHeader& h, const char* payload) {
+  AlignedBuffer<eid_t> offsets(h.num_vertices + 1);
+  AlignedBuffer<vid_t> targets(h.num_edges);
+  std::memcpy(offsets.data(), payload, h.offsets_bytes());
+  std::memcpy(targets.data(), payload + h.offsets_bytes(),
+              h.targets_bytes());
+  return CsrGraph(std::move(offsets), std::move(targets));
+}
 
 void write_exact(std::FILE* f, const void* p, std::size_t bytes) {
   HIPA_CHECK(std::fwrite(p, 1, bytes, f) == bytes, "short write");
 }
 
-void read_exact(std::FILE* f, void* p, std::size_t bytes) {
-  HIPA_CHECK(std::fread(p, 1, bytes, f) == bytes, "short read");
+/// Portable stdio fallback (and the path taken when mmap fails):
+/// size the file via seek, validate the header against it, then read
+/// the payload with exact-size checks.
+CsrGraph load_csr_stdio(const std::string& path) {
+  FilePtr f = open_file(path, "rb");
+  HIPA_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0,
+             "cannot seek '" << path << "'");
+  const long end = std::ftell(f.get());
+  HIPA_CHECK(end >= 0, "cannot size '" << path << "'");
+  const auto file_bytes = static_cast<std::size_t>(end);
+  std::rewind(f.get());
+
+  unsigned char head[32] = {};
+  const std::size_t head_bytes =
+      std::fread(head, 1, sizeof head, f.get());
+  const HcsrHeader h = check_header(path, head, head_bytes, file_bytes);
+
+  HIPA_CHECK(std::fseek(f.get(), static_cast<long>(h.size_bytes()),
+                        SEEK_SET) == 0,
+             "cannot seek '" << path << "'");
+  AlignedBuffer<eid_t> offsets(h.num_vertices + 1);
+  AlignedBuffer<vid_t> targets(h.num_edges);
+  HIPA_CHECK(std::fread(offsets.data(), 1, h.offsets_bytes(), f.get()) ==
+                 h.offsets_bytes(),
+             "'" << path << "' truncated inside the offsets array");
+  HIPA_CHECK(std::fread(targets.data(), 1, h.targets_bytes(), f.get()) ==
+                 h.targets_bytes(),
+             "'" << path << "' truncated inside the targets array");
+  return CsrGraph(std::move(offsets), std::move(targets));
 }
+
+#if HIPA_IO_HAVE_MMAP
+/// mmap-backed load: one mapping gives the exact file size up front
+/// (so truncation is a precise error, not a mid-read surprise) and the
+/// kernel streams pages in without stdio's double buffering. The
+/// payload is copied into page-aligned AlignedBuffers — the CSR
+/// arrays' alignment contract (cache-line minimum) cannot be met by
+/// data sitting at file offset 24/32 inside the mapping.
+bool load_csr_mmap(const std::string& path, CsrGraph* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  HIPA_CHECK(fd >= 0, "cannot open '" << path << "' (rb)");
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  struct stat st = {};
+  HIPA_CHECK(::fstat(fd, &st) == 0, "cannot stat '" << path << "'");
+  HIPA_CHECK(S_ISREG(st.st_mode),
+             "'" << path << "' is not a regular file");
+  const auto file_bytes = static_cast<std::size_t>(st.st_size);
+  // Degenerate sizes still go through check_header for the real error
+  // message, with an empty mapping.
+  if (file_bytes == 0) {
+    (void)check_header(path, "", 0, 0);
+  }
+
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) return false;  // caller falls back to stdio
+  struct MapCloser {
+    void* p;
+    std::size_t n;
+    ~MapCloser() { ::munmap(p, n); }
+  } unmapper{map, file_bytes};
+
+  const HcsrHeader h = check_header(path, map, file_bytes, file_bytes);
+  *out = payload_to_csr(h, static_cast<const char*>(map) +
+                               h.size_bytes());
+  return true;
+}
+#endif
 
 }  // namespace
 
 EdgeListFile read_edge_list(const std::string& path) {
   FilePtr f = open_file(path, "r");
   EdgeListFile out;
-  char line[256];
+  char line[4096];
+  std::uint64_t lineno = 0;
   while (std::fgets(line, sizeof line, f.get()) != nullptr) {
-    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
-    unsigned long long src = 0;
-    unsigned long long dst = 0;
-    if (std::sscanf(line, "%llu %llu", &src, &dst) != 2) continue;
-    HIPA_CHECK(src < kInvalidVid && dst < kInvalidVid,
-               "vertex id overflows vid_t in " << path);
-    const Edge e{static_cast<vid_t>(src), static_cast<vid_t>(dst)};
+    ++lineno;
+    const std::size_t len = std::strlen(line);
+    HIPA_CHECK(len + 1 < sizeof line || line[len - 1] == '\n',
+               "" << path << ":" << lineno << ": line exceeds "
+                    << (sizeof line - 2) << " characters");
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\r' || *p == '\0') {
+      continue;  // comment / blank line
+    }
+    const auto parse_id = [&](const char*& cur, const char* what) {
+      while (*cur == ' ' || *cur == '\t') ++cur;
+      HIPA_CHECK(*cur != '\0' && *cur != '\n' && *cur != '\r',
+                 "" << path << ":" << lineno << ": missing " << what);
+      HIPA_CHECK(*cur != '-', "" << path << ":" << lineno << ": negative "
+                                   << what << " is not a vertex id");
+      HIPA_CHECK(
+          std::isdigit(static_cast<unsigned char>(*cur)) != 0,
+          "" << path << ":" << lineno << ": malformed " << what
+               << " (expected an unsigned integer, got '" << *cur << "')");
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(cur, &end, 10);
+      HIPA_CHECK(errno != ERANGE && v < kInvalidVid,
+                 "" << path << ":" << lineno << ": " << what
+                      << " overflows vid_t (max "
+                      << (kInvalidVid - 1) << ")");
+      cur = end;
+      return static_cast<vid_t>(v);
+    };
+    Edge e;
+    e.src = parse_id(p, "source id");
+    e.dst = parse_id(p, "destination id");
+    while (*p == ' ' || *p == '\t') ++p;
+    HIPA_CHECK(*p == '\0' || *p == '\n' || *p == '\r',
+               "" << path << ":" << lineno
+                    << ": trailing garbage after the edge ('" << *p
+                    << "...')");
     out.edges.push_back(e);
     out.num_vertices =
         std::max(out.num_vertices, std::max(e.src, e.dst) + 1);
@@ -68,27 +270,23 @@ void save_csr(const std::string& path, const CsrGraph& g) {
   FilePtr f = open_file(path, "wb");
   const std::uint64_t v = g.num_vertices();
   const std::uint64_t e = g.num_edges();
-  write_exact(f.get(), &kMagic, sizeof kMagic);
+  const std::uint64_t sum = header_checksum(kMagicV2, v, e);
+  write_exact(f.get(), &kMagicV2, sizeof kMagicV2);
   write_exact(f.get(), &v, sizeof v);
   write_exact(f.get(), &e, sizeof e);
+  write_exact(f.get(), &sum, sizeof sum);
   write_exact(f.get(), g.offsets().data(), g.offsets().size_bytes());
   write_exact(f.get(), g.targets().data(), g.targets().size_bytes());
 }
 
 CsrGraph load_csr(const std::string& path) {
-  FilePtr f = open_file(path, "rb");
-  std::uint64_t magic = 0;
-  std::uint64_t v = 0;
-  std::uint64_t e = 0;
-  read_exact(f.get(), &magic, sizeof magic);
-  HIPA_CHECK(magic == kMagic, "'" << path << "' is not a HCSR v1 file");
-  read_exact(f.get(), &v, sizeof v);
-  read_exact(f.get(), &e, sizeof e);
-  AlignedBuffer<eid_t> offsets(v + 1);
-  AlignedBuffer<vid_t> targets(e);
-  read_exact(f.get(), offsets.data(), (v + 1) * sizeof(eid_t));
-  read_exact(f.get(), targets.data(), e * sizeof(vid_t));
-  return CsrGraph(std::move(offsets), std::move(targets));
+#if HIPA_IO_HAVE_MMAP
+  CsrGraph g;
+  if (load_csr_mmap(path, &g)) return g;
+  // mmap refused (exotic filesystem, resource limits): same
+  // validations on the buffered path.
+#endif
+  return load_csr_stdio(path);
 }
 
 }  // namespace hipa::graph

@@ -1,0 +1,292 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/trace.hpp"
+
+namespace hipa::serve {
+
+namespace {
+
+/// CPU for worker `w`, which serves store node `node`: the w-th CPU of
+/// that node (wrapping), so multiple workers mapped onto one host node
+/// spread over its cores. -1 = no pinning.
+int worker_cpu(unsigned w, unsigned node, bool pin) {
+  if (!pin) return -1;
+  const runtime::HostTopology& topo = runtime::topology();
+  const auto& cpus = topo.node_cpus[node % topo.num_nodes()];
+  if (cpus.empty()) return -1;
+  return static_cast<int>(cpus[w % cpus.size()]);
+}
+
+}  // namespace
+
+void RankService::Latch::arrive() {
+  std::lock_guard<std::mutex> lock(mutex);
+  if (--remaining == 0) cv.notify_all();
+}
+
+void RankService::Latch::wait() {
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [this] { return remaining == 0; });
+}
+
+RankService::RankService(const SnapshotStore& store, ServiceOptions opt)
+    : store_(store), opt_(std::move(opt)) {
+  const unsigned nodes = store_.num_nodes();
+  HIPA_CHECK(nodes >= 1, "store has no nodes");
+  timeline_.reset(nodes);
+  if (!opt_.trace_path.empty()) timeline_.enable_spans();
+  latency_.reserve(opt_.latency_reserve);
+
+  workers_.reserve(nodes);
+  for (unsigned w = 0; w < nodes; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Start threads only after the vector is fully built — worker_loop
+  // indexes workers_.
+  for (unsigned w = 0; w < nodes; ++w) {
+    const int cpu = worker_cpu(/*w=*/0, /*node=*/w, opt_.pin_workers);
+    workers_[w]->thread =
+        std::thread([this, w, cpu] { worker_loop(w, cpu); });
+  }
+}
+
+RankService::~RankService() { stop(); }
+
+void RankService::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->shutdown = true;
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  if (!opt_.trace_path.empty()) {
+    // Workers are joined: their span rows are quiescent.
+    trace::ChromeTraceWriter::write(opt_.trace_path, timeline_, "serve");
+  }
+}
+
+void RankService::worker_loop(unsigned w, int cpu) {
+  if (cpu >= 0) runtime::pin_current_thread(static_cast<unsigned>(cpu));
+  Worker& self = *workers_[w];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(self.mutex);
+      self.cv.wait(lock,
+                   [&] { return self.shutdown || !self.queue.empty(); });
+      if (self.queue.empty()) return;  // shutdown with a drained queue
+      task = std::move(self.queue.front());
+      self.queue.pop_front();
+    }
+    const double start = runtime::PhaseTimeline::now();
+    run_shard(w, *task.snap, task.shard);
+    if (timeline_.spans_enabled()) {
+      timeline_.record_span(w, runtime::Phase::kGather,
+                            runtime::SpanKind::kKernel, start,
+                            runtime::PhaseTimeline::now() - start);
+    }
+    task.latch->arrive();
+  }
+}
+
+void RankService::run_shard(unsigned w, const Snapshot& snap,
+                            const Shard& shard) {
+  (void)w;
+  const std::span<const rank_t> ranks = snap.ranks();
+  for (const Lookup& lk : shard.lookups) {
+    // Ids were bounds-checked at routing time.
+    *lk.out = ranks[lk.vertex];
+  }
+  for (const ScanJob& job : shard.scans) {
+    *job.out = partial_top_k(ranks, job.range, job.k);
+  }
+  for (const ReplicaJob& job : shard.replicas) {
+    const std::span<const TopKEntry> rep = snap.topk().replica(
+        snap.topk().num_nodes() == 0 ? 0 : w % snap.topk().num_nodes());
+    const std::size_t take = std::min<std::size_t>(job.k, rep.size());
+    job.out->assign(rep.begin(),
+                    rep.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+}
+
+QueryResult RankService::execute(const Query& q) {
+  std::vector<QueryResult> out = execute_batch(std::span(&q, 1));
+  return std::move(out.front());
+}
+
+std::vector<QueryResult> RankService::execute_batch(
+    std::span<const Query> queries) {
+  Timer batch_timer;
+  const SnapshotRef snap = store_.current();
+  HIPA_CHECK(snap.valid(), "no snapshot published yet");
+  const Snapshot& s = *snap;
+  const std::span<const VertexRange> node_ranges = s.node_ranges();
+  const unsigned num_nodes = static_cast<unsigned>(node_ranges.size());
+  const TopKIndex& index = s.topk();
+
+  std::vector<QueryResult> results(queries.size());
+  // Per-request partial-scan buffers for split top-k queries; stable
+  // addresses because the outer vector is sized once.
+  struct SplitTopK {
+    std::size_t request;
+    unsigned k;
+    std::vector<std::vector<TopKEntry>> partials;
+  };
+  std::vector<SplitTopK> splits;
+
+  // ---- Route every request into per-node shards --------------------
+  std::vector<Shard> shards(workers_.size());
+  std::uint64_t vertices_looked_up = 0;
+  // First pass: count split top-k queries so `splits` never
+  // reallocates after shards start pointing into it.
+  for (const Query& q : queries) {
+    if (q.kind == QueryKind::kTopK && q.topk.k > 0 &&
+        !(q.topk.global() && q.topk.k <= index.k() &&
+          index.num_nodes() > 0)) {
+      splits.push_back({});
+    }
+  }
+  std::size_t next_split = 0;
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    QueryResult& r = results[i];
+    r.epoch = s.epoch();
+    switch (q.kind) {
+      case QueryKind::kPoint: {
+        HIPA_CHECK(q.vertex < s.num_vertices(),
+                   "point lookup vertex " << q.vertex
+                                          << " out of range (n = "
+                                          << s.num_vertices() << ")");
+        r.ranks.resize(1);
+        shards[worker_of_node(s.node_of(q.vertex))].lookups.push_back(
+            Lookup{q.vertex, r.ranks.data()});
+        ++vertices_looked_up;
+        break;
+      }
+      case QueryKind::kBatch: {
+        r.ranks.resize(q.vertices.size());
+        for (std::size_t j = 0; j < q.vertices.size(); ++j) {
+          const vid_t v = q.vertices[j];
+          HIPA_CHECK(v < s.num_vertices(),
+                     "batch lookup vertex " << v << " out of range (n = "
+                                            << s.num_vertices() << ")");
+          shards[worker_of_node(s.node_of(v))].lookups.push_back(
+              Lookup{v, &r.ranks[j]});
+        }
+        vertices_looked_up += q.vertices.size();
+        break;
+      }
+      case QueryKind::kTopK: {
+        const TopKQuery& tq = q.topk;
+        if (tq.k == 0) break;
+        if (tq.global() && tq.k <= index.k() && index.num_nodes() > 0) {
+          // Replica-served: one worker, round-robin over nodes.
+          const unsigned node = static_cast<unsigned>(
+              rr_node_.fetch_add(1, std::memory_order_relaxed) %
+              num_nodes);
+          shards[worker_of_node(node)].replicas.push_back(
+              ReplicaJob{tq.k, &r.topk});
+          break;
+        }
+        // Split scan: each node's worker scans the intersection of the
+        // request range with its local slice; merge on the caller.
+        const VertexRange want =
+            tq.global() ? VertexRange{0, s.num_vertices()} : tq.range;
+        HIPA_CHECK(want.begin <= want.end && want.end <= s.num_vertices(),
+                   "top-k range [" << want.begin << ", " << want.end
+                                   << ") exceeds snapshot vertices "
+                                   << s.num_vertices());
+        SplitTopK& split = splits[next_split++];
+        split.request = i;
+        split.k = tq.k;
+        split.partials.resize(num_nodes);
+        for (unsigned node = 0; node < num_nodes; ++node) {
+          const VertexRange local{
+              std::max(want.begin, node_ranges[node].begin),
+              std::min(want.end, node_ranges[node].end)};
+          if (local.begin >= local.end) continue;
+          shards[worker_of_node(node)].scans.push_back(
+              ScanJob{local, tq.k, &split.partials[node]});
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- Dispatch one task per non-empty shard and wait --------------
+  Latch latch;
+  std::vector<unsigned> dispatched;
+  for (unsigned w = 0; w < workers_.size(); ++w) {
+    if (!shards[w].empty()) dispatched.push_back(w);
+  }
+  latch.remaining = static_cast<unsigned>(dispatched.size());
+  if (!dispatched.empty()) {
+    for (unsigned w : dispatched) {
+      Worker& worker = *workers_[w];
+      {
+        std::lock_guard<std::mutex> lock(worker.mutex);
+        worker.queue.push_back(Task{&s, std::move(shards[w]), &latch});
+      }
+      worker.cv.notify_one();
+    }
+    latch.wait();
+  }
+
+  // ---- Merge split top-k partials ----------------------------------
+  for (SplitTopK& split : splits) {
+    results[split.request].topk = merge_top_k(split.partials, split.k);
+  }
+
+  // ---- Record stats + per-request latency --------------------------
+  const double wall = batch_timer.seconds();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.requests += queries.size();
+    for (const Query& q : queries) {
+      switch (q.kind) {
+        case QueryKind::kPoint:
+          ++stats_.point_requests;
+          break;
+        case QueryKind::kBatch:
+          ++stats_.batch_requests;
+          break;
+        case QueryKind::kTopK:
+          ++stats_.topk_requests;
+          break;
+      }
+    }
+    ++stats_.batches;
+    stats_.shards_dispatched += dispatched.size();
+    stats_.vertices_looked_up += vertices_looked_up;
+    // Every request in the batch observed the batch's wall time.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      latency_.record(wall);
+    }
+    // Iteration track: one sample per batch → a request-latency
+    // counter lane in the Chrome trace.
+    timeline_.record_iteration(wall);
+  }
+  return results;
+}
+
+RankService::Stats RankService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  Stats out = stats_;
+  out.latency = latency_.summarize();
+  return out;
+}
+
+}  // namespace hipa::serve

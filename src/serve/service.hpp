@@ -1,0 +1,176 @@
+// Batched query engine over the snapshot store: one persistent,
+// NUMA-pinned worker per node, request coalescing into per-node
+// shards, per-request latency into the runtime telemetry surface.
+//
+// Execution model (the serving-side mirror of the engines' Algorithm 2
+// thread model):
+//
+//   * at construction the service starts one persistent worker thread
+//     per snapshot-store node and pins it to a CPU of that node
+//     (runtime/affinity; best effort, like the engines). Workers live
+//     for the service's lifetime — no thread creation on the request
+//     path;
+//   * execute_batch() pins ONE snapshot for the whole batch (so every
+//     answer in a batch comes from the same epoch), then coalesces the
+//     requests into at most one shard per node:
+//       - point/batch lookups are routed to the node that owns the
+//         vertex under the snapshot's placement slices, so the worker
+//         reads only node-local rank pages;
+//       - global top-k requests within the index depth go to one
+//         worker round-robin and are served from that node's replica
+//         (pure local reads);
+//       - range-restricted (or deeper-than-index) top-k requests are
+//         split across the nodes whose slices intersect the range;
+//         each worker scans only its local slice and the caller merges
+//         the tiny per-node partials;
+//   * each worker drains its shard queue under a mutex+condvar (the
+//     queue is cold — the work is the shard body); a per-batch latch
+//     releases the caller when every shard finished.
+//
+// Telemetry: the service owns a runtime::PhaseTimeline with one row
+// per worker. Shard executions are recorded as spans (phase = kGather,
+// the read side of the shared vocabulary) when a trace path is
+// configured, and per-request latencies feed both the LatencyRecorder
+// (percentile stats) and the timeline's iteration track, so a
+// configured trace_path yields a chrome://tracing view of worker
+// activity with a request-latency counter track — the same pipeline
+// the engines use.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+#include "serve/query.hpp"
+#include "serve/snapshot.hpp"
+
+namespace hipa::serve {
+
+/// Service construction knobs.
+struct ServiceOptions {
+  /// Pin each worker to a CPU of its node (best effort).
+  bool pin_workers = true;
+  /// When non-empty, collect worker spans and write a Chrome trace
+  /// here at stop()/destruction.
+  std::string trace_path;
+  /// Pre-reserved latency samples (grows beyond as needed).
+  std::size_t latency_reserve = 1 << 16;
+};
+
+/// The batched query engine. Thread-safe: any number of caller threads
+/// may execute() / execute_batch() concurrently; the snapshot store's
+/// publisher keeps publishing underneath.
+class RankService {
+ public:
+  explicit RankService(const SnapshotStore& store, ServiceOptions opt = {});
+  ~RankService();
+
+  RankService(const RankService&) = delete;
+  RankService& operator=(const RankService&) = delete;
+
+  /// Execute one request (a batch of one).
+  QueryResult execute(const Query& q);
+
+  /// Execute a batch of requests against ONE pinned snapshot (all
+  /// responses carry the same epoch). Throws hipa::Error when nothing
+  /// has been published yet.
+  std::vector<QueryResult> execute_batch(std::span<const Query> queries);
+
+  /// Aggregate counters since construction.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t point_requests = 0;
+    std::uint64_t batch_requests = 0;
+    std::uint64_t topk_requests = 0;
+    std::uint64_t batches = 0;           ///< execute_batch calls
+    std::uint64_t shards_dispatched = 0; ///< per-node tasks enqueued
+    std::uint64_t vertices_looked_up = 0;
+    LatencySummary latency;              ///< per-request wall seconds
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] unsigned num_workers() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Join the workers and, when a trace path was configured, write the
+  /// Chrome trace. Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  /// Work routed to one node in one batch.
+  struct Lookup {
+    vid_t vertex;
+    rank_t* out;
+  };
+  struct ScanJob {
+    VertexRange range;
+    unsigned k;
+    std::vector<TopKEntry>* out;
+  };
+  struct ReplicaJob {
+    unsigned k;
+    std::vector<TopKEntry>* out;
+  };
+  struct Shard {
+    std::vector<Lookup> lookups;
+    std::vector<ScanJob> scans;
+    std::vector<ReplicaJob> replicas;
+    [[nodiscard]] bool empty() const {
+      return lookups.empty() && scans.empty() && replicas.empty();
+    }
+  };
+
+  /// Countdown latch for one batch dispatch.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    unsigned remaining = 0;
+    void arrive();
+    void wait();
+  };
+
+  struct Task {
+    const Snapshot* snap;
+    Shard shard;
+    Latch* latch;
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> queue;
+    bool shutdown = false;
+  };
+
+  void worker_loop(unsigned w, int cpu);
+  void run_shard(unsigned w, const Snapshot& snap, const Shard& shard);
+  [[nodiscard]] unsigned worker_of_node(unsigned node) const {
+    return node % static_cast<unsigned>(workers_.size());
+  }
+
+  const SnapshotStore& store_;
+  ServiceOptions opt_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool stopped_ = false;
+
+  // Stats + caller-side telemetry, shared by caller threads.
+  mutable std::mutex stats_mutex_;
+  Stats stats_;                       ///< latency summarized on read
+  LatencyRecorder latency_;           ///< under stats_mutex_
+  runtime::PhaseTimeline timeline_;   ///< rows owned by workers; the
+                                      ///< iteration track under
+                                      ///< stats_mutex_
+  std::atomic<std::uint64_t> rr_node_{0};  ///< round-robin for replicas
+};
+
+}  // namespace hipa::serve

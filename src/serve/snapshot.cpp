@@ -1,0 +1,133 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/placement.hpp"
+
+namespace hipa::serve {
+
+std::vector<VertexRange> even_node_ranges(vid_t n, unsigned nodes) {
+  HIPA_CHECK(nodes >= 1, "need at least one node");
+  // Page-aligned slice boundaries so each node's slice covers whole
+  // pages and per-node placement is exact.
+  constexpr vid_t kVertsPerPage =
+      static_cast<vid_t>(kPageSize / sizeof(rank_t));
+  const vid_t per =
+      ((n + nodes - 1) / nodes + kVertsPerPage - 1) / kVertsPerPage *
+      kVertsPerPage;
+  std::vector<VertexRange> out(nodes);
+  vid_t begin = 0;
+  for (unsigned node = 0; node < nodes; ++node) {
+    const vid_t end = std::min<vid_t>(n, begin + per);
+    out[node] = VertexRange{begin, end};
+    begin = end;
+  }
+  out.back().end = n;  // absorb any rounding remainder
+  return out;
+}
+
+SnapshotStore::SnapshotStore(vid_t num_vertices, StoreOptions opt)
+    : num_vertices_(num_vertices) {
+  HIPA_CHECK(num_vertices > 0, "empty vertex set");
+  HIPA_CHECK(opt.slots >= 2, "need >= 2 snapshot slots (double buffer)");
+  const unsigned nodes =
+      opt.num_nodes != 0 ? opt.num_nodes : runtime::topology().num_nodes();
+  if (!opt.node_ranges.empty()) {
+    HIPA_CHECK(opt.node_ranges.size() == nodes,
+               "node_ranges size must match num_nodes");
+    HIPA_CHECK(opt.node_ranges.front().begin == 0 &&
+                   opt.node_ranges.back().end == num_vertices,
+               "node_ranges must tile [0, num_vertices)");
+    for (std::size_t i = 0; i + 1 < opt.node_ranges.size(); ++i) {
+      HIPA_CHECK(opt.node_ranges[i].end == opt.node_ranges[i + 1].begin,
+                 "node_ranges must be contiguous");
+    }
+    node_ranges_ = std::move(opt.node_ranges);
+  } else {
+    node_ranges_ = even_node_ranges(num_vertices, nodes);
+  }
+
+  // Allocate every slot once: page-aligned rank buffer with each
+  // node's slice committed node-locally while the contents are dead
+  // (publishes later only overwrite bytes, so pages never move), plus
+  // the per-node top-k replicas.
+  slots_ = std::vector<Slot>(opt.slots);
+  for (Slot& slot : slots_) {
+    slot.snap.ranks_ = AlignedBuffer<rank_t>(num_vertices, kPageSize);
+    slot.snap.node_ranges_ = node_ranges_;
+    for (unsigned node = 0; node < nodes; ++node) {
+      const VertexRange r = node_ranges_[node];
+      if (r.empty()) continue;
+      void* p = slot.snap.ranks_.data() + r.begin;
+      const std::size_t bytes = std::size_t{r.size()} * sizeof(rank_t);
+      if (runtime::bind_pages_to_node(p, bytes, node)) {
+        std::memset(p, 0, bytes);
+      } else {
+        runtime::first_touch_zero_on_node(p, bytes, node);
+      }
+    }
+    slot.snap.topk_.configure(opt.topk_k, nodes);
+  }
+}
+
+std::uint64_t SnapshotStore::publish(std::span<const rank_t> ranks) {
+  HIPA_CHECK(ranks.size() == num_vertices_,
+             "rank array size " << ranks.size() << " != store vertices "
+                                << num_vertices_);
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+
+  // Pick the next ring slot, skipping the live one, and wait out the
+  // grace period: a retired slot may still carry stragglers that
+  // pinned it one ring-trip ago. Readers of the live snapshot are
+  // never waited on.
+  const Slot* live = current_.load(std::memory_order_relaxed);
+  Slot* slot = nullptr;
+  for (;;) {
+    Slot* cand = &slots_[next_slot_];
+    next_slot_ = (next_slot_ + 1) % slots_.size();
+    if (cand == live) continue;
+    slot = cand;
+    break;
+  }
+  // Grace period: acquire pairs with the last straggler's release
+  // decrement, ordering its reads before our overwrite.
+  bool waited = false;
+  while (slot->readers.load(std::memory_order_acquire) != 0) {
+    waited = true;
+    std::this_thread::yield();
+  }
+  if (waited) reclaim_waits_.fetch_add(1, std::memory_order_relaxed);
+
+  // Fill the slot: overwrite the placed pages and rebuild the top-k
+  // replicas (parallel per node).
+  std::copy(ranks.begin(), ranks.end(), slot->snap.ranks_.data());
+  slot->snap.topk_.build(slot->snap.ranks_.span(), node_ranges_);
+  slot->snap.epoch_ = next_epoch_++;
+
+  // The one-word publication: release makes every write above visible
+  // to any reader that acquires this pointer.
+  current_.store(slot, std::memory_order_release);
+  return slot->snap.epoch_;
+}
+
+SnapshotRef SnapshotStore::current() const {
+  for (;;) {
+    Slot* s = current_.load(std::memory_order_acquire);
+    if (s == nullptr) return {};
+    s->readers.fetch_add(1, std::memory_order_acquire);
+    // Validation: if the pointer still names this slot, the publisher
+    // cannot have started reusing it (reuse waits for readers == 0 on
+    // *retired* slots only), so the pin is safe. Otherwise back off
+    // and retry — we only touched the counter, never the data.
+    if (current_.load(std::memory_order_acquire) == s) {
+      return SnapshotRef(&s->snap, &s->readers);
+    }
+    s->readers.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+}  // namespace hipa::serve

@@ -1,0 +1,220 @@
+// Versioned rank-snapshot store: atomic publish, lock-free readers,
+// grace-period slot reclamation.
+//
+// The serving layer must answer queries *while* a recompute is in
+// flight, so published ranks are immutable, epoch-numbered snapshots:
+//
+//   * publish(ranks) copies the ranks into the next free slot of a
+//     small ring (>= 3 slots: the live snapshot, the one being built,
+//     and one generation of grace for stragglers), rebuilds that
+//     slot's NUMA-replicated top-k index, stamps a fresh epoch and
+//     release-stores the slot pointer — one atomic word is the entire
+//     publication;
+//   * current() acquires a read pin with the classic counted-reference
+//     validation loop (increment the slot's reader count, re-check the
+//     published pointer, back off on a lost race). Readers never take
+//     a lock and never block a publisher mid-publish; a snapshot they
+//     pinned stays fully intact until the pin drops;
+//   * slot reuse waits for the reader count of a *retired* slot (two
+//     or more publishes old) to drain — the grace period. Readers of
+//     the current or previous epoch are never waited on.
+//
+// Memory placement mirrors the engines (paper §3.4): each slot's rank
+// buffer is page-aligned and its per-node slices are committed
+// node-locally once at store construction (mbind or pinned
+// first-touch via runtime/placement); later publishes only overwrite
+// bytes, so the physical pages — and the read path's locality — are
+// stable across epochs.
+//
+// Happens-before discipline (the TSan-verified contract):
+//   publisher slot writes -> current_.store(release)
+//     -> reader current_.load(acquire) -> reader data reads
+//   reader readers_.fetch_sub(release) -> publisher readers_.load
+//     (acquire) == 0 -> publisher slot reuse writes
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "engines/backend.hpp"
+#include "serve/topk_index.hpp"
+
+namespace hipa::serve {
+
+/// One immutable, epoch-numbered snapshot: the rank array plus the
+/// per-node top-k replicas built from it at publish time.
+class Snapshot {
+ public:
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] vid_t num_vertices() const {
+    return static_cast<vid_t>(ranks_.size());
+  }
+  [[nodiscard]] std::span<const rank_t> ranks() const {
+    return ranks_.span();
+  }
+  [[nodiscard]] rank_t rank_of(vid_t v) const { return ranks_[v]; }
+  [[nodiscard]] const TopKIndex& topk() const { return topk_; }
+
+  /// The node-placement slices the store committed (one per node;
+  /// they tile [0, num_vertices)).
+  [[nodiscard]] std::span<const VertexRange> node_ranges() const {
+    return node_ranges_;
+  }
+  /// Owning node of vertex v under those slices.
+  [[nodiscard]] unsigned node_of(vid_t v) const {
+    for (unsigned n = 0; n + 1 < node_ranges_.size(); ++n) {
+      if (v < node_ranges_[n].end) return n;
+    }
+    return node_ranges_.empty()
+               ? 0
+               : static_cast<unsigned>(node_ranges_.size() - 1);
+  }
+
+ private:
+  friend class SnapshotStore;
+  std::uint64_t epoch_ = 0;
+  AlignedBuffer<rank_t> ranks_;
+  TopKIndex topk_;
+  std::vector<VertexRange> node_ranges_;
+};
+
+/// RAII read pin on one published snapshot. Move-only; dropping the
+/// last pin of a retired epoch lets the publisher reclaim its slot.
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  SnapshotRef(SnapshotRef&& o) noexcept
+      : snap_(o.snap_), readers_(o.readers_) {
+    o.snap_ = nullptr;
+    o.readers_ = nullptr;
+  }
+  SnapshotRef& operator=(SnapshotRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      snap_ = o.snap_;
+      readers_ = o.readers_;
+      o.snap_ = nullptr;
+      o.readers_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+  ~SnapshotRef() { release(); }
+
+  /// False before the store's first publish.
+  [[nodiscard]] bool valid() const { return snap_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  [[nodiscard]] const Snapshot& operator*() const { return *snap_; }
+  [[nodiscard]] const Snapshot* operator->() const { return snap_; }
+
+ private:
+  friend class SnapshotStore;
+  SnapshotRef(const Snapshot* snap, std::atomic<std::uint64_t>* readers)
+      : snap_(snap), readers_(readers) {}
+  void release() {
+    if (readers_ != nullptr) {
+      readers_->fetch_sub(1, std::memory_order_release);
+      readers_ = nullptr;
+      snap_ = nullptr;
+    }
+  }
+
+  const Snapshot* snap_ = nullptr;
+  std::atomic<std::uint64_t>* readers_ = nullptr;
+};
+
+/// Store construction knobs.
+struct StoreOptions {
+  /// Placement granularity. 0 = discover from the host topology.
+  unsigned num_nodes = 0;
+  /// Depth of every snapshot's replicated top-k index.
+  unsigned topk_k = 64;
+  /// Snapshot ring depth. Minimum 2 (double buffering); the default 3
+  /// adds one generation of grace so a reader pinning epoch E never
+  /// delays the publish of E+1 or E+2.
+  unsigned slots = 3;
+  /// Optional explicit per-node vertex slices (e.g. a hierarchical
+  /// plan's node_vertex_range, to mirror the compute layout). Empty =
+  /// even page-aligned split over num_nodes.
+  std::vector<VertexRange> node_ranges;
+};
+
+/// The versioned snapshot store. One publisher at a time (publish is
+/// internally serialized); any number of concurrent lock-free readers.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(vid_t num_vertices, StoreOptions opt = {});
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Copy `ranks` into the next free slot, rebuild its top-k
+  /// replicas, stamp the next epoch and atomically publish. Blocks
+  /// only when every non-live slot still has straggling readers
+  /// (grace period). Returns the new epoch (epochs start at 1).
+  std::uint64_t publish(std::span<const rank_t> ranks);
+
+  /// Publish hook off the engines' unified run surface: snapshot the
+  /// final ranks of an engine::RunResult (bitwise — acceptance tests
+  /// compare the published snapshot against a direct run).
+  std::uint64_t publish(const engine::RunResult& result) {
+    return publish(std::span<const rank_t>(result.ranks));
+  }
+
+  /// Lock-free pin of the live snapshot; invalid() before the first
+  /// publish.
+  [[nodiscard]] SnapshotRef current() const;
+
+  /// Epoch of the live snapshot (0 = nothing published yet).
+  [[nodiscard]] std::uint64_t epoch() const {
+    const Slot* s = current_.load(std::memory_order_acquire);
+    return s == nullptr ? 0 : s->snap.epoch();
+  }
+
+  [[nodiscard]] vid_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] unsigned num_nodes() const {
+    return static_cast<unsigned>(node_ranges_.size());
+  }
+  [[nodiscard]] unsigned num_slots() const {
+    return static_cast<unsigned>(slots_.size());
+  }
+  [[nodiscard]] std::span<const VertexRange> node_ranges() const {
+    return node_ranges_;
+  }
+  /// Times the publisher had to spin waiting for a retired slot's
+  /// readers to drain (grace-period contention indicator).
+  [[nodiscard]] std::uint64_t reclaim_waits() const {
+    return reclaim_waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One ring slot: reader-count line apart from the snapshot data.
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> readers{0};
+    Snapshot snap;
+  };
+
+  vid_t num_vertices_ = 0;
+  std::vector<VertexRange> node_ranges_;
+  std::vector<Slot> slots_;
+  std::atomic<Slot*> current_{nullptr};
+  std::mutex publish_mutex_;        ///< serializes publishers only
+  std::uint64_t next_epoch_ = 1;    ///< under publish_mutex_
+  unsigned next_slot_ = 0;          ///< under publish_mutex_
+  std::atomic<std::uint64_t> reclaim_waits_{0};
+};
+
+/// Even, page-aligned split of [0, n) over `nodes` slices (the store's
+/// default placement; exposed for tests and for callers that want the
+/// same tiling elsewhere).
+[[nodiscard]] std::vector<VertexRange> even_node_ranges(vid_t n,
+                                                        unsigned nodes);
+
+}  // namespace hipa::serve

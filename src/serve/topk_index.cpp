@@ -1,0 +1,120 @@
+#include "serve/topk_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/placement.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace hipa::serve {
+
+namespace {
+
+/// Pin the calling thread to some CPU of `node` (best effort; the
+/// host topology wraps requested nodes beyond the machine).
+void pin_to_node(unsigned node) {
+  const runtime::HostTopology& topo = runtime::topology();
+  const auto& cpus = topo.node_cpus[node % topo.num_nodes()];
+  if (!cpus.empty()) runtime::pin_current_thread(cpus[0]);
+}
+
+}  // namespace
+
+std::vector<TopKEntry> partial_top_k(std::span<const rank_t> ranks,
+                                     VertexRange range, unsigned k) {
+  std::vector<TopKEntry> heap;
+  if (k == 0 || range.empty()) return heap;
+  HIPA_CHECK(range.end <= ranks.size(), "top-k range exceeds rank array");
+  heap.reserve(k);
+  // Bounded heap with the *weakest* kept entry at the front (so it is
+  // the one evicted when a stronger candidate arrives). std::push_heap
+  // puts the largest-by-cmp element first, so "larger" must mean
+  // "stronger under topk_less" — i.e. cmp is topk_less itself.
+  auto heap_cmp = [](const TopKEntry& a, const TopKEntry& b) {
+    return topk_less(a, b);
+  };
+  for (vid_t v = range.begin; v < range.end; ++v) {
+    const TopKEntry cand{v, ranks[v]};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+      continue;
+    }
+    if (topk_less(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    }
+  }
+  // sort_heap yields ascending-under-cmp order, which for topk_less
+  // ("stronger compares smaller") is strongest-first — the final
+  // descending-rank order.
+  std::sort_heap(heap.begin(), heap.end(), heap_cmp);
+  return heap;
+}
+
+std::vector<TopKEntry> merge_top_k(
+    std::span<const std::vector<TopKEntry>> partials, unsigned k) {
+  std::vector<TopKEntry> all;
+  for (const auto& p : partials) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end(), [](const TopKEntry& a,
+                                       const TopKEntry& b) {
+    return topk_less(a, b);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void TopKIndex::configure(unsigned k, unsigned num_nodes) {
+  HIPA_CHECK(num_nodes >= 1, "top-k index needs at least one node");
+  if (k_ == k && replicas_.size() == num_nodes) return;
+  k_ = k;
+  filled_ = 0;
+  replicas_.clear();
+  replicas_.reserve(num_nodes);
+  for (unsigned node = 0; node < num_nodes; ++node) {
+    AlignedBuffer<TopKEntry> rep(k, kPageSize);
+    if (k > 0) {
+      // Commit the replica's pages to its node while contents are
+      // dead: mbind when compiled in, pinned first-touch otherwise.
+      if (runtime::bind_pages_to_node(rep.data(), rep.size_bytes(), node)) {
+        rep.fill_zero();
+      } else {
+        runtime::first_touch_zero_on_node(rep.data(), rep.size_bytes(),
+                                          node);
+      }
+    }
+    replicas_.push_back(std::move(rep));
+  }
+}
+
+void TopKIndex::build(std::span<const rank_t> ranks,
+                      std::span<const VertexRange> node_ranges) {
+  HIPA_CHECK(!replicas_.empty(), "configure() before build()");
+  HIPA_CHECK(node_ranges.size() == replicas_.size(),
+             "one vertex range per node replica");
+  const unsigned nodes = num_nodes();
+
+  // Phase 1: per-node partial top-k over the node-local slice, one
+  // pinned builder thread per node (single-node hosts degrade to one
+  // plain thread).
+  std::vector<std::vector<TopKEntry>> partials(nodes);
+  runtime::fork_join_run(nodes, [&](unsigned node) {
+    pin_to_node(node);
+    partials[node] = partial_top_k(ranks, node_ranges[node], k_);
+  });
+
+  // Phase 2: tiny serial merge (k * nodes entries).
+  const std::vector<TopKEntry> merged = merge_top_k(partials, k_);
+  filled_ = static_cast<unsigned>(merged.size());
+
+  // Phase 3: every node's builder writes its own replica so the
+  // entries land (and stay) in node-local pages.
+  runtime::fork_join_run(nodes, [&](unsigned node) {
+    pin_to_node(node);
+    std::copy(merged.begin(), merged.end(), replicas_[node].data());
+  });
+}
+
+}  // namespace hipa::serve

@@ -1,0 +1,104 @@
+// NUMA-replicated top-k rank index.
+//
+// The serving layer's read path must never cross a socket for the
+// common "who are the top N pages?" query. Following the NUMA-locality
+// argument of the skip-graph line of work (read-dominated query
+// structures should be replicated or partitioned per node, not
+// shared), the index keeps ONE physical copy of the global top-k list
+// per NUMA node: each replica's pages are committed node-locally at
+// configure time (mbind when available, pinned first-touch otherwise),
+// and a reader always consults the replica of the node it runs on.
+//
+// The build is hierarchical and runs in parallel per node at snapshot
+// publish time:
+//   1. every node's builder thread (pinned to a CPU of that node)
+//      scans its node-local slice of the rank array and keeps a
+//      k-element partial heap — no remote rank reads;
+//   2. the publisher merges the per-node partials (k*nodes entries,
+//      trivially small) into the global descending top-k;
+//   3. each node's builder thread copies the merged list into its own
+//      replica, so the replica pages are written — and stay — local.
+//
+// Ordering matches algo::top_k: rank descending, ties by smaller
+// vertex id, so the index is deterministic for a given rank array.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+
+namespace hipa::serve {
+
+/// One index entry: a vertex and its rank at snapshot-publish time.
+/// Deliberately trivial (no default member initializers) so replica
+/// buffers can be zero-filled bytewise during NUMA placement.
+struct TopKEntry {
+  vid_t vertex;
+  rank_t rank;
+
+  friend constexpr bool operator==(const TopKEntry&,
+                                   const TopKEntry&) = default;
+};
+
+/// Descending-rank comparison with the algo::top_k tie rule (smaller
+/// id wins ties). Shared by the index build and the query engine's
+/// filtered-scan merge so every top-k producer agrees on order.
+[[nodiscard]] constexpr bool topk_less(const TopKEntry& a,
+                                       const TopKEntry& b) {
+  if (a.rank != b.rank) return a.rank > b.rank;
+  return a.vertex < b.vertex;
+}
+
+/// Per-node replicated top-k list. configure() once (allocates and
+/// places the replicas), build() at every snapshot publish.
+class TopKIndex {
+ public:
+  TopKIndex() = default;
+  TopKIndex(TopKIndex&&) noexcept = default;
+  TopKIndex& operator=(TopKIndex&&) noexcept = default;
+
+  /// Allocate `num_nodes` page-aligned replicas of `k` entries each
+  /// and commit every replica's pages to its node. Idempotent for the
+  /// same (k, num_nodes).
+  void configure(unsigned k, unsigned num_nodes);
+
+  /// Rebuild every replica from `ranks`. `node_ranges[n]` is node n's
+  /// locally-placed slice of the rank array (the same slices the
+  /// snapshot store placed); slices must tile [0, ranks.size()).
+  /// Runs one pinned builder thread per node.
+  void build(std::span<const rank_t> ranks,
+             std::span<const VertexRange> node_ranges);
+
+  [[nodiscard]] unsigned k() const { return k_; }
+  [[nodiscard]] unsigned num_nodes() const {
+    return static_cast<unsigned>(replicas_.size());
+  }
+  /// Entries actually filled (min(k, |V| with nonzero candidates)).
+  [[nodiscard]] unsigned size() const { return filled_; }
+
+  /// Node n's local copy of the global top-k, descending.
+  [[nodiscard]] std::span<const TopKEntry> replica(unsigned node) const {
+    return {replicas_[node].data(), filled_};
+  }
+
+ private:
+  unsigned k_ = 0;
+  unsigned filled_ = 0;
+  std::vector<AlignedBuffer<TopKEntry>> replicas_;
+};
+
+/// k-bounded partial top-k scan over [range.begin, range.end):
+/// returns up to k entries sorted by topk_less. The building block for
+/// both the index build (per-node slices) and the query engine's
+/// filtered scans.
+[[nodiscard]] std::vector<TopKEntry> partial_top_k(
+    std::span<const rank_t> ranks, VertexRange range, unsigned k);
+
+/// Merge partial lists (each sorted by topk_less) into the global
+/// top-k, truncated to k.
+[[nodiscard]] std::vector<TopKEntry> merge_top_k(
+    std::span<const std::vector<TopKEntry>> partials, unsigned k);
+
+}  // namespace hipa::serve
