@@ -17,6 +17,15 @@
 // topology (CPUs, NUMA nodes, pinning mode, mbind availability) so
 // numbers are interpretable across machines.
 //
+// A `barrier` micro-section compares the flat sense-reversing
+// SpinBarrier against the topology-aware two-level TreeBarrier
+// (ns/crossing, empty kernel) at one-node-worth, two-nodes-worth and
+// all-CPUs thread counts, and a `reorder` section runs HiPa natively
+// per vertex-reorder mode (none/degree/hub, filter with --reorder=)
+// with hw counters + telemetry on, recording per-mode iteration time,
+// LLC miss rate, barrier-wait seconds, and the rank agreement vs the
+// unreordered run (inverse-permutation happens inside the facade).
+//
 // Two run-level telemetry sections close the report: `telemetry_runs`
 // re-runs HiPa/p-PR/GPOP (or --methods=) natively with telemetry kOn
 // and serializes the per-phase wall/barrier/messages/bytes aggregates
@@ -29,7 +38,9 @@
 // (default BENCH_hotpath.json, override with --out=) so CI and
 // EXPERIMENTS.md can track the numbers. `--smoke` shrinks to one tiny
 // dataset and two iterations for the `perf-smoke` ctest label.
+#include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -164,6 +175,87 @@ DispatchOverhead measure_dispatch_overhead(bool smoke) {
   return d;
 }
 
+// ---- barrier shapes ---------------------------------------------------------
+
+/// ns per barrier crossing for one barrier shape at one team size
+/// (empty kernel; isolates the synchronization protocol itself).
+struct BarrierPoint {
+  unsigned threads = 1;
+  unsigned tree_groups = 0;  ///< leaves the tree used (0 = flat fallback)
+  double flat_ns_per_crossing = 0.0;
+  double tree_ns_per_crossing = 0.0;
+};
+
+struct BarrierSection {
+  unsigned crossings = 0;  ///< timed crossings per point per shape
+  std::vector<BarrierPoint> points;
+};
+
+double time_crossings(engine::NativeBackend& backend, unsigned crossings) {
+  // Warm the requested barrier shape (first run_loop builds it and
+  // faults its lines), then time a second region of pure crossings.
+  backend.run_loop([](unsigned, engine::NoopMem&, engine::LoopCtl& ctl) {
+    ctl.barrier();
+  });
+  Timer t;
+  backend.run_loop(
+      [crossings](unsigned, engine::NoopMem&, engine::LoopCtl& ctl) {
+        for (unsigned c = 0; c < crossings; ++c) ctl.barrier();
+      });
+  return t.seconds() * 1e9 / static_cast<double>(crossings);
+}
+
+BarrierSection measure_barrier(bool smoke) {
+  BarrierSection s;
+  s.crossings = smoke ? 2000 : 20000;
+  const runtime::HostTopology& topo = runtime::topology();
+  const unsigned cpus = std::max(1u, runtime::available_cpus());
+  const unsigned nodes = std::max<unsigned>(1, topo.num_nodes());
+  const unsigned per_node = std::max(1u, cpus / nodes);
+
+  // One node's worth, two nodes' worth, the whole host (deduped).
+  std::vector<unsigned> counts = {per_node, std::min(cpus, 2 * per_node),
+                                  cpus};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  for (unsigned threads : counts) {
+    BarrierPoint p;
+    p.threads = threads;
+
+    engine::ThreadTeamSpec spec;
+    spec.num_threads = threads;
+    spec.persistent = true;
+    if (nodes >= 2) {
+      // Real NUMA: block threads onto nodes so the tree's leaves are
+      // node-local cache lines (the configuration the tree exists for).
+      spec.binding = engine::ThreadTeamSpec::Binding::kNodeBlocked;
+      spec.threads_per_node.assign(nodes, threads / nodes);
+      for (unsigned i = 0; i < threads % nodes; ++i) {
+        ++spec.threads_per_node[i];
+      }
+      for (unsigned c : spec.threads_per_node) {
+        if (c > 0) ++p.tree_groups;
+      }
+    } else {
+      // Single node: forced kTree synthesizes two balanced halves so
+      // the two-level protocol is still exercised and measured.
+      spec.binding = engine::ThreadTeamSpec::Binding::kSpread;
+      p.tree_groups = threads >= 2 ? 2 : 0;
+    }
+
+    engine::NativeBackend backend;
+    backend.start_team(spec);
+    backend.set_barrier_kind(runtime::BarrierKind::kFlat);
+    p.flat_ns_per_crossing = time_crossings(backend, s.crossings);
+    backend.set_barrier_kind(runtime::BarrierKind::kTree);
+    p.tree_ns_per_crossing = time_crossings(backend, s.crossings);
+    backend.end_team();
+    s.points.push_back(p);
+  }
+  return s;
+}
+
 // ---- run-level telemetry ----------------------------------------------------
 
 /// One native facade run of `m` with the requested telemetry mode and
@@ -173,7 +265,8 @@ algo::RunResult run_native(const bench::ScaledDataset& d, algo::Method m,
                            unsigned iters, runtime::Telemetry tel,
                            runtime::HwProf hw = runtime::HwProf::kOff,
                            bool audit = false,
-                           const std::string& trace_path = {}) {
+                           const std::string& trace_path = {},
+                           engine::Reorder reorder = engine::Reorder::kNone) {
   algo::MethodParams params;
   params.scale_denom = d.scale;
   params.pr.iterations = iters;
@@ -181,7 +274,48 @@ algo::RunResult run_native(const bench::ScaledDataset& d, algo::Method m,
   params.pr.hw_counters = hw;
   params.pr.audit_placement = audit;
   params.pr.trace_path = trace_path;
+  params.pr.reorder = reorder;
   return algo::run_method_native(m, d.graph, params);
+}
+
+// ---- vertex reordering ------------------------------------------------------
+
+/// One native HiPa run under a vertex-reorder mode: iteration time,
+/// the permutation's preprocessing cost, barrier-wait total, and the
+/// LLC miss rate when the PMU is reachable.
+struct ReorderRun {
+  engine::Reorder mode = engine::Reorder::kNone;
+  double native_seconds = 0.0;
+  double preprocessing_seconds = 0.0;
+  double barrier_sum_seconds = 0.0;
+  bool hw_available = false;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_load_misses = 0;
+  double llc_miss_rate = 0.0;  ///< misses / loads, 0 without PMU
+  double ranks_l1_vs_none = 0.0;
+};
+
+ReorderRun summarize_reorder(engine::Reorder mode,
+                             const algo::RunResult& res,
+                             std::span<const rank_t> none_ranks) {
+  ReorderRun r;
+  r.mode = mode;
+  r.native_seconds = res.report.seconds;
+  r.preprocessing_seconds = res.report.preprocessing_seconds;
+  const runtime::RunTelemetry& t = res.report.telemetry;
+  r.barrier_sum_seconds = t.total_barrier_seconds();
+  r.hw_available = t.hw_available;
+  for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+    const auto& hw = t[static_cast<runtime::Phase>(pi)].hw;
+    r.llc_loads += hw.llc_loads;
+    r.llc_load_misses += hw.llc_load_misses;
+  }
+  r.llc_miss_rate =
+      r.llc_loads > 0 ? static_cast<double>(r.llc_load_misses) /
+                            static_cast<double>(r.llc_loads)
+                      : 0.0;
+  r.ranks_l1_vs_none = algo::l1_distance(res.ranks, none_ranks);
+  return r;
 }
 
 /// The zero-overhead-off guarantee, measured: telemetry kOff vs kOn on
@@ -328,6 +462,45 @@ int main(int argc, char** argv) {
   jw.kv("run_loop_lower", ov.run_loop_ns_per_iter < ov.phase_ns_per_iter);
   jw.end_object();
 
+  const BarrierSection bs = measure_barrier(flags.smoke);
+  std::printf("barrier crossing cost (%u timed crossings per shape):\n",
+              bs.crossings);
+  std::printf("  %7s %6s | %10s %10s | %s\n", "threads", "leaves",
+              "flat ns/x", "tree ns/x", "tree/flat");
+  for (const BarrierPoint& p : bs.points) {
+    std::printf("  %7u %6u | %10.1f %10.1f | %8.2fx%s\n", p.threads,
+                p.tree_groups, p.flat_ns_per_crossing,
+                p.tree_ns_per_crossing,
+                p.flat_ns_per_crossing > 0.0
+                    ? p.tree_ns_per_crossing / p.flat_ns_per_crossing
+                    : 0.0,
+                p.tree_groups == 0 ? "  (tree falls back to flat)" : "");
+  }
+  std::printf("\n");
+  jw.key("barrier");
+  jw.begin_object();
+  jw.kv("crossings", bs.crossings);
+  jw.key("points");
+  jw.begin_array();
+  for (const BarrierPoint& p : bs.points) {
+    jw.begin_object();
+    jw.kv("threads", p.threads);
+    jw.kv("tree_groups", p.tree_groups);
+    jw.kv("flat_ns_per_crossing", p.flat_ns_per_crossing);
+    jw.kv("tree_ns_per_crossing", p.tree_ns_per_crossing);
+    jw.end_object();
+  }
+  jw.end_array();
+  // Flattened summary of the all-CPUs point for the regression bands
+  // (advisory — barrier latency is host-dependent).
+  const BarrierPoint& maxp = bs.points.back();
+  jw.kv("max_threads", maxp.threads);
+  jw.kv("flat_ns_per_crossing_max_threads", maxp.flat_ns_per_crossing);
+  jw.kv("tree_ns_per_crossing_max_threads", maxp.tree_ns_per_crossing);
+  jw.kv("tree_not_slower_at_max_threads",
+        maxp.tree_ns_per_crossing <= maxp.flat_ns_per_crossing);
+  jw.end_object();
+
   jw.key("datasets");
   jw.begin_array();
 
@@ -385,6 +558,68 @@ int main(int argc, char** argv) {
     jw.end_object();
   }
   jw.end_array();
+
+  // ---- vertex reordering: iteration time + LLC behaviour per mode -----
+  if (!datasets.empty()) {
+    const bench::ScaledDataset& d = datasets.front();
+    const std::vector<engine::Reorder> modes = flags.reorders_or(
+        {engine::Reorder::kNone, engine::Reorder::kDegree,
+         engine::Reorder::kHub});
+
+    // The unreordered run is always the comparison anchor, even when
+    // --reorder= filters it out of the emitted mode list.
+    const algo::RunResult none_res =
+        run_native(d, algo::Method::kHipa, iters, runtime::Telemetry::kOn,
+                   runtime::HwProf::kOn);
+
+    std::printf("vertex reordering (HiPa on '%s', %u iters):\n",
+                d.name.c_str(), iters);
+    std::printf("  %-7s %10s %10s %10s %9s %12s\n", "mode", "iter (s)",
+                "prep (s)", "barrier(s)", "LLC-miss", "L1 vs none");
+    jw.key("reorder");
+    jw.begin_object();
+    jw.kv("dataset", d.name);
+    jw.kv("method", algo::method_name(algo::Method::kHipa));
+    jw.kv("iterations", iters);
+    jw.key("modes");
+    jw.begin_array();
+    for (engine::Reorder mode : modes) {
+      algo::RunResult mode_res;
+      if (mode != engine::Reorder::kNone) {
+        mode_res = run_native(d, algo::Method::kHipa, iters,
+                              runtime::Telemetry::kOn, runtime::HwProf::kOn,
+                              /*audit=*/false, /*trace_path=*/{}, mode);
+      }
+      const algo::RunResult& res =
+          mode == engine::Reorder::kNone ? none_res : mode_res;
+      const ReorderRun r = summarize_reorder(mode, res, none_res.ranks);
+      if (mode == engine::Reorder::kNone && r.ranks_l1_vs_none != 0.0) {
+        std::fprintf(stderr,
+                     "ERROR: reorder=none diverged from itself (L1 = %g)\n",
+                     r.ranks_l1_vs_none);
+        rc = 1;
+      }
+      std::printf("  %-7s %10.4f %10.4f %10.6f %8.1f%% %12.3g\n",
+                  algo::reorder_name(mode), r.native_seconds,
+                  r.preprocessing_seconds, r.barrier_sum_seconds,
+                  r.hw_available ? 100.0 * r.llc_miss_rate : 0.0,
+                  r.ranks_l1_vs_none);
+      jw.begin_object();
+      jw.kv("mode", algo::reorder_name(mode));
+      jw.kv("native_seconds", r.native_seconds);
+      jw.kv("preprocessing_seconds", r.preprocessing_seconds);
+      jw.kv("barrier_sum_seconds", r.barrier_sum_seconds);
+      jw.kv("hw_available", r.hw_available);
+      jw.kv("llc_loads", r.llc_loads);
+      jw.kv("llc_load_misses", r.llc_load_misses);
+      jw.kv("llc_miss_rate", r.llc_miss_rate);
+      jw.kv("ranks_l1_vs_none", r.ranks_l1_vs_none);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    std::printf("\n");
+  }
 
   // ---- run-level telemetry: where the time goes, per phase ------------
   if (!datasets.empty()) {

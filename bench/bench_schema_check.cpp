@@ -223,6 +223,37 @@ void check_hotpath(const Value& root) {
     require_nonneg(*ov, p, "run_loop_ns_per_iter");
   }
 
+  // Barrier micro-section: flat vs tree ns/crossing at >= 1 team sizes
+  // plus the flattened all-CPUs summary the regression bands key on.
+  const Value* bar = require(root, top, "barrier", Value::Type::kObject);
+  if (bar != nullptr) {
+    const std::string bp = at(top, "barrier");
+    const double crossings = require_nonneg(*bar, bp, "crossings");
+    if (crossings < 1.0) err(at(bp, "crossings"), "must be >= 1");
+    const Value* points = require(*bar, bp, "points", Value::Type::kArray);
+    if (points != nullptr) {
+      if (points->array.empty()) err(at(bp, "points"), "is empty");
+      for (std::size_t i = 0; i < points->array.size(); ++i) {
+        const Value& p = *points->array[i];
+        const std::string pp = at(at(bp, "points"), i);
+        const double threads = require_nonneg(p, pp, "threads");
+        const double groups = require_nonneg(p, pp, "tree_groups");
+        require_nonneg(p, pp, "flat_ns_per_crossing");
+        require_nonneg(p, pp, "tree_ns_per_crossing");
+        // A tree with one leaf would be a flat barrier with extra
+        // steps; the backend either uses >= 2 groups or falls back (0).
+        if (groups == 1.0) err(at(pp, "tree_groups"), "must be 0 or >= 2");
+        if (groups > threads) {
+          err(at(pp, "tree_groups"), "exceeds thread count");
+        }
+      }
+    }
+    require_nonneg(*bar, bp, "max_threads");
+    require_nonneg(*bar, bp, "flat_ns_per_crossing_max_threads");
+    require_nonneg(*bar, bp, "tree_ns_per_crossing_max_threads");
+    require(*bar, bp, "tree_not_slower_at_max_threads", Value::Type::kBool);
+  }
+
   const Value* datasets = require(root, top, "datasets", Value::Type::kArray);
   if (datasets != nullptr) {
     if (datasets->array.empty()) err(at(top, "datasets"), "is empty");
@@ -248,6 +279,39 @@ void check_hotpath(const Value& root) {
         if (l1 != nullptr && l1->number != 0.0) {
           err(at(mp, "ranks_l1_vs_wide"),
               "must be 0 (got " + std::to_string(l1->number) + ")");
+        }
+      }
+    }
+  }
+
+  // Vertex-reorder section: per-mode native run of one method. The
+  // facade inverse-permutes ranks, so every mode reports in original
+  // vertex ids; "none" is the anchor and must match itself exactly,
+  // reordered modes may drift by float summation order only.
+  const Value* ro = require(root, top, "reorder", Value::Type::kObject);
+  if (ro != nullptr) {
+    const std::string rp = at(top, "reorder");
+    require(*ro, rp, "dataset", Value::Type::kString);
+    require(*ro, rp, "method", Value::Type::kString);
+    require_nonneg(*ro, rp, "iterations");
+    const Value* modes = require(*ro, rp, "modes", Value::Type::kArray);
+    if (modes != nullptr) {
+      if (modes->array.empty()) err(at(rp, "modes"), "is empty");
+      for (std::size_t i = 0; i < modes->array.size(); ++i) {
+        const Value& m = *modes->array[i];
+        const std::string mp = at(at(rp, "modes"), i);
+        const Value* mode = require(m, mp, "mode", Value::Type::kString);
+        require_nonneg(m, mp, "native_seconds");
+        require_nonneg(m, mp, "preprocessing_seconds");
+        require_nonneg(m, mp, "barrier_sum_seconds");
+        require(m, mp, "hw_available", Value::Type::kBool);
+        require_nonneg(m, mp, "llc_loads");
+        require_nonneg(m, mp, "llc_load_misses");
+        require_fraction(m, mp, "llc_miss_rate");
+        const double l1 = require_nonneg(m, mp, "ranks_l1_vs_none");
+        if (mode != nullptr && mode->str == "none" && l1 != 0.0) {
+          err(at(mp, "ranks_l1_vs_none"),
+              "must be 0 for mode=none (got " + std::to_string(l1) + ")");
         }
       }
     }

@@ -25,8 +25,10 @@ namespace hipa::bench {
 /// --smoke (quick + one dataset + short iterations; CI-friendly),
 /// --dataset=name (restrict to one), --methods=a,b (restrict the
 /// methodology set; names per algo::method_from_name, e.g.
-/// "hipa,ppr,GPOP"), --out=path (JSON output path for benches that
-/// emit machine-readable results), --trace-out=path (Chrome/Perfetto
+/// "hipa,ppr,GPOP"), --reorder=a,b (restrict the vertex-reorder mode
+/// set; names per algo::reorder_from_name: none degree hub),
+/// --out=path (JSON output path for benches that emit
+/// machine-readable results), --trace-out=path (Chrome/Perfetto
 /// trace_events timeline of the instrumented native run; open with
 /// ui.perfetto.dev), --help.
 struct Flags {
@@ -35,6 +37,7 @@ struct Flags {
   bool smoke = false;  ///< implies quick; benches also trim datasets
   std::string dataset;
   std::vector<algo::Method> methods;  ///< empty = bench default set
+  std::vector<engine::Reorder> reorders;  ///< empty = bench default set
   std::string out;        ///< JSON output path ("" = bench default)
   std::string trace_out;  ///< Chrome trace path ("" = no trace)
 
@@ -55,6 +58,8 @@ struct Flags {
         f.dataset = a + 10;
       } else if (std::strncmp(a, "--methods=", 10) == 0) {
         f.methods = parse_methods(a + 10);
+      } else if (std::strncmp(a, "--reorder=", 10) == 0) {
+        f.reorders = parse_reorders(a + 10);
       } else if (std::strncmp(a, "--out=", 6) == 0) {
         f.out = a + 6;
       } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
@@ -62,9 +67,11 @@ struct Flags {
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "flags: --iters=N  --quick  --smoke  --dataset=<name>  "
-            "--methods=a,b  --out=<path>  --trace-out=<path>\n"
+            "--methods=a,b  --reorder=a,b  --out=<path>  "
+            "--trace-out=<path>\n"
             "datasets: journal pld wiki kron twitter mpi\n"
-            "methods:  hipa ppr vpr gpop polymer (or the paper names)\n");
+            "methods:  hipa ppr vpr gpop polymer (or the paper names)\n"
+            "reorder:  none degree hub\n");
         std::exit(0);
       }
     }
@@ -97,12 +104,45 @@ struct Flags {
     return out;
   }
 
+  /// Comma-separated reorder-mode list -> engine::Reorder via
+  /// algo::reorder_from_name; unknown names abort, same policy as
+  /// parse_methods.
+  static std::vector<engine::Reorder> parse_reorders(const char* list) {
+    std::vector<engine::Reorder> out;
+    const std::string s(list);
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+      const std::size_t comma = std::min(s.find(',', pos), s.size());
+      const std::string tok = s.substr(pos, comma - pos);
+      if (!tok.empty()) {
+        const auto r = algo::reorder_from_name(tok);
+        if (!r.has_value()) {
+          std::fprintf(stderr,
+                       "unknown reorder mode '%s' (try none degree hub)\n",
+                       tok.c_str());
+          std::exit(2);
+        }
+        out.push_back(*r);
+      }
+      pos = comma + 1;
+    }
+    return out;
+  }
+
   /// The bench's method set: the --methods= filter if given (order
   /// preserved), otherwise `defaults`.
   [[nodiscard]] std::vector<algo::Method> methods_or(
       std::initializer_list<algo::Method> defaults) const {
     if (!methods.empty()) return methods;
     return std::vector<algo::Method>(defaults);
+  }
+
+  /// The bench's reorder-mode set: the --reorder= filter if given,
+  /// otherwise `defaults`.
+  [[nodiscard]] std::vector<engine::Reorder> reorders_or(
+      std::initializer_list<engine::Reorder> defaults) const {
+    if (!reorders.empty()) return reorders;
+    return std::vector<engine::Reorder>(defaults);
   }
 };
 

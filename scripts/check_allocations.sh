@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Allocation-site lint: page-aligned allocations carry NUMA placement
+# intent, and placement policy lives in ONE place — runtime/arena. This
+# grep gate fails CI when a new page-aligned allocation site (raw
+# aligned allocator, anonymous mmap, or an AlignedBuffer constructed
+# with kPageSize alignment) appears in src/ outside the arena itself.
+#
+# A site that is genuinely cold-path (one-time preprocessing, no
+# iteration-time placement consequence) may opt out with an
+# `arena-exempt: <reason>` comment on the same line or within the two
+# lines above it.
+#
+# Registered as the `check_allocations` ctest (labels: substrate lint).
+set -u
+cd "$(dirname "$0")/.."
+
+pattern='aligned_alloc\(|posix_memalign\(|memalign\(|MAP_ANONYMOUS|AlignedBuffer<[^>]*>\([^;{}]*kPageSize'
+
+fail=0
+count=0
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  rest=${hit#*:}
+  line=${rest%%:*}
+  case "$file" in
+    # The arena IS the allocator; the buffer header is the primitive it
+    # (and the heap-fallback path) are built on.
+    src/runtime/arena.cpp|src/runtime/arena.hpp|src/common/aligned_buffer.hpp|src/common/aligned_buffer.cpp)
+      continue ;;
+  esac
+  start=$(( line > 2 ? line - 2 : 1 ))
+  if sed -n "${start},${line}p" "$file" | grep -q 'arena-exempt:'; then
+    continue
+  fi
+  echo "check_allocations: $file:$line: page-aligned allocation outside" \
+       "runtime/arena — route it through NumaArena/alloc_pages or" \
+       "annotate 'arena-exempt: <reason>'" >&2
+  echo "    $rest" >&2
+  fail=1
+  count=$((count + 1))
+done < <(grep -rnE "$pattern" src --include='*.hpp' --include='*.cpp')
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_allocations: $count violation(s)" >&2
+  exit 1
+fi
+echo "check_allocations: OK (no page-aligned allocation sites outside runtime/arena)"

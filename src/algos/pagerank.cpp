@@ -5,8 +5,10 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/timer.hpp"
 #include "engines/polymer_engine.hpp"
 #include "engines/vpr_engine.hpp"
+#include "graph/reorder.hpp"
 #include "runtime/affinity.hpp"
 
 namespace hipa::algo {
@@ -90,6 +92,39 @@ std::optional<Method> method_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+const char* reorder_name(engine::Reorder r) {
+  switch (r) {
+    case engine::Reorder::kNone:
+      return "none";
+    case engine::Reorder::kDegree:
+      return "degree";
+    case engine::Reorder::kHub:
+      return "hub";
+  }
+  return "?";
+}
+
+std::optional<engine::Reorder> reorder_from_name(std::string_view name) {
+  if (name == "none") return engine::Reorder::kNone;
+  if (name == "degree") return engine::Reorder::kDegree;
+  if (name == "hub") return engine::Reorder::kHub;
+  return std::nullopt;
+}
+
+graph::Permutation make_reorder_permutation(engine::Reorder r,
+                                            const graph::Graph& g) {
+  switch (r) {
+    case engine::Reorder::kNone:
+      return graph::identity_permutation(g.num_vertices());
+    case engine::Reorder::kDegree:
+      return graph::degree_sort_permutation(g.out);
+    case engine::Reorder::kHub:
+      return graph::hub_cluster_permutation(g.out);
+  }
+  HIPA_CHECK(false, "unknown reorder mode");
+  __builtin_unreachable();
+}
+
 unsigned default_threads(Method m, const sim::Topology& topo) {
   switch (m) {
     case Method::kHipa:
@@ -161,35 +196,77 @@ RunResult dispatch(Method m, const graph::Graph& g, Backend& backend,
   __builtin_unreachable();
 }
 
+/// The facade's reorder pipeline: permute the graph's vertex ids,
+/// run the engine on the permuted CSR (with the knob cleared so the
+/// engine sees a plain graph), and inverse-permute the ranks back to
+/// original ids — out[v] = ranks[perm[v]]. Every engine is
+/// deterministic for a fixed (graph, options), so any manual
+/// permute/run/inverse-permute with the same permutation reproduces
+/// this bitwise. `charge_wall_prep` adds the permutation's wall-clock
+/// cost to preprocessing_seconds (native runs only — simulated reports
+/// count modeled cycles, not host time).
+template <class RunFn>
+RunResult run_with_reorder(const graph::Graph& g, const MethodParams& params,
+                           bool charge_wall_prep, RunFn&& run) {
+  if (params.pr.reorder == engine::Reorder::kNone) return run(g, params);
+  Timer prep_timer;
+  const graph::Permutation perm =
+      make_reorder_permutation(params.pr.reorder, g);
+  const graph::Graph permuted = graph::apply_permutation(g, perm);
+  const double prep_seconds = prep_timer.seconds();
+  MethodParams inner = params;
+  inner.pr.reorder = engine::Reorder::kNone;
+  RunResult result = run(permuted, inner);
+  std::vector<rank_t> unpermuted(result.ranks.size());
+  for (vid_t v = 0; v < static_cast<vid_t>(unpermuted.size()); ++v) {
+    unpermuted[v] = result.ranks[perm[v]];
+  }
+  result.ranks = std::move(unpermuted);
+  if (charge_wall_prep) {
+    result.report.preprocessing_seconds += prep_seconds;
+  }
+  return result;
+}
+
 }  // namespace
 
 RunResult run_method_sim(Method m, const graph::Graph& g,
                          sim::SimMachine& machine,
                          const MethodParams& params) {
-  engine::SimBackend backend(machine);
-  const unsigned threads = params.threads != 0
-                               ? params.threads
-                               : default_threads(m, machine.topology());
-  const std::uint64_t part_bytes =
-      params.partition_bytes != 0
-          ? params.partition_bytes
-          : default_partition_bytes(m, params.scale_denom);
-  return dispatch(m, g, backend, threads, part_bytes,
-                  machine.topology().num_nodes, params);
+  return run_with_reorder(
+      g, params, /*charge_wall_prep=*/false,
+      [&](const graph::Graph& rg, const MethodParams& p) {
+        engine::SimBackend backend(machine);
+        const unsigned threads = p.threads != 0
+                                     ? p.threads
+                                     : default_threads(m, machine.topology());
+        const std::uint64_t part_bytes =
+            p.partition_bytes != 0
+                ? p.partition_bytes
+                : default_partition_bytes(m, p.scale_denom);
+        return dispatch(m, rg, backend, threads, part_bytes,
+                        machine.topology().num_nodes, p);
+      });
 }
 
 RunResult run_method_native(Method m, const graph::Graph& g,
                             const MethodParams& params) {
-  engine::NativeBackend backend;
-  const unsigned cpus = runtime::available_cpus();
-  const unsigned threads = params.threads != 0 ? params.threads : cpus;
-  std::uint64_t part_bytes = params.partition_bytes;
-  if (part_bytes == 0) {
-    part_bytes = default_partition_bytes(m, params.scale_denom);
-    if (part_bytes == 0) part_bytes = 256 * 1024;  // vertex-centric: unused
-  }
-  // Native runs on this host: treat it as one NUMA node.
-  return dispatch(m, g, backend, threads, part_bytes, 1, params);
+  return run_with_reorder(
+      g, params, /*charge_wall_prep=*/true,
+      [&](const graph::Graph& rg, const MethodParams& p) {
+        engine::NativeBackend backend;
+        const unsigned cpus = runtime::available_cpus();
+        const unsigned threads = p.threads != 0 ? p.threads : cpus;
+        std::uint64_t part_bytes = p.partition_bytes;
+        if (part_bytes == 0) {
+          part_bytes = default_partition_bytes(m, p.scale_denom);
+          if (part_bytes == 0) {
+            part_bytes = 256 * 1024;  // vertex-centric: unused
+          }
+        }
+        // Native runs on this host: treat it as one NUMA node.
+        return dispatch(m, rg, backend, threads, part_bytes, 1, p);
+      });
 }
 
 }  // namespace hipa::algo

@@ -11,6 +11,7 @@
 #include "engines/backend.hpp"
 #include "engines/pcpm_engine.hpp"
 #include "graph/csr.hpp"
+#include "graph/reorder.hpp"
 #include "sim/machine.hpp"
 
 namespace hipa::algo {
@@ -44,6 +45,18 @@ enum class Method { kHipa, kPpr, kVpr, kGpop, kPolymer };
 /// aliases used on bench command lines ("hipa", "ppr", "vpr", "gpop",
 /// "polymer"). Returns nullopt for anything else.
 [[nodiscard]] std::optional<Method> method_from_name(std::string_view name);
+
+/// Reorder-mode names for bench flags and reports: "none", "degree",
+/// "hub" (exact round-trip through reorder_from_name).
+[[nodiscard]] const char* reorder_name(engine::Reorder r);
+[[nodiscard]] std::optional<engine::Reorder> reorder_from_name(
+    std::string_view name);
+
+/// The permutation the runners apply for a reorder mode (identity for
+/// kNone). Exposed so tests and benches can reproduce the facade's
+/// exact permute → run → inverse-permute pipeline.
+[[nodiscard]] graph::Permutation make_reorder_permutation(
+    engine::Reorder r, const graph::Graph& g);
 
 /// Parameters common to every runner. Zeros mean "paper default for
 /// this methodology on this machine".

@@ -1,5 +1,6 @@
 #include "common/aligned_buffer.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
@@ -7,8 +8,19 @@
 
 namespace hipa::detail {
 
+namespace {
+std::atomic<AllocObserver> g_alloc_observer{nullptr};
+}  // namespace
+
+void set_alloc_observer(AllocObserver fn) {
+  g_alloc_observer.store(fn, std::memory_order_release);
+}
+
 void* aligned_allocate(std::size_t bytes, std::size_t alignment) {
   HIPA_CHECK(is_pow2(alignment), "alignment must be a power of two");
+  if (AllocObserver obs = g_alloc_observer.load(std::memory_order_acquire)) {
+    obs(bytes, alignment);
+  }
   // std::aligned_alloc requires size to be a multiple of alignment.
   const std::size_t padded = (bytes + alignment - 1) / alignment * alignment;
   void* p = std::aligned_alloc(alignment, padded);

@@ -4,6 +4,13 @@
 // exact and (b) free of std::vector's value-initialization cost on
 // multi-GB allocations. AlignedBuffer is a move-only RAII array with
 // explicit alignment and *no* implicit zeroing.
+//
+// Ownership is pluggable: the default constructor path owns heap memory
+// (std::aligned_alloc), while the adopting constructor wraps memory
+// owned elsewhere — the partitioned NUMA arena (runtime/arena) hands
+// out AlignedBuffers whose storage it reclaims wholesale at arena
+// destruction, so engines keep their member types unchanged while every
+// page-aligned hot-path allocation flows through one placement policy.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +26,14 @@ namespace hipa {
 namespace detail {
 void* aligned_allocate(std::size_t bytes, std::size_t alignment);
 void aligned_deallocate(void* p) noexcept;
+
+/// Process-wide observer invoked on every aligned_allocate before the
+/// allocation happens. Installed by runtime/arena's HotPathGuard
+/// machinery to flag page-aligned allocations that bypass the arena
+/// inside an engine's hot path; nullptr (the default) costs one
+/// relaxed atomic load.
+using AllocObserver = void (*)(std::size_t bytes, std::size_t alignment);
+void set_alloc_observer(AllocObserver fn);
 }  // namespace detail
 
 /// Move-only aligned array of trivially-copyable T.
@@ -28,6 +43,10 @@ class AlignedBuffer {
                 "AlignedBuffer holds POD-like graph data only");
 
  public:
+  /// How adopted storage is released on reset(); nullptr means the
+  /// external owner (e.g. the arena) reclaims it — reset is a no-op.
+  using DeallocFn = void (*)(void*);
+
   AlignedBuffer() = default;
 
   /// Allocate `count` elements aligned to `alignment` bytes
@@ -41,15 +60,23 @@ class AlignedBuffer {
     }
   }
 
+  /// Adopt `count` elements at `adopted` allocated by an external
+  /// owner. `dealloc` runs on reset(); pass nullptr when the owner
+  /// reclaims the storage itself (arena-backed buffers).
+  AlignedBuffer(T* adopted, std::size_t count, DeallocFn dealloc) noexcept
+      : data_(adopted), size_(count), dealloc_(dealloc) {}
+
   AlignedBuffer(AlignedBuffer&& o) noexcept
       : data_(std::exchange(o.data_, nullptr)),
-        size_(std::exchange(o.size_, 0)) {}
+        size_(std::exchange(o.size_, 0)),
+        dealloc_(std::exchange(o.dealloc_, &default_dealloc)) {}
 
   AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
     if (this != &o) {
       reset();
       data_ = std::exchange(o.data_, nullptr);
       size_ = std::exchange(o.size_, 0);
+      dealloc_ = std::exchange(o.dealloc_, &default_dealloc);
     }
     return *this;
   }
@@ -60,10 +87,15 @@ class AlignedBuffer {
   ~AlignedBuffer() { reset(); }
 
   void reset() noexcept {
-    detail::aligned_deallocate(data_);
+    if (data_ != nullptr && dealloc_ != nullptr) dealloc_(data_);
     data_ = nullptr;
     size_ = 0;
+    dealloc_ = &default_dealloc;
   }
+
+  /// True when reset() releases the storage itself (heap-owned); false
+  /// for arena-backed buffers whose owner reclaims wholesale.
+  [[nodiscard]] bool owns_storage() const { return dealloc_ != nullptr; }
 
   /// Set every element to value-initialized T (memset for PODs).
   void fill_zero();
@@ -86,8 +118,11 @@ class AlignedBuffer {
   [[nodiscard]] const T* end() const { return data_ + size_; }
 
  private:
+  static void default_dealloc(void* p) { detail::aligned_deallocate(p); }
+
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  DeallocFn dealloc_ = &default_dealloc;
 };
 
 template <class T>

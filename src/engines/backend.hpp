@@ -23,6 +23,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "runtime/affinity.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/numa_audit.hpp"
 #include "runtime/placement.hpp"
@@ -31,6 +32,15 @@
 #include "sim/machine.hpp"
 
 namespace hipa::engine {
+
+/// Vertex-id reordering applied by the `algo::` facade before the
+/// graph is partitioned (graph/reorder passes); ranks are
+/// inverse-permuted on output so callers always see original ids.
+enum class Reorder {
+  kNone,    ///< run on the graph as given
+  kDegree,  ///< descending out-degree sort
+  kHub,     ///< hub clustering: hot high-degree prefix, others stable
+};
 
 /// Where a buffer's pages live (mirrors sim::Placement; the native
 /// backend treats it as advisory).
@@ -89,21 +99,32 @@ class NoopMem {
 };
 
 /// Per-thread handle inside a `run_loop` parallel region. Wraps the
-/// team-wide SpinBarrier together with this thread's private sense
-/// flag, so kernels separate sub-phases with a bare `ctl.barrier()`.
-/// Plain (non-atomic) data written before a barrier may be read by any
-/// team thread after it — the barrier's acquire/release atomics carry
-/// the happens-before edge (this is how thread 0 publishes
-/// per-iteration scalars to the team).
+/// team-wide barrier (flat SpinBarrier or topology-aware TreeBarrier —
+/// run_loop picks) together with this thread's private sense flag, so
+/// kernels separate sub-phases with a bare `ctl.barrier()`. Plain
+/// (non-atomic) data written before a barrier may be read by any team
+/// thread after it — the barrier's acquire/release atomics carry the
+/// happens-before edge (this is how thread 0 publishes per-iteration
+/// scalars to the team) on both barrier shapes.
 class LoopCtl {
  public:
-  explicit LoopCtl(runtime::SpinBarrier& barrier) : barrier_(&barrier) {}
+  explicit LoopCtl(runtime::SpinBarrier& barrier) : flat_(&barrier) {}
+  LoopCtl(runtime::TreeBarrier& barrier, unsigned tid)
+      : tree_(&barrier), tid_(tid) {}
 
   /// In-region barrier: every team thread arrives before any proceeds.
-  void barrier() { barrier_->arrive_and_wait(sense_); }
+  void barrier() {
+    if (flat_ != nullptr) {
+      flat_->arrive_and_wait(sense_);
+    } else {
+      tree_->arrive_and_wait(tid_, sense_);
+    }
+  }
 
  private:
-  runtime::SpinBarrier* barrier_;
+  runtime::SpinBarrier* flat_ = nullptr;
+  runtime::TreeBarrier* tree_ = nullptr;
+  unsigned tid_ = 0;
   bool sense_ = false;
 };
 
@@ -118,16 +139,44 @@ class NativeBackend {
   static constexpr bool kSimulated = false;
   static constexpr bool kSupportsRunLoop = true;
 
-  /// Allocate and physically place. Contents are unspecified (like
-  /// AlignedBuffer); the buffer is page-aligned so the hint governs
-  /// exactly this allocation's pages.
+  /// Allocate and physically place from the partitioned NUMA arena.
+  /// Contents are unspecified (like AlignedBuffer); allocations are
+  /// page-aligned bump carves out of the region matching the placement
+  /// hint, so the policy governs exactly this allocation's pages.
   template <class T>
   [[nodiscard]] AlignedBuffer<T> alloc(std::size_t n, DataPlacement pl,
                                        unsigned node = 0) {
-    AlignedBuffer<T> buf(n, kPageSize);
-    place(buf.data(), n * sizeof(T), pl, node, /*contents_dead=*/true);
-    return buf;
+    return arena().template alloc_buffer<T>(n, to_arena(pl), node);
   }
+
+  /// Page-aligned, placement-neutral arena allocation: pages commit
+  /// where first touched, which is exactly what the engines' contiguous
+  /// attribute arrays want (each pinned owner touches its own slice).
+  template <class T>
+  [[nodiscard]] AlignedBuffer<T> alloc_pages(std::size_t n) {
+    return arena().template alloc_buffer<T>(
+        n, runtime::ArenaPlacement::kFirstTouch);
+  }
+
+  /// The backend's arena (created on first allocation; outlives every
+  /// buffer it handed out because engines never outlive their backend).
+  [[nodiscard]] runtime::NumaArena& arena() {
+    if (!arena_) arena_ = std::make_shared<runtime::NumaArena>();
+    return *arena_;
+  }
+
+  [[nodiscard]] runtime::ArenaStats arena_stats() const {
+    return arena_ ? arena_->stats() : runtime::ArenaStats{};
+  }
+
+  /// Add the arena's node-bound spans to a placement audit.
+  void register_arena(numa::PlacementAuditor& auditor) const {
+    if (arena_) arena_->register_with(auditor);
+  }
+
+  /// Which barrier the next run_loop hands its team (from
+  /// PageRankOptions::barrier; kAuto picks by topology).
+  void set_barrier_kind(runtime::BarrierKind kind) { barrier_kind_ = kind; }
 
   /// Best-effort physical placement of an existing range. Without
   /// mbind support this can only migrate nothing — untouched pages
@@ -187,6 +236,21 @@ class NativeBackend {
   void run_loop(F&& kernel) {
     const unsigned threads =
         team_ ? team_->size() : spec_.num_threads;
+    const std::vector<unsigned> groups = barrier_groups(threads);
+    if (!groups.empty()) {
+      runtime::TreeBarrier barrier(groups);
+      auto body = [&](unsigned t) {
+        NoopMem mem(t);
+        LoopCtl ctl(barrier, t);
+        kernel(t, mem, ctl);
+      };
+      if (team_) {
+        team_->run(body);
+      } else {
+        runtime::fork_join_run(threads, body);
+      }
+      return;
+    }
     runtime::SpinBarrier barrier(threads);
     auto body = [&](unsigned t) {
       NoopMem mem(t);
@@ -245,8 +309,52 @@ class NativeBackend {
     }
   }
 
+  [[nodiscard]] static runtime::ArenaPlacement to_arena(DataPlacement pl) {
+    switch (pl) {
+      case DataPlacement::kNode:
+        return runtime::ArenaPlacement::kNode;
+      case DataPlacement::kInterleave:
+        return runtime::ArenaPlacement::kInterleave;
+      case DataPlacement::kScatter:
+        break;
+    }
+    return runtime::ArenaPlacement::kFirstTouch;
+  }
+
+  /// tid -> barrier leaf for the next run_loop, or empty for the flat
+  /// SpinBarrier. Node-blocked teams group by their pinned node; kAuto
+  /// takes the tree only when that yields >= 2 populated leaves.
+  /// Forced kTree on hosts where topology gives one group synthesizes
+  /// two balanced halves so the tree protocol is still exercised.
+  [[nodiscard]] std::vector<unsigned> barrier_groups(unsigned threads) const {
+    if (barrier_kind_ == runtime::BarrierKind::kFlat || threads < 2) {
+      return {};
+    }
+    std::vector<unsigned> groups;
+    if (spec_.binding == ThreadTeamSpec::Binding::kNodeBlocked) {
+      unsigned sum = 0;
+      for (unsigned c : spec_.threads_per_node) sum += c;
+      if (sum == threads) {
+        unsigned g = 0;
+        for (unsigned c : spec_.threads_per_node) {
+          if (c == 0) continue;  // keep leaves dense
+          groups.insert(groups.end(), c, g);
+          ++g;
+        }
+      }
+    }
+    const unsigned num_groups = groups.empty() ? 0 : groups.back() + 1;
+    if (num_groups >= 2) return groups;
+    if (barrier_kind_ == runtime::BarrierKind::kAuto) return {};
+    groups.assign(threads, 0);
+    for (unsigned t = (threads + 1) / 2; t < threads; ++t) groups[t] = 1;
+    return groups;
+  }
+
   ThreadTeamSpec spec_;
   std::unique_ptr<runtime::PersistentTeam> team_;
+  std::shared_ptr<runtime::NumaArena> arena_;
+  runtime::BarrierKind barrier_kind_ = runtime::BarrierKind::kAuto;
   Timer timer_;
 };
 
@@ -278,6 +386,14 @@ class SimBackend {
     AlignedBuffer<T> buf(n);
     register_buffer(buf.data(), n * sizeof(T), pl, node);
     return buf;
+  }
+
+  /// Mirror of NativeBackend::alloc_pages — page-aligned, no placement
+  /// registration (first-touch is scatter in the sim's NUMA model).
+  template <class T>
+  [[nodiscard]] AlignedBuffer<T> alloc_pages(std::size_t n) {
+    // arena-exempt: simulated machine, no physical pages to place
+    return AlignedBuffer<T>(n, kPageSize);
   }
 
   void register_buffer(const void* p, std::size_t bytes, DataPlacement pl,
@@ -389,6 +505,15 @@ struct PageRankOptions {
   /// placement_audit). Reports available=false on single-node hosts or
   /// when both move_pages and numa_maps are inaccessible.
   bool audit_placement = false;
+  /// Vertex-id reordering (graph/reorder) applied by the `algo::`
+  /// facade: the CSR is permuted before partitioning and ranks are
+  /// inverse-permuted on output. Engines themselves ignore the field
+  /// (the facade clears it before the inner run).
+  Reorder reorder = Reorder::kNone;
+  /// run_loop barrier shape (native single-dispatch path only): kAuto
+  /// uses the topology-aware tree barrier when the team is node-blocked
+  /// across >= 2 nodes, flat SpinBarrier otherwise.
+  runtime::BarrierKind barrier = runtime::BarrierKind::kAuto;
 
   /// True when any instrumentation was requested — the engines'
   /// run-path dispatch: instrumented() picks the kTel=true
@@ -415,6 +540,10 @@ struct RunReport {
   /// audit_placement on a native multi-node run); default
   /// available=false otherwise.
   numa::PlacementAudit placement_audit;
+  /// Arena allocation snapshot after the run (native backends; empty
+  /// regions vector for simulated runs): bytes per node region,
+  /// hugepage/policy status, heap fallbacks.
+  runtime::ArenaStats arena;
 };
 
 /// The unified run surface every engine and the `algo::` facade return:

@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -170,6 +171,13 @@ class PcpmEngine {
     if constexpr (Backend::kSimulated) before = backend_->machine().stats();
     const double t0 = backend_->now_seconds();
 
+    // Iteration region: any page-aligned allocation from here on must
+    // come from the arena (debug builds assert; all builds count).
+    [[maybe_unused]] std::optional<runtime::HotPathGuard> hot_guard;
+    if constexpr (!Backend::kSimulated) {
+      backend_->set_barrier_kind(pr.barrier);
+      hot_guard.emplace();
+    }
     phase_salt_ = 0;  // runs replay identically on a reset machine
     backend_->start_team(spec);
     const auto base =
@@ -251,6 +259,7 @@ class PcpmEngine {
     if constexpr (!Backend::kSimulated) {
       // Plain runtime branch after the parallel region — never on the
       // hot path, works with or without telemetry.
+      report.arena = backend_->arena_stats();
       if (pr.audit_placement) report.placement_audit = run_placement_audit();
     }
     if (ranks_out != nullptr) {
@@ -417,8 +426,9 @@ class PcpmEngine {
 
     // Label attributes and a label-typed message buffer, placed like
     // their PageRank counterparts.
-    AlignedBuffer<vid_t> label(n);
-    AlignedBuffer<vid_t> lvalues(bins_.total_messages());
+    AlignedBuffer<vid_t> label = backend_->template alloc_pages<vid_t>(n);
+    AlignedBuffer<vid_t> lvalues =
+        backend_->template alloc_pages<vid_t>(bins_.total_messages());
     if (opt_.numa_aware) {
       for (unsigned node = 0; node < plan_.num_nodes; ++node) {
         const VertexRange vr = plan_.node_vertex_range(node);
@@ -566,24 +576,27 @@ class PcpmEngine {
     const vid_t n = graph_->num_vertices();
     // Attribute arrays are single contiguous allocations; per-node
     // physical placement is registered over slices (paper §3.4's
-    // contiguous virtual address space with per-node pages).
-    // Page-aligned so per-node slice binding covers whole pages, and
-    // deliberately NOT eagerly zeroed: the first write to rank_/
-    // rank_scaled_/acc_ happens in init_thread, i.e. from the pinned
-    // owner of each slice — the classic first-touch placement that
-    // keeps pages node-local even without mbind support.
-    rank_ = AlignedBuffer<rank_t>(n, kPageSize);
-    rank_scaled_ = AlignedBuffer<rank_t>(n, kPageSize);
-    acc_ = AlignedBuffer<rank_t>(n, kPageSize);
+    // contiguous virtual address space with per-node pages). Carved
+    // page-aligned from the arena's first-touch region — fresh,
+    // never-touched pages, deliberately NOT eagerly zeroed: the first
+    // write to rank_/rank_scaled_/acc_ happens in init_thread, i.e.
+    // from the pinned owner of each slice — the classic first-touch
+    // placement that keeps pages node-local even without mbind support.
+    rank_ = backend_->template alloc_pages<rank_t>(n);
+    rank_scaled_ = backend_->template alloc_pages<rank_t>(n);
+    acc_ = backend_->template alloc_pages<rank_t>(n);
     // Reciprocal out-degrees, the shared owner of the sink-vertex
     // semantics (inv 0 for sinks): the per-iteration divide in the
-    // seed/gather epilogues becomes a branchless multiply.
+    // seed/gather epilogues becomes a branchless multiply. Cold-path
+    // heap allocation by design: inverse_degrees computes into a
+    // cache-line-aligned buffer during preprocessing, below the
+    // page-alignment threshold the arena hook polices.
     inv_deg_ = graph::inverse_degrees<rank_t>(graph_->out);
-    values_ = AlignedBuffer<rank_t>(bins_.total_messages(), kPageSize);
+    values_ = backend_->template alloc_pages<rank_t>(bins_.total_messages());
     if (opt_.framework_overhead) {
       const std::size_t words_per_part =
           opt_.framework_bytes_per_part / sizeof(std::uint64_t);
-      framework_state_ = AlignedBuffer<std::uint64_t>(
+      framework_state_ = backend_->template alloc_pages<std::uint64_t>(
           std::size_t{plan_.parts.num_partitions()} * words_per_part);
       framework_state_.fill_zero();
     }
@@ -665,6 +678,7 @@ class PcpmEngine {
   /// stays false unless the host is multi-node AND numa_aware).
   [[nodiscard]] numa::PlacementAudit run_placement_audit() const {
     numa::PlacementAuditor auditor;
+    backend_->register_arena(auditor);
     if (opt_.numa_aware) {
       for (unsigned node = 0; node < plan_.num_nodes; ++node) {
         const VertexRange vr = plan_.node_vertex_range(node);

@@ -16,6 +16,7 @@
 //    NUMA-aware).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -111,6 +112,10 @@ class PolymerEngine {
     if constexpr (Backend::kSimulated) before = backend_->machine().stats();
     const double t0 = backend_->now_seconds();
 
+    // Iteration region: page-aligned allocations must come from the
+    // arena (debug builds assert; all builds count bypasses).
+    [[maybe_unused]] std::optional<runtime::HotPathGuard> hot_guard;
+    if constexpr (!Backend::kSimulated) hot_guard.emplace();
     backend_->start_team(spec);
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
     timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
@@ -191,6 +196,7 @@ class PolymerEngine {
       }
     }
     if constexpr (!Backend::kSimulated) {
+      report.arena = backend_->arena_stats();
       if (pr.audit_placement) report.placement_audit = run_placement_audit();
     }
     if (ranks_out != nullptr) {
@@ -263,14 +269,16 @@ class PolymerEngine {
       }
     }
 
-    // Attribute arrays: slices on the owning node. Reciprocal degrees
-    // stay in Polymer's double precision (shared sink semantics: 0 for
-    // sinks, multiply instead of guarded divide).
-    rank_ = AlignedBuffer<double>(n);
+    // Attribute arrays: page-aligned arena carves, sliced onto the
+    // owning node below. Reciprocal degrees stay in Polymer's double
+    // precision (shared sink semantics: 0 for sinks, multiply instead
+    // of guarded divide) and on the plain heap — cache-line aligned
+    // cold-path preprocessing output.
+    rank_ = backend_->template alloc_pages<double>(n);
     inv_deg_ = graph::inverse_degrees<double>(g.out);
-    acc_ = AlignedBuffer<double>(n);
-    frontier_ = AlignedBuffer<std::uint8_t>(n);
-    next_frontier_ = AlignedBuffer<std::uint8_t>(n);
+    acc_ = backend_->template alloc_pages<double>(n);
+    frontier_ = backend_->template alloc_pages<std::uint8_t>(n);
+    next_frontier_ = backend_->template alloc_pages<std::uint8_t>(n);
     acc_.fill_zero();
     for (unsigned nd = 0; nd < nodes; ++nd) {
       const vid_t b = node_bounds_[nd];
@@ -306,7 +314,7 @@ class PolymerEngine {
       const vid_t e = node_bounds_[nd + 1];
       for (unsigned m = 0; m < nodes; ++m) {
         auto& offs = sub_offsets_[nd * nodes + m];
-        offs = AlignedBuffer<eid_t>(std::size_t{e - b} + 1);
+        offs = backend_->template alloc_pages<eid_t>(std::size_t{e - b} + 1);
         offs.fill_zero();
       }
       for (vid_t v = b; v < e; ++v) {
@@ -319,7 +327,7 @@ class PolymerEngine {
         auto& offs = sub_offsets_[nd * nodes + m];
         for (vid_t i = 1; i <= e - b; ++i) offs[i] += offs[i - 1];
         auto& tgts = sub_targets_[nd * nodes + m];
-        tgts = AlignedBuffer<vid_t>(offs[e - b]);
+        tgts = backend_->template alloc_pages<vid_t>(offs[e - b]);
       }
       std::vector<eid_t> cursor(nodes, 0);
       for (vid_t v = b; v < e; ++v) {
@@ -349,6 +357,7 @@ class PolymerEngine {
   /// contribution replica.
   [[nodiscard]] numa::PlacementAudit run_placement_audit() const {
     numa::PlacementAuditor auditor;
+    backend_->register_arena(auditor);
     for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
       const vid_t b = node_bounds_[nd];
       const vid_t sz = node_bounds_[nd + 1] - b;

@@ -10,6 +10,7 @@
 // partition-centric engines eliminate.
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,8 @@ class VprEngine {
     contrib_ = backend.template alloc<rank_t>(n, DataPlacement::kInterleave);
     // Reciprocal out-degrees (0 for sinks): shared sink semantics, one
     // multiply instead of a guarded divide per vertex per iteration.
+    // Cold-path heap allocation by design (cache-line aligned,
+    // preprocessing time — below the arena hook's page threshold).
     inv_deg_ = graph::inverse_degrees<rank_t>(g.out);
     backend.register_buffer(inv_deg_.data(), inv_deg_.size() * sizeof(rank_t),
                             DataPlacement::kInterleave);
@@ -109,6 +112,10 @@ class VprEngine {
     if constexpr (Backend::kSimulated) before = backend_->machine().stats();
     const double t0 = backend_->now_seconds();
 
+    // Iteration region: page-aligned allocations must come from the
+    // arena (debug builds assert; all builds count bypasses).
+    [[maybe_unused]] std::optional<runtime::HotPathGuard> hot_guard;
+    if constexpr (!Backend::kSimulated) hot_guard.emplace();
     backend_->start_team(spec);
     const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
     timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
@@ -178,6 +185,9 @@ class VprEngine {
     // v-PR is NUMA-oblivious (interleaved data, no per-buffer owner
     // node), so a placement audit has nothing to verify: the default
     // available=false RunReport::placement_audit stands.
+    if constexpr (!Backend::kSimulated) {
+      report.arena = backend_->arena_stats();
+    }
     if (ranks_out != nullptr) ranks_out->assign(rank_.begin(), rank_.end());
     return report;
   }

@@ -1,0 +1,293 @@
+#include "runtime/arena.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/placement.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define HIPA_ARENA_HAVE_MMAP 1
+#endif
+
+namespace hipa::runtime {
+
+namespace {
+
+constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+
+// ---- hot-path bypass hook --------------------------------------------------
+//
+// Depth is process-global (worker threads allocate on behalf of the
+// guarded run, so a thread-local flag on the guard's thread would miss
+// them); the in-arena marker is thread-local (the arena's own heap
+// fallback runs on whichever thread asked and must be exempt).
+
+std::atomic<int> g_hot_depth{0};
+std::atomic<std::uint64_t> g_bypass_count{0};
+thread_local int t_in_arena = 0;
+
+struct ScopedInArena {
+  ScopedInArena() { ++t_in_arena; }
+  ~ScopedInArena() { --t_in_arena; }
+};
+
+void alloc_observer(std::size_t bytes, std::size_t alignment) {
+  (void)bytes;
+  if (alignment < kPageSize) return;  // no placement intent
+  if (t_in_arena > 0) return;         // the arena's own fallback
+  if (g_hot_depth.load(std::memory_order_relaxed) <= 0) return;
+  g_bypass_count.fetch_add(1, std::memory_order_relaxed);
+#ifndef NDEBUG
+  HIPA_CHECK(false,
+             "page-aligned allocation bypassed runtime/arena inside a "
+             "hot-path region (HotPathGuard active); allocate through "
+             "NumaArena so placement policy stays in one place");
+#endif
+}
+
+void ensure_observer_installed() {
+  static const bool done = [] {
+    hipa::detail::set_alloc_observer(&alloc_observer);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+HotPathGuard::HotPathGuard() {
+  ensure_observer_installed();
+  g_hot_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+HotPathGuard::~HotPathGuard() {
+  g_hot_depth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint64_t hot_path_bypass_count() {
+  return g_bypass_count.load(std::memory_order_relaxed);
+}
+
+// ---- NumaArena -------------------------------------------------------------
+
+NumaArena::NumaArena(ArenaOptions opt) : opt_(opt) {
+  ensure_observer_installed();
+  num_nodes_ = opt_.num_nodes != 0 ? opt_.num_nodes
+                                   : runtime::topology().num_nodes();
+  HIPA_CHECK(num_nodes_ >= 1);
+  opt_.initial_slab_bytes =
+      std::max<std::size_t>(align_up(opt_.initial_slab_bytes, kPageSize),
+                            kPageSize);
+  opt_.max_slab_bytes =
+      std::max(opt_.max_slab_bytes, opt_.initial_slab_bytes);
+  regions_.resize(std::size_t{num_nodes_} + 2);
+  for (unsigned n = 0; n < num_nodes_; ++n) {
+    regions_[n].label = "node" + std::to_string(n);
+    regions_[n].placement = ArenaPlacement::kNode;
+    regions_[n].node = n;
+  }
+  regions_[num_nodes_].label = "interleave";
+  regions_[num_nodes_].placement = ArenaPlacement::kInterleave;
+  regions_[num_nodes_ + 1].label = "first-touch";
+  regions_[num_nodes_ + 1].placement = ArenaPlacement::kFirstTouch;
+}
+
+NumaArena::~NumaArena() {
+  for (Region& r : regions_) {
+    for (Slab& s : r.slabs) {
+      if (s.base == nullptr) continue;
+#ifdef HIPA_ARENA_HAVE_MMAP
+      if (s.mmapped) {
+        ::munmap(s.base, s.size);
+        continue;
+      }
+#endif
+      detail::aligned_deallocate(s.base);
+    }
+  }
+}
+
+NumaArena::Region& NumaArena::region_for(ArenaPlacement placement,
+                                         unsigned node) {
+  switch (placement) {
+    case ArenaPlacement::kNode:
+      return regions_[node % num_nodes_];
+    case ArenaPlacement::kInterleave:
+      return regions_[num_nodes_];
+    case ArenaPlacement::kFirstTouch:
+      break;
+  }
+  return regions_[std::size_t{num_nodes_} + 1];
+}
+
+bool NumaArena::grow(Region& region, std::size_t min_bytes) {
+  // Geometric growth: double the last slab, clamped to
+  // [initial_slab_bytes, max_slab_bytes], but never below the request.
+  std::size_t want = opt_.initial_slab_bytes;
+  if (!region.slabs.empty()) {
+    want = std::min(region.slabs.back().size * 2, opt_.max_slab_bytes);
+  }
+  want = std::max(want, align_up(min_bytes, kPageSize));
+  if (region.reserved + want > opt_.max_region_bytes) return false;
+
+  Slab slab;
+  slab.size = want;
+#ifdef HIPA_ARENA_HAVE_MMAP
+  int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+#ifdef MAP_NORESERVE
+  flags |= MAP_NORESERVE;
+#endif
+  void* p = ::mmap(nullptr, want, PROT_READ | PROT_WRITE, flags, -1, 0);
+  if (p != MAP_FAILED) {
+    slab.base = p;
+    slab.mmapped = true;
+#ifdef MADV_HUGEPAGE
+    if (opt_.advise_hugepages) {
+      slab.hugepage = ::madvise(p, want, MADV_HUGEPAGE) == 0;
+    }
+#endif
+  }
+#endif
+  if (slab.base == nullptr) {
+    // mmap unavailable/refused: a heap slab still centralizes the bump
+    // allocation and the stats, it just cannot be hugepage-advised.
+    ScopedInArena in_arena;
+    try {
+      slab.base = detail::aligned_allocate(want, kPageSize);
+    } catch (const std::bad_alloc&) {
+      return false;
+    }
+  }
+
+  // One placement call per slab: every later bump allocation inherits
+  // the slab's policy with zero extra syscalls.
+  bool bound = false;
+  switch (region.placement) {
+    case ArenaPlacement::kNode:
+      bound = bind_pages_to_node(slab.base, slab.size, region.node);
+      break;
+    case ArenaPlacement::kInterleave:
+      bound = interleave_pages(slab.base, slab.size);
+      break;
+    case ArenaPlacement::kFirstTouch:
+      bound = true;  // no policy is the policy
+      break;
+  }
+  region.policy_bound = region.policy_bound && bound;
+  region.hugepages = region.hugepages && slab.hugepage;
+  region.reserved += slab.size;
+  region.slabs.push_back(slab);
+  return true;
+}
+
+void* NumaArena::bump(Region& region, std::size_t bytes,
+                      std::size_t alignment) {
+  Slab& slab = region.slabs.back();
+  const std::size_t off = align_up(slab.used, alignment);
+  if (off + bytes > slab.size) return nullptr;
+  slab.used = off + bytes;
+  region.used += bytes;
+  ++region.allocations;
+  return static_cast<char*>(slab.base) + off;
+}
+
+void* NumaArena::allocate_impl(std::size_t bytes, ArenaPlacement placement,
+                               unsigned node, std::size_t alignment,
+                               bool* used_fallback) {
+  *used_fallback = false;
+  if (bytes == 0) return nullptr;
+  HIPA_CHECK(is_pow2(alignment), "arena alignment must be a power of two");
+  // Slabs are page-aligned, so any power-of-two alignment up to a page
+  // is exact by construction; larger alignments work through align_up
+  // as long as the slab base is page-aligned (mmap guarantees it).
+  std::lock_guard<std::mutex> lock(mu_);
+  Region& region = region_for(placement, node);
+  void* p = region.slabs.empty() ? nullptr : bump(region, bytes, alignment);
+  if (p == nullptr && grow(region, bytes + alignment)) {
+    p = bump(region, bytes, alignment);
+  }
+  if (p == nullptr) {
+    // Region cap reached or mapping refused: plain aligned heap, still
+    // accounted for so the exhaustion is visible in the stats.
+    p = fallback_allocate(bytes, alignment);
+    *used_fallback = true;
+    return p;
+  }
+  // Slab-level policy failed (no mbind support): degrade to pinned
+  // first-touch zeroing at allocation granularity — contents are dead
+  // by contract (AlignedBuffer semantics: uninitialized).
+  if (!region.policy_bound) {
+    if (region.placement == ArenaPlacement::kNode) {
+      first_touch_zero_on_node(p, bytes, region.node);
+    } else if (region.placement == ArenaPlacement::kInterleave) {
+      first_touch_zero_interleaved(p, bytes);
+    }
+  }
+  return p;
+}
+
+void* NumaArena::fallback_allocate(std::size_t bytes,
+                                   std::size_t alignment) {
+  ScopedInArena in_arena;
+  void* p = detail::aligned_allocate(bytes, alignment);
+  fallback_bytes_ += bytes;
+  ++fallback_allocations_;
+  return p;
+}
+
+bool NumaArena::owns(const void* p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const char* c = static_cast<const char*>(p);
+  for (const Region& r : regions_) {
+    for (const Slab& s : r.slabs) {
+      const char* b = static_cast<const char*>(s.base);
+      if (c >= b && c < b + s.size) return true;
+    }
+  }
+  return false;
+}
+
+ArenaStats NumaArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArenaStats st;
+  st.regions.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    ArenaRegionStats rs;
+    rs.label = r.label;
+    rs.placement = r.placement;
+    rs.node = r.node;
+    rs.reserved_bytes = r.reserved;
+    rs.used_bytes = r.used;
+    rs.allocations = r.allocations;
+    rs.policy_bound = !r.slabs.empty() && r.policy_bound;
+    rs.hugepages_advised = !r.slabs.empty() && r.hugepages;
+    st.regions.push_back(std::move(rs));
+  }
+  st.fallback_bytes = fallback_bytes_;
+  st.fallback_allocations = fallback_allocations_;
+  return st;
+}
+
+void NumaArena::register_with(numa::PlacementAuditor& auditor,
+                              std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Region& r : regions_) {
+    if (r.placement != ArenaPlacement::kNode) continue;
+    for (std::size_t i = 0; i < r.slabs.size(); ++i) {
+      const Slab& s = r.slabs[i];
+      if (s.used == 0) continue;
+      auditor.add(std::string(prefix) + "[" + r.label + ":slab" +
+                      std::to_string(i) + "]",
+                  s.base, s.used, r.node);
+    }
+  }
+}
+
+}  // namespace hipa::runtime

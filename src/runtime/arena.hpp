@@ -1,0 +1,229 @@
+// Partitioned NUMA arena allocator (JArena-style).
+//
+// Placement policy for every hot-path buffer used to be smeared across
+// the engines and the serve layer as ad-hoc page-aligned allocations
+// followed by mbind/first-touch calls. The arena puts it in ONE
+// auditable place: it reserves one region per NUMA node (plus an
+// interleaved region and an unplaced first-touch region), carves
+// page-aligned bump allocations out of them, and applies the placement
+// policy once per mapped slab —
+//
+//   region[node n]     mmap'd slab chain, mbind(MPOL_BIND n) when the
+//                      syscall is available, else pinned first-touch
+//                      zeroing at allocation granularity;
+//   region[interleave] slab chain under MPOL_INTERLEAVE (or striped
+//                      first-touch);
+//   region[first-touch] slab chain with NO policy: pages commit
+//                      wherever the first writer runs — the engines'
+//                      contiguous attribute arrays rely on exactly this
+//                      (each pinned owner touches its own slice).
+//
+// Slabs are MADV_HUGEPAGE-advised and grow geometrically, so a region
+// never needs to be sized in advance; when a region hits its
+// configured cap (or mmap fails) allocation falls back to the plain
+// aligned heap and the fallback is counted in the stats. Allocations
+// are handed out as AlignedBuffer<T>s that do NOT free individually —
+// the arena reclaims every slab wholesale at destruction, which is the
+// right lifetime for engine attribute/bin buffers (they live exactly
+// as long as their engine).
+//
+// Stats (bytes per node, hugepage status, fallbacks) feed RunReport
+// telemetry, and node-bound regions register with numa::
+// PlacementAuditor so the ≥90%-node-local acceptance check covers
+// arena memory like any other placed buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+#include "runtime/numa_audit.hpp"
+
+namespace hipa::detail {
+/// DeallocFn-compatible wrapper over aligned_deallocate (noexcept
+/// function pointers do not convert to AlignedBuffer::DeallocFn; the
+/// named adapter also reads better at call sites).
+inline void aligned_deallocate_adapter(void* p) { aligned_deallocate(p); }
+}  // namespace hipa::detail
+
+namespace hipa::runtime {
+
+/// Placement class of an arena allocation (the arena-level mirror of
+/// engine::DataPlacement).
+enum class ArenaPlacement {
+  kNode,        ///< from the node-bound region of one NUMA node
+  kInterleave,  ///< from the page-interleaved region
+  kFirstTouch,  ///< unplaced; pages commit where first touched
+};
+
+struct ArenaOptions {
+  /// Node-bound region count; 0 = discovered host topology.
+  unsigned num_nodes = 0;
+  /// First slab size per region; later slabs double up to
+  /// max_slab_bytes. Virtual reservation only until pages are touched.
+  std::size_t initial_slab_bytes = std::size_t{8} << 20;
+  std::size_t max_slab_bytes = std::size_t{256} << 20;
+  /// Cap on total reserved bytes per region; requests past it fall
+  /// back to the plain aligned heap (tested exhaustion path).
+  std::size_t max_region_bytes = ~std::size_t{0};
+  /// madvise(MADV_HUGEPAGE) each slab (recorded, best-effort).
+  bool advise_hugepages = true;
+};
+
+/// Per-region allocation + placement status.
+struct ArenaRegionStats {
+  std::string label;             ///< "node3", "interleave", "first-touch"
+  ArenaPlacement placement = ArenaPlacement::kFirstTouch;
+  unsigned node = 0;             ///< meaningful for kNode regions
+  std::size_t reserved_bytes = 0;
+  std::size_t used_bytes = 0;
+  std::uint64_t allocations = 0;
+  /// Explicit mbind/interleave policy applied to every slab (false:
+  /// placement degraded to pinned first-touch / none).
+  bool policy_bound = false;
+  /// Every slab accepted MADV_HUGEPAGE (false when any refused or
+  /// hugepage advice is off/unsupported).
+  bool hugepages_advised = false;
+};
+
+struct ArenaStats {
+  std::vector<ArenaRegionStats> regions;
+  std::size_t fallback_bytes = 0;  ///< served by the plain aligned heap
+  std::uint64_t fallback_allocations = 0;
+
+  [[nodiscard]] std::size_t total_used() const {
+    std::size_t b = fallback_bytes;
+    for (const ArenaRegionStats& r : regions) b += r.used_bytes;
+    return b;
+  }
+  /// Bytes bump-allocated from node `n`'s bound region.
+  [[nodiscard]] std::size_t node_bytes(unsigned n) const {
+    for (const ArenaRegionStats& r : regions) {
+      if (r.placement == ArenaPlacement::kNode && r.node == n) {
+        return r.used_bytes;
+      }
+    }
+    return 0;
+  }
+};
+
+/// The partitioned arena. Thread-safe (one mutex; allocation is a
+/// preprocessing-time operation, never on the iteration hot path).
+/// Non-movable: handed-out pointers reference the regions directly.
+class NumaArena {
+ public:
+  explicit NumaArena(ArenaOptions opt = {});
+  ~NumaArena();
+
+  NumaArena(const NumaArena&) = delete;
+  NumaArena& operator=(const NumaArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `alignment` (power of two,
+  /// default one page) from the region selected by (placement, node).
+  /// `node` wraps modulo num_nodes() like the rest of the runtime.
+  /// Returns nullptr only for bytes == 0.
+  void* allocate(std::size_t bytes, ArenaPlacement placement,
+                 unsigned node = 0, std::size_t alignment = kPageSize) {
+    bool fallback = false;
+    return allocate_impl(bytes, placement, node, alignment, &fallback);
+  }
+
+  /// Typed convenience: an AlignedBuffer viewing arena storage (its
+  /// reset() is a no-op; the arena reclaims slabs at destruction —
+  /// keep the arena alive for as long as its buffers). Heap-fallback
+  /// allocations free individually like a plain AlignedBuffer.
+  template <class T>
+  [[nodiscard]] AlignedBuffer<T> alloc_buffer(
+      std::size_t count, ArenaPlacement placement, unsigned node = 0,
+      std::size_t alignment = kPageSize) {
+    if (count == 0) return {};
+    bool fallback = false;
+    void* p = allocate_impl(count * sizeof(T), placement, node, alignment,
+                            &fallback);
+    return AlignedBuffer<T>(
+        static_cast<T*>(p), count,
+        fallback ? &hipa::detail::aligned_deallocate_adapter : nullptr);
+  }
+
+  /// True when `p` points into one of this arena's slabs (heap
+  /// fallbacks are NOT owned — they free individually).
+  [[nodiscard]] bool owns(const void* p) const;
+
+  [[nodiscard]] unsigned num_nodes() const { return num_nodes_; }
+
+  [[nodiscard]] ArenaStats stats() const;
+
+  /// Register every node-bound region's used spans with the placement
+  /// auditor (one entry per slab), so `audit()` verifies arena pages
+  /// landed on their intended nodes alongside the engines' buffers.
+  void register_with(numa::PlacementAuditor& auditor,
+                     std::string_view prefix = "arena") const;
+
+ private:
+  struct Slab {
+    void* base = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+    bool mmapped = false;   ///< munmap vs aligned free at teardown
+    bool hugepage = false;  ///< MADV_HUGEPAGE accepted
+  };
+  struct Region {
+    std::string label;
+    ArenaPlacement placement = ArenaPlacement::kFirstTouch;
+    unsigned node = 0;
+    std::vector<Slab> slabs;
+    std::size_t reserved = 0;
+    std::size_t used = 0;
+    std::uint64_t allocations = 0;
+    bool policy_bound = true;  ///< AND of per-slab policy success
+    bool hugepages = true;     ///< AND of per-slab MADV_HUGEPAGE
+  };
+
+  void* allocate_impl(std::size_t bytes, ArenaPlacement placement,
+                      unsigned node, std::size_t alignment,
+                      bool* used_fallback);
+  Region& region_for(ArenaPlacement placement, unsigned node);
+  /// Map a new slab of >= `min_bytes` into `region` and apply its
+  /// placement policy; returns false when mapping failed or the
+  /// region cap is reached.
+  bool grow(Region& region, std::size_t min_bytes);
+  void* bump(Region& region, std::size_t bytes, std::size_t alignment);
+  void* fallback_allocate(std::size_t bytes, std::size_t alignment);
+
+  mutable std::mutex mu_;
+  ArenaOptions opt_;
+  unsigned num_nodes_ = 1;
+  std::vector<Region> regions_;  ///< nodes..., interleave, first-touch
+  std::size_t fallback_bytes_ = 0;
+  std::uint64_t fallback_allocations_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation audit hook (debug builds).
+
+/// RAII marker for an engine's iteration hot path. While any guard is
+/// live (process-wide), a page-aligned AlignedBuffer allocation that
+/// does NOT come from an arena is counted — and, in assertion-enabled
+/// builds, raises HIPA_CHECK — so placement policy cannot silently
+/// leak back out of runtime/arena. Cache-line (and smaller) aligned
+/// allocations are exempt: only page-aligned buffers carry placement
+/// intent.
+class HotPathGuard {
+ public:
+  HotPathGuard();
+  ~HotPathGuard();
+  HotPathGuard(const HotPathGuard&) = delete;
+  HotPathGuard& operator=(const HotPathGuard&) = delete;
+};
+
+/// Process-wide count of page-aligned allocations that bypassed the
+/// arena while a HotPathGuard was live (diagnostic; also incremented
+/// in builds where the assertion is compiled out).
+[[nodiscard]] std::uint64_t hot_path_bypass_count();
+
+}  // namespace hipa::runtime

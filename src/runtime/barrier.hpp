@@ -1,22 +1,36 @@
-// Centralized sense-reversing barrier.
+// Centralized and topology-aware sense-reversing barriers.
 //
 // std::barrier's completion-function machinery is more than the engines
-// need; this is the textbook two-counter barrier with per-thread sense,
-// safe for repeated reuse by a fixed team. The wait loop issues a CPU
-// relax hint every spin so a pinned SMT sibling sharing the core's
-// issue ports is not starved, and falls back to an OS yield once the
-// spin budget is exhausted so oversubscribed teams (more threads than
-// logical CPUs) still make progress instead of burning whole scheduler
-// quanta.
+// need. SpinBarrier is the textbook two-counter barrier with per-thread
+// sense, safe for repeated reuse by a fixed team; TreeBarrier is its
+// two-level NUMA shape — threads rendezvous on a node-local leaf line
+// and one representative per node crosses to the root, so the
+// all-thread cache-line ping-pong that dominates barrier wait on
+// multi-socket hosts collapses to one line per node plus one root
+// line. Every wait loop issues a CPU relax hint every spin so a pinned
+// SMT sibling sharing the core's issue ports is not starved, and falls
+// back to an OS yield once the spin budget is exhausted so
+// oversubscribed teams (more threads than logical CPUs) still make
+// progress instead of burning whole scheduler quanta.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/types.hpp"
 
 namespace hipa::runtime {
+
+/// Which barrier run_loop hands the team.
+enum class BarrierKind {
+  kAuto,  ///< tree when the topology has >= 2 populated nodes, else flat
+  kFlat,  ///< force SpinBarrier
+  kTree,  ///< force TreeBarrier (single-node hosts get synthetic groups)
+};
 
 /// One pause/yield instruction: cheap, keeps the core's pipeline from
 /// speculating down thousands of loop iterations, and frees issue
@@ -31,6 +45,26 @@ inline void cpu_relax() {
   std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
 }
+
+namespace detail {
+/// Roughly the cost of a condvar round trip; past this the thread is
+/// better off giving its quantum away.
+inline constexpr std::uint32_t kSpinsBeforeYield = 4096;
+
+/// Bounded spin with relax hints, then yield: phases are long and
+/// teams are usually ≤ #CPUs, so the fast path never yields; the slow
+/// path keeps oversubscribed test/CI boxes responsive.
+inline void spin_until(const std::atomic<bool>& flag, bool want) {
+  std::uint32_t spins = 0;
+  while (flag.load(std::memory_order_acquire) != want) {
+    cpu_relax();
+    if (++spins >= kSpinsBeforeYield) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+}  // namespace detail
 
 class SpinBarrier {
  public:
@@ -51,30 +85,95 @@ class SpinBarrier {
       waiting_.store(0, std::memory_order_relaxed);
       sense_.store(local_sense, std::memory_order_release);
     } else {
-      // Bounded spin with relax hints, then yield: phases are long and
-      // teams are usually ≤ #CPUs, so the fast path never yields; the
-      // slow path keeps oversubscribed test/CI boxes responsive.
-      std::uint32_t spins = 0;
-      while (sense_.load(std::memory_order_acquire) != local_sense) {
-        cpu_relax();
-        if (++spins >= kSpinsBeforeYield) {
-          std::this_thread::yield();
-          spins = 0;
-        }
-      }
+      detail::spin_until(sense_, local_sense);
     }
   }
 
   [[nodiscard]] unsigned num_threads() const { return num_threads_; }
 
  private:
-  /// Roughly the cost of a condvar round trip; past this the thread is
-  /// better off giving its quantum away.
-  static constexpr std::uint32_t kSpinsBeforeYield = 4096;
-
   unsigned num_threads_;
   std::atomic<unsigned> waiting_;
   std::atomic<bool> sense_;
+};
+
+/// Two-level topology-aware sense-reversing barrier.
+///
+/// Construction takes `group_of[tid] -> leaf index` (normally the NUMA
+/// node each pinned thread runs on). Arrival: a thread flips its
+/// private sense and counts into its leaf line; the LAST arriver at a
+/// leaf becomes the group's representative and counts into the root
+/// line; the last representative releases the root sense, and each
+/// representative then releases its own leaf sense. All other threads
+/// only ever touch their node-local leaf line, so the coherence
+/// traffic per crossing is O(#nodes) on the root instead of
+/// O(#threads) on one global line.
+///
+/// Callers use the same contract as SpinBarrier: one `local_sense` per
+/// thread, initialized false, plus the caller's stable team tid.
+class TreeBarrier {
+ public:
+  /// `group_of[tid]` maps each team thread to its leaf. Groups must be
+  /// dense (every index in [0, max_group] populated) and non-empty.
+  explicit TreeBarrier(const std::vector<unsigned>& group_of)
+      : group_of_(group_of) {
+    HIPA_CHECK(!group_of.empty());
+    unsigned num_groups = 0;
+    for (unsigned g : group_of) num_groups = std::max(num_groups, g + 1);
+    leaves_ = std::vector<Line>(num_groups);
+    for (unsigned g : group_of) ++leaves_[g].expected;
+    for (const Line& leaf : leaves_) {
+      HIPA_CHECK(leaf.expected > 0,
+                 "tree barrier groups must be dense: every leaf needs "
+                 "at least one thread");
+    }
+    root_.expected = num_groups;
+  }
+
+  TreeBarrier(const TreeBarrier&) = delete;
+  TreeBarrier& operator=(const TreeBarrier&) = delete;
+
+  /// Block until all team threads arrive. `tid` is the caller's index
+  /// into the constructor's group map; `local_sense` is per-thread,
+  /// initialized to false (same contract as SpinBarrier).
+  void arrive_and_wait(unsigned tid, bool& local_sense) {
+    local_sense = !local_sense;
+    Line& leaf = leaves_[group_of_[tid]];
+    if (leaf.waiting.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        leaf.expected) {
+      // Representative: carry this node's arrival to the root.
+      if (root_.waiting.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          root_.expected) {
+        root_.waiting.store(0, std::memory_order_relaxed);
+        root_.sense.store(local_sense, std::memory_order_release);
+      } else {
+        detail::spin_until(root_.sense, local_sense);
+      }
+      leaf.waiting.store(0, std::memory_order_relaxed);
+      leaf.sense.store(local_sense, std::memory_order_release);
+    } else {
+      detail::spin_until(leaf.sense, local_sense);
+    }
+  }
+
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(group_of_.size());
+  }
+  [[nodiscard]] unsigned num_groups() const {
+    return static_cast<unsigned>(leaves_.size());
+  }
+
+ private:
+  /// One rendezvous cache line; padded so leaves never false-share.
+  struct alignas(kCacheLine) Line {
+    std::atomic<unsigned> waiting{0};
+    std::atomic<bool> sense{false};
+    unsigned expected = 0;
+  };
+
+  std::vector<unsigned> group_of_;
+  std::vector<Line> leaves_;
+  Line root_;
 };
 
 }  // namespace hipa::runtime

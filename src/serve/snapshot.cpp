@@ -51,13 +51,19 @@ SnapshotStore::SnapshotStore(vid_t num_vertices, StoreOptions opt)
     node_ranges_ = even_node_ranges(num_vertices, nodes);
   }
 
-  // Allocate every slot once: page-aligned rank buffer with each
-  // node's slice committed node-locally while the contents are dead
-  // (publishes later only overwrite bytes, so pages never move), plus
-  // the per-node top-k replicas.
+  // Allocate every slot once from the store's partitioned arena:
+  // page-aligned rank buffer with each node's slice committed
+  // node-locally while the contents are dead (publishes later only
+  // overwrite bytes, so pages never move), plus the per-node top-k
+  // replicas carved from the same arena's node regions. Slot buffers
+  // come from the first-touch region — the explicit per-slice binding
+  // below is the placement policy, not the region's.
+  arena_ = std::make_shared<runtime::NumaArena>(
+      runtime::ArenaOptions{.num_nodes = nodes});
   slots_ = std::vector<Slot>(opt.slots);
   for (Slot& slot : slots_) {
-    slot.snap.ranks_ = AlignedBuffer<rank_t>(num_vertices, kPageSize);
+    slot.snap.ranks_ = arena_->alloc_buffer<rank_t>(
+        num_vertices, runtime::ArenaPlacement::kFirstTouch);
     slot.snap.node_ranges_ = node_ranges_;
     for (unsigned node = 0; node < nodes; ++node) {
       const VertexRange r = node_ranges_[node];
@@ -70,7 +76,7 @@ SnapshotStore::SnapshotStore(vid_t num_vertices, StoreOptions opt)
         runtime::first_touch_zero_on_node(p, bytes, node);
       }
     }
-    slot.snap.topk_.configure(opt.topk_k, nodes);
+    slot.snap.topk_.configure(opt.topk_k, nodes, arena_);
   }
 }
 

@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "common/aligned_buffer.hpp"
 #include "common/types.hpp"
 #include "engines/backend.hpp"
+#include "runtime/arena.hpp"
 #include "serve/topk_index.hpp"
 
 namespace hipa::serve {
@@ -194,6 +196,12 @@ class SnapshotStore {
     return reclaim_waits_.load(std::memory_order_relaxed);
   }
 
+  /// Allocation/placement snapshot of the store's arena (slot ring +
+  /// top-k replicas all carve from it).
+  [[nodiscard]] runtime::ArenaStats arena_stats() const {
+    return arena_->stats();
+  }
+
  private:
   /// One ring slot: reader-count line apart from the snapshot data.
   struct alignas(kCacheLine) Slot {
@@ -203,6 +211,9 @@ class SnapshotStore {
 
   vid_t num_vertices_ = 0;
   std::vector<VertexRange> node_ranges_;
+  /// Declared before slots_: slot rank buffers and top-k replicas view
+  /// arena pages, so the ring must be destroyed before the arena.
+  std::shared_ptr<runtime::NumaArena> arena_;
   std::vector<Slot> slots_;
   std::atomic<Slot*> current_{nullptr};
   std::mutex publish_mutex_;        ///< serializes publishers only

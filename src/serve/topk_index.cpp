@@ -66,25 +66,29 @@ std::vector<TopKEntry> merge_top_k(
   return all;
 }
 
-void TopKIndex::configure(unsigned k, unsigned num_nodes) {
+void TopKIndex::configure(unsigned k, unsigned num_nodes,
+                          std::shared_ptr<runtime::NumaArena> arena) {
   HIPA_CHECK(num_nodes >= 1, "top-k index needs at least one node");
-  if (k_ == k && replicas_.size() == num_nodes) return;
+  if (k_ == k && replicas_.size() == num_nodes &&
+      (arena == nullptr || arena == arena_)) {
+    return;
+  }
   k_ = k;
   filled_ = 0;
+  // Replicas view arena pages: drop them before any arena swap.
   replicas_.clear();
+  arena_ = arena != nullptr ? std::move(arena)
+                            : std::make_shared<runtime::NumaArena>(
+                                  runtime::ArenaOptions{.num_nodes =
+                                                            num_nodes});
   replicas_.reserve(num_nodes);
   for (unsigned node = 0; node < num_nodes; ++node) {
-    AlignedBuffer<TopKEntry> rep(k, kPageSize);
-    if (k > 0) {
-      // Commit the replica's pages to its node while contents are
-      // dead: mbind when compiled in, pinned first-touch otherwise.
-      if (runtime::bind_pages_to_node(rep.data(), rep.size_bytes(), node)) {
-        rep.fill_zero();
-      } else {
-        runtime::first_touch_zero_on_node(rep.data(), rep.size_bytes(),
-                                          node);
-      }
-    }
+    // Carved from the arena's node-bound region (slab-level mbind, or
+    // pinned first-touch when unavailable); zero-fill commits the
+    // pages while contents are dead.
+    AlignedBuffer<TopKEntry> rep = arena_->alloc_buffer<TopKEntry>(
+        k, runtime::ArenaPlacement::kNode, node);
+    if (k > 0) rep.fill_zero();
     replicas_.push_back(std::move(rep));
   }
 }

@@ -23,11 +23,13 @@
 // vertex id, so the index is deterministic for a given rank array.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "common/types.hpp"
+#include "runtime/arena.hpp"
 
 namespace hipa::serve {
 
@@ -60,9 +62,12 @@ class TopKIndex {
   TopKIndex& operator=(TopKIndex&&) noexcept = default;
 
   /// Allocate `num_nodes` page-aligned replicas of `k` entries each
-  /// and commit every replica's pages to its node. Idempotent for the
-  /// same (k, num_nodes).
-  void configure(unsigned k, unsigned num_nodes);
+  /// from the partitioned arena's node-bound regions (the caller's
+  /// arena when given — the snapshot store shares its own — else a
+  /// private one) and commit every replica's pages to its node.
+  /// Idempotent for the same (k, num_nodes).
+  void configure(unsigned k, unsigned num_nodes,
+                 std::shared_ptr<runtime::NumaArena> arena = nullptr);
 
   /// Rebuild every replica from `ranks`. `node_ranges[n]` is node n's
   /// locally-placed slice of the rank array (the same slices the
@@ -86,6 +91,9 @@ class TopKIndex {
  private:
   unsigned k_ = 0;
   unsigned filled_ = 0;
+  /// Declared before replicas_: the replica buffers view arena pages,
+  /// so they must be destroyed (no-op resets) before the arena is.
+  std::shared_ptr<runtime::NumaArena> arena_;
   std::vector<AlignedBuffer<TopKEntry>> replicas_;
 };
 

@@ -1,0 +1,235 @@
+// Vertex reordering through the algo:: facade: permutation validity,
+// structural round-trip under apply_permutation, and the pipeline
+// guarantee — the PageRankOptions::reorder knob is bitwise-equivalent
+// to manually permuting the graph, running the engine, and
+// inverse-permuting the ranks. Bitwise identity against the
+// UNreordered baseline is deliberately not claimed (reordering changes
+// float summation order); that comparison is a tight near-equality.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "algos/pagerank.hpp"
+#include "engines/pcpm_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "sim/machine.hpp"
+
+namespace hipa {
+namespace {
+
+constexpr engine::Reorder kModes[] = {engine::Reorder::kNone,
+                                      engine::Reorder::kDegree,
+                                      engine::Reorder::kHub};
+
+graph::Graph rmat_graph() {
+  auto edges = graph::generate_rmat({.scale = 10, .edge_factor = 8});
+  return graph::build_graph(1u << 10, edges, {});
+}
+graph::Graph er_graph() {
+  auto edges = graph::generate_erdos_renyi(1500, 12000, 17);
+  return graph::build_graph(1500, edges, {});
+}
+graph::Graph zipf_graph() {
+  auto edges = graph::generate_zipf(
+      {.num_vertices = 2048, .num_edges = 16384, .seed = 5});
+  return graph::build_graph(2048, edges, {});
+}
+
+/// Structural round-trip: applying perm and looking up old vertex v at
+/// new id perm[v] must reproduce v's out-neighborhood (as a set, with
+/// every neighbor relabeled through perm).
+void expect_structure_preserved(const graph::Graph& g,
+                                const graph::Permutation& perm,
+                                const graph::Graph& permuted) {
+  ASSERT_EQ(permuted.num_vertices(), g.num_vertices());
+  ASSERT_EQ(permuted.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(permuted.out.degree(perm[v]), g.out.degree(v)) << "v=" << v;
+    std::unordered_set<vid_t> expect;
+    for (vid_t u : g.out.neighbors(v)) expect.insert(perm[u]);
+    for (vid_t u : permuted.out.neighbors(perm[v])) {
+      EXPECT_TRUE(expect.count(u) > 0) << "v=" << v << " u=" << u;
+    }
+  }
+}
+
+TEST(ReorderPermutation, ValidAndStructurePreservingOnAllGenerators) {
+  const struct {
+    const char* name;
+    graph::Graph g;
+  } graphs[] = {{"rmat", rmat_graph()}, {"er", er_graph()},
+                {"zipf", zipf_graph()}};
+  for (const auto& [name, g] : graphs) {
+    for (engine::Reorder mode : kModes) {
+      SCOPED_TRACE(std::string(name) + "/" + algo::reorder_name(mode));
+      const graph::Permutation perm = algo::make_reorder_permutation(mode, g);
+      ASSERT_EQ(perm.size(), g.num_vertices());
+      EXPECT_TRUE(graph::is_valid_permutation(perm));
+      if (mode == engine::Reorder::kNone) {
+        for (vid_t v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(perm[v], v);
+        continue;
+      }
+      const graph::Graph permuted = graph::apply_permutation(g, perm);
+      expect_structure_preserved(g, perm, permuted);
+    }
+  }
+}
+
+TEST(ReorderPermutation, DegreeSortIsDescending) {
+  const graph::Graph g = zipf_graph();
+  const graph::Permutation perm =
+      algo::make_reorder_permutation(engine::Reorder::kDegree, g);
+  // new id ordering must be degree-descending: invert and walk.
+  std::vector<vid_t> old_of_new(perm.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) old_of_new[perm[v]] = v;
+  for (vid_t i = 0; i + 1 < g.num_vertices(); ++i) {
+    EXPECT_GE(g.out.degree(old_of_new[i]), g.out.degree(old_of_new[i + 1]))
+        << "position " << i;
+  }
+}
+
+TEST(ReorderNames, RoundTrip) {
+  for (engine::Reorder mode : kModes) {
+    const auto back = algo::reorder_from_name(algo::reorder_name(mode));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, mode);
+  }
+  EXPECT_FALSE(algo::reorder_from_name("bogus").has_value());
+}
+
+// ---- facade pipeline equivalence --------------------------------------------
+
+algo::MethodParams native_params(engine::Reorder mode) {
+  algo::MethodParams p;
+  p.threads = 2;
+  p.pr.iterations = 3;
+  p.pr.reorder = mode;
+  return p;
+}
+
+/// The manual pipeline the facade promises to match bitwise.
+std::vector<rank_t> manual_pipeline(algo::Method m, const graph::Graph& g,
+                                    engine::Reorder mode) {
+  const graph::Permutation perm = algo::make_reorder_permutation(mode, g);
+  const graph::Graph permuted = graph::apply_permutation(g, perm);
+  const auto res =
+      algo::run_method_native(m, permuted, native_params(engine::Reorder::kNone));
+  std::vector<rank_t> out(res.ranks.size());
+  for (vid_t v = 0; v < static_cast<vid_t>(out.size()); ++v) {
+    out[v] = res.ranks[perm[v]];
+  }
+  return out;
+}
+
+TEST(ReorderFacade, KnobMatchesManualPipelineBitwise) {
+  const graph::Graph g = rmat_graph();
+  for (algo::Method m : {algo::Method::kHipa, algo::Method::kVpr}) {
+    for (engine::Reorder mode :
+         {engine::Reorder::kDegree, engine::Reorder::kHub}) {
+      SCOPED_TRACE(std::string(algo::method_name(m)) + "/" +
+                   algo::reorder_name(mode));
+      const auto via_knob =
+          algo::run_method_native(m, g, native_params(mode));
+      const auto manual = manual_pipeline(m, g, mode);
+      ASSERT_EQ(via_knob.ranks.size(), manual.size());
+      EXPECT_EQ(algo::l1_distance(via_knob.ranks, manual), 0.0);
+    }
+  }
+}
+
+TEST(ReorderFacade, NoneIsBitwiseIdenticalToDefault) {
+  const graph::Graph g = er_graph();
+  const auto plain = algo::run_method_native(
+      algo::Method::kHipa, g, native_params(engine::Reorder::kNone));
+  algo::MethodParams defaults;
+  defaults.threads = 2;
+  defaults.pr.iterations = 3;
+  const auto knob = algo::run_method_native(algo::Method::kHipa, g, defaults);
+  EXPECT_EQ(algo::l1_distance(plain.ranks, knob.ranks), 0.0);
+}
+
+TEST(ReorderFacade, ReorderedRanksNearUnreorderedBaseline) {
+  const graph::Graph g = zipf_graph();
+  const auto base = algo::run_method_native(
+      algo::Method::kHipa, g, native_params(engine::Reorder::kNone));
+  for (engine::Reorder mode :
+       {engine::Reorder::kDegree, engine::Reorder::kHub}) {
+    const auto res =
+        algo::run_method_native(algo::Method::kHipa, g, native_params(mode));
+    // Same fixed-point iteration, different float summation order:
+    // near-equal, not bitwise.
+    EXPECT_LT(algo::l1_distance(base.ranks, res.ranks), 1e-3)
+        << algo::reorder_name(mode);
+    // And reordering must charge its permutation to preprocessing.
+    EXPECT_GT(res.report.preprocessing_seconds, 0.0);
+  }
+}
+
+TEST(ReorderFacade, WorksOnSimulatedBackend) {
+  const graph::Graph g = rmat_graph();
+  algo::MethodParams p;
+  p.pr.iterations = 2;
+  p.pr.reorder = engine::Reorder::kDegree;
+  sim::SimMachine m1(sim::Topology::skylake_2s().scaled(64), {}, 1);
+  const auto knob = algo::run_method_sim(algo::Method::kHipa, g, m1, p);
+
+  const graph::Permutation perm =
+      algo::make_reorder_permutation(engine::Reorder::kDegree, g);
+  const graph::Graph permuted = graph::apply_permutation(g, perm);
+  algo::MethodParams inner = p;
+  inner.pr.reorder = engine::Reorder::kNone;
+  sim::SimMachine m2(sim::Topology::skylake_2s().scaled(64), {}, 1);
+  const auto manual = algo::run_method_sim(algo::Method::kHipa, permuted,
+                                           m2, inner);
+  std::vector<rank_t> unperm(manual.ranks.size());
+  for (vid_t v = 0; v < static_cast<vid_t>(unperm.size()); ++v) {
+    unperm[v] = manual.ranks[perm[v]];
+  }
+  EXPECT_EQ(algo::l1_distance(knob.ranks, unperm), 0.0);
+}
+
+// ---- forced wide-encoding fallback ------------------------------------------
+
+/// Reordering composed with the 32-bit destination fallback: a
+/// permuted graph run under DstEncoding::kWide must inverse-permute to
+/// the same ranks (near-equality vs the unpermuted wide run; bitwise
+/// identity between the permuted wide and permuted auto runs is the
+/// encoding guarantee, checked too).
+TEST(ReorderEncoding, WideFallbackRoundTrips) {
+  const graph::Graph g = zipf_graph();
+  const graph::Permutation perm =
+      algo::make_reorder_permutation(engine::Reorder::kHub, g);
+  const graph::Graph permuted = graph::apply_permutation(g, perm);
+
+  engine::PageRankOptions pr;
+  pr.iterations = 3;
+  auto run = [&](const graph::Graph& graph, pcp::DstEncoding enc) {
+    engine::NativeBackend backend;
+    engine::PcpmOptions opt = engine::PcpmOptions::hipa(2, 1, 64 * 1024);
+    opt.dst_encoding = enc;
+    engine::PcpmEngine<engine::NativeBackend> eng(graph, opt, backend);
+    return eng.run(pr);
+  };
+
+  const auto base_wide = run(g, pcp::DstEncoding::kWide);
+  const auto perm_wide = run(permuted, pcp::DstEncoding::kWide);
+  const auto perm_auto = run(permuted, pcp::DstEncoding::kAuto);
+
+  // Encoding guarantee on the permuted graph: identical arithmetic.
+  EXPECT_EQ(algo::l1_distance(perm_wide.ranks, perm_auto.ranks), 0.0);
+
+  // Round trip: inverse-permute the wide run's ranks back to original
+  // vertex ids and compare with the unpermuted wide run.
+  std::vector<rank_t> unperm(perm_wide.ranks.size());
+  for (vid_t v = 0; v < static_cast<vid_t>(unperm.size()); ++v) {
+    unperm[v] = perm_wide.ranks[perm[v]];
+  }
+  EXPECT_LT(algo::l1_distance(base_wide.ranks, unperm), 1e-3);
+}
+
+}  // namespace
+}  // namespace hipa
