@@ -34,6 +34,14 @@
 // bitwise (the collection guard is `if constexpr`, so kOff compiles to
 // the untelemetered code).
 //
+// An `oocore` section shards the smoke dataset into a segmented HCSR
+// v3 temp file and runs the out-of-core engine twice — fully in-core
+// vs streaming through two segment-sized staging slots with async
+// prefetch — recording both times, bytes fetched, the peak resident
+// bytes against the budget, the prefetch overlap ratio (fetch time
+// hidden behind compute), and whether the two rank vectors are
+// bitwise identical (they must be).
+//
 // Besides the human-readable table it emits machine-readable JSON
 // (default BENCH_hotpath.json, override with --out=) so CI and
 // EXPERIMENTS.md can track the numbers. `--smoke` shrinks to one tiny
@@ -46,6 +54,8 @@
 
 #include "bench/bench_util.hpp"
 #include "common/timer.hpp"
+#include "engines/oocore_engine.hpp"
+#include "graph/io.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/placement.hpp"
 #include "runtime/telemetry.hpp"
@@ -729,6 +739,93 @@ int main(int argc, char** argv) {
     jw.kv("overhead_frac", ov2.overhead_frac);
     jw.kv("ranks_l1_off_vs_on", ov2.ranks_l1);
     jw.kv("ranks_bitwise_identical", ov2.ranks_l1 == 0.0);
+    jw.end_object();
+  }
+
+  // ---- out-of-core: streaming segments vs fully in-core ---------------
+  if (!datasets.empty()) {
+    const bench::ScaledDataset& d = datasets.front();
+    // Shard the in-CSR into ~8 segments so streaming is exercised but
+    // the slots stay a small fraction of the whole topology.
+    const std::size_t in_bytes = graph::segment_payload_bytes(
+        d.graph.num_vertices(), d.graph.num_edges());
+    const std::size_t target = std::max<std::size_t>(4096, in_bytes / 8);
+    const std::string seg_path = out_path + ".oocore.tmp";
+    graph::save_segmented_csr(seg_path, d.graph, target);
+
+    const unsigned oo_threads =
+        std::min(4u, std::max(1u, runtime::available_cpus()));
+    auto run_mode = [&](bool streaming, std::size_t budget,
+                        engine::OocoreStats* stats_out) {
+      engine::NativeBackend backend;
+      engine::OocoreOptions opt;
+      opt.num_threads = oo_threads;
+      opt.streaming = streaming;
+      opt.prefetch = true;
+      opt.resident_budget_bytes = budget;
+      engine::OocoreEngine eng(seg_path, opt, backend);
+      engine::PageRankOptions pr;
+      pr.iterations = iters;
+      engine::RunResult r = eng.run(pr);
+      if (stats_out != nullptr) *stats_out = eng.stats();
+      return r;
+    };
+
+    const auto incore = run_mode(false, 0, nullptr);
+    engine::OocoreStats st;
+    std::size_t budget = 0;
+    {
+      graph::SegmentedCsr probe = graph::SegmentedCsr::open(seg_path);
+      budget = 2 * probe.max_payload_bytes() + kPageSize;
+    }
+    const auto streaming = run_mode(true, budget, &st);
+    const bool bitwise = incore.ranks == streaming.ranks;
+    const bool budget_ok = st.peak_resident_bytes <= budget;
+    if (!bitwise) {
+      std::fprintf(stderr,
+                   "ERROR: out-of-core streaming diverged from in-core\n");
+      rc = 1;
+    }
+    if (!budget_ok) {
+      std::fprintf(stderr,
+                   "ERROR: out-of-core run exceeded its resident budget "
+                   "(%zu > %zu bytes)\n",
+                   st.peak_resident_bytes, budget);
+      rc = 1;
+    }
+    std::remove(seg_path.c_str());
+
+    std::printf("\nout-of-core streaming (oocore on '%s', %u iters, %u "
+                "threads):\n"
+                "  segments %u   budget %zu B   peak resident %zu B   "
+                "within budget: %s\n"
+                "  in-core %.4f s   streaming %.4f s   io-wait %.4f s   "
+                "overlap %.0f%%\n"
+                "  bytes fetched %llu   ranks bitwise-identical: %s\n",
+                d.name.c_str(), iters, oo_threads, st.segments, budget,
+                st.peak_resident_bytes, budget_ok ? "yes" : "NO",
+                incore.report.seconds, streaming.report.seconds,
+                st.io_wait_seconds, 100.0 * st.overlap_ratio(),
+                static_cast<unsigned long long>(st.bytes_fetched),
+                bitwise ? "yes" : "NO");
+    jw.key("oocore");
+    jw.begin_object();
+    jw.kv("dataset", d.name);
+    jw.kv("iterations", iters);
+    jw.kv("threads", oo_threads);
+    jw.kv("segments", st.segments);
+    jw.kv("target_segment_bytes", static_cast<std::uint64_t>(target));
+    jw.kv("budget_bytes", static_cast<std::uint64_t>(budget));
+    jw.kv("peak_resident_bytes",
+          static_cast<std::uint64_t>(st.peak_resident_bytes));
+    jw.kv("budget_ok", budget_ok);
+    jw.kv("incore_seconds", incore.report.seconds);
+    jw.kv("streaming_seconds", streaming.report.seconds);
+    jw.kv("io_wait_seconds", st.io_wait_seconds);
+    jw.kv("fetch_seconds", st.fetch_seconds);
+    jw.kv("prefetch_overlap_ratio", st.overlap_ratio());
+    jw.kv("bytes_fetched", st.bytes_fetched);
+    jw.kv("ranks_bitwise_identical", bitwise);
     jw.end_object();
   }
 

@@ -3,12 +3,14 @@
 // `perf-smoke` ctest fixture chain: the bench writes the JSON, this
 // binary re-parses it with the shared minimal reader
 // (common/minijson.hpp) and enforces the contract CI relies on —
-// required fields present, counters non-negative, the three-phase
-// telemetry arrays complete (now including the per-phase hardware
-// counter aggregates and the `hw` availability block), the
-// `placement_audit` object well-formed, and the zero-overhead-off
-// invariant (`ranks bitwise-identical` across telemetry modes and
-// destination encodings) actually asserted by the producer.
+// required fields present, counters non-negative, the four-phase
+// telemetry arrays complete (init/scatter/gather/io_wait, including
+// the per-phase hardware counter aggregates and the `hw` availability
+// block), the `placement_audit` object well-formed, the `oocore`
+// section within budget, and the zero-overhead-off invariant (`ranks
+// bitwise-identical` across telemetry modes, destination encodings,
+// and in-core vs streaming execution) actually asserted by the
+// producer.
 //
 // Violations are reported as RFC 6901 JSON pointers into the offending
 // document (`/datasets/0/methods/1/auto/native_seconds`), so a CI
@@ -95,9 +97,9 @@ void check_telemetry(const Value& t, const std::string& path) {
   require_nonneg(t, path, "threads");
   const Value* phases = require(t, path, "phases", Value::Type::kArray);
   if (phases != nullptr) {
-    if (phases->array.size() != 3) {
+    if (phases->array.size() != 4) {
       err(at(path, "phases"),
-          "must have exactly 3 entries (init, scatter, gather)");
+          "must have exactly 4 entries (init, scatter, gather, io_wait)");
     }
     static const char* kNumeric[] = {
         "invocations",       "barrier_crossings",  "participating_threads",
@@ -357,6 +359,50 @@ void check_hotpath(const Value& root) {
     if (ident != nullptr && !ident->boolean) {
       err(at(p, "ranks_bitwise_identical"),
           "must be true — telemetry perturbed the ranks");
+    }
+  }
+
+  // Out-of-core section: streaming through bounded staging slots must
+  // stay within its budget and agree bitwise with the in-core run of
+  // the identical kernel.
+  const Value* oo = require(root, top, "oocore", Value::Type::kObject);
+  if (oo != nullptr) {
+    const std::string p = at(top, "oocore");
+    require(*oo, p, "dataset", Value::Type::kString);
+    require_nonneg(*oo, p, "iterations");
+    require_nonneg(*oo, p, "threads");
+    const double segments = require_nonneg(*oo, p, "segments");
+    if (segments < 2.0) {
+      err(at(p, "segments"),
+          "must be >= 2 — a single segment never exercises streaming");
+    }
+    require_nonneg(*oo, p, "target_segment_bytes");
+    const double budget = require_nonneg(*oo, p, "budget_bytes");
+    const double peak = require_nonneg(*oo, p, "peak_resident_bytes");
+    if (peak > budget) {
+      err(at(p, "peak_resident_bytes"),
+          "exceeds budget_bytes (" + std::to_string(peak) + " > " +
+              std::to_string(budget) + ")");
+    }
+    const Value* budget_ok = require(*oo, p, "budget_ok", Value::Type::kBool);
+    if (budget_ok != nullptr && !budget_ok->boolean) {
+      err(at(p, "budget_ok"),
+          "must be true — streaming run exceeded its resident budget");
+    }
+    require_nonneg(*oo, p, "incore_seconds");
+    require_nonneg(*oo, p, "streaming_seconds");
+    require_nonneg(*oo, p, "io_wait_seconds");
+    require_nonneg(*oo, p, "fetch_seconds");
+    require_fraction(*oo, p, "prefetch_overlap_ratio");
+    const double fetched = require_nonneg(*oo, p, "bytes_fetched");
+    if (fetched < 1.0) {
+      err(at(p, "bytes_fetched"), "streaming run fetched no bytes");
+    }
+    const Value* ident =
+        require(*oo, p, "ranks_bitwise_identical", Value::Type::kBool);
+    if (ident != nullptr && !ident->boolean) {
+      err(at(p, "ranks_bitwise_identical"),
+          "must be true — streaming diverged from the in-core run");
     }
   }
 }

@@ -282,7 +282,7 @@ class JsonWriter {
 //
 //   "telemetry": {
 //     "enabled": true, "threads": N,
-//     "phases": [ { "phase": "init"|"scatter"|"gather",
+//     "phases": [ { "phase": "init"|"scatter"|"gather"|"io_wait",
 //                   "invocations": .., "barrier_crossings": ..,
 //                   "wall_sum_seconds": .., "wall_max_seconds": ..,
 //                   "wall_min_seconds": .., "imbalance": ..,
@@ -290,7 +290,7 @@ class JsonWriter {
 //                   "messages_produced": .., "messages_consumed": ..,
 //                   "bytes_produced": .., "bytes_consumed": ..,
 //                   "region_seconds": .., "sim_local_accesses": ..,
-//                   "sim_remote_accesses": .. }, x3 ],
+//                   "sim_remote_accesses": .. }, x4 ],
 //     "iterations_recorded": I,
 //     "total_wall_seconds": .., "total_barrier_seconds": ..,
 //     "total_messages_produced": .., "total_messages_consumed": ..,

@@ -3,7 +3,8 @@
 # intent, and placement policy lives in ONE place — runtime/arena. This
 # grep gate fails CI when a new page-aligned allocation site (raw
 # aligned allocator, anonymous mmap, or an AlignedBuffer constructed
-# with kPageSize alignment) appears in src/ outside the arena itself.
+# with kPageSize alignment) appears in src/ or tools/ outside the
+# arena itself.
 #
 # A site that is genuinely cold-path (one-time preprocessing, no
 # iteration-time placement consequence) may opt out with an
@@ -38,10 +39,10 @@ while IFS= read -r hit; do
   echo "    $rest" >&2
   fail=1
   count=$((count + 1))
-done < <(grep -rnE "$pattern" src --include='*.hpp' --include='*.cpp')
+done < <(grep -rnE "$pattern" src tools --include='*.hpp' --include='*.cpp')
 
 if [ "$fail" -ne 0 ]; then
   echo "check_allocations: $count violation(s)" >&2
   exit 1
 fi
-echo "check_allocations: OK (no page-aligned allocation sites outside runtime/arena)"
+echo "check_allocations: OK (no page-aligned allocation sites in src/ or tools/ outside runtime/arena)"

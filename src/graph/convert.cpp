@@ -1,0 +1,152 @@
+#include "graph/convert.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hipa::graph {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::string spill_path(const std::string& out_path, std::size_t seg) {
+  return out_path + ".seg" + std::to_string(seg) + ".tmp";
+}
+
+/// Removes every spill file on scope exit — normal or error path — so
+/// a failed conversion never litters the output directory.
+struct SpillCleaner {
+  std::string out_path;
+  std::size_t count = 0;
+  ~SpillCleaner() {
+    for (std::size_t s = 0; s < count; ++s) {
+      std::remove(spill_path(out_path, s).c_str());
+    }
+  }
+};
+
+}  // namespace
+
+ConvertStats convert_edge_list_to_segmented(const std::string& edge_list_path,
+                                            const std::string& out_path,
+                                            const ConvertOptions& opt) {
+  // Pass 1: degree counting. O(V) resident, edges never kept.
+  std::vector<std::uint64_t> in_degrees;
+  std::vector<std::uint32_t> out_degrees;
+  const EdgeListInfo info = stream_edge_list(
+      edge_list_path,
+      [&](std::span<const Edge> chunk) {
+        for (const Edge& e : chunk) {
+          const vid_t top = std::max(e.src, e.dst);
+          if (top >= in_degrees.size()) {
+            in_degrees.resize(top + 1, 0);
+            out_degrees.resize(top + 1, 0);
+          }
+          ++in_degrees[e.dst];
+          ++out_degrees[e.src];
+        }
+      },
+      opt.chunk_edges);
+  HIPA_CHECK(info.num_edges > 0,
+             "'" << edge_list_path << "' contains no edges");
+
+  const std::vector<SegmentPlan> plans =
+      plan_segments(in_degrees, opt.target_segment_bytes);
+  in_degrees.clear();
+  in_degrees.shrink_to_fit();
+
+  // Pass 2: spill each edge to its destination segment's temp file.
+  // One buffered stream per segment; stdio's buffers keep this a
+  // sequential append workload.
+  SpillCleaner cleaner{out_path, plans.size()};
+  {
+    std::vector<FilePtr> spills;
+    spills.reserve(plans.size());
+    std::vector<vid_t> seg_begin;
+    seg_begin.reserve(plans.size());
+    for (std::size_t s = 0; s < plans.size(); ++s) {
+      const std::string p = spill_path(out_path, s);
+      FilePtr f(std::fopen(p.c_str(), "wb"));
+      HIPA_CHECK(f != nullptr, "cannot open spill file '" << p << "'");
+      spills.push_back(std::move(f));
+      seg_begin.push_back(plans[s].range.begin);
+    }
+    stream_edge_list(
+        edge_list_path,
+        [&](std::span<const Edge> chunk) {
+          for (const Edge& e : chunk) {
+            const auto it = std::upper_bound(seg_begin.begin(),
+                                             seg_begin.end(), e.dst);
+            const auto s =
+                static_cast<std::size_t>(it - seg_begin.begin()) - 1;
+            HIPA_CHECK(std::fwrite(&e, sizeof e, 1, spills[s].get()) == 1,
+                       "short write to spill file for segment " << s);
+          }
+        },
+        opt.chunk_edges);
+    for (std::size_t s = 0; s < plans.size(); ++s) {
+      HIPA_CHECK(std::fflush(spills[s].get()) == 0 &&
+                     std::ferror(spills[s].get()) == 0,
+                 "write error on spill file for segment " << s);
+    }
+  }
+
+  // Pass 3: per segment, sort the spilled records by (dst, src) —
+  // exactly transpose order, each destination's sources ascending —
+  // and stream the payload out. Peak memory: one segment's edges.
+  ConvertStats stats;
+  stats.num_vertices = info.num_vertices;
+  stats.num_edges = info.num_edges;
+  stats.num_segments = static_cast<unsigned>(plans.size());
+  SegmentedCsrWriter writer(out_path, info.num_vertices, info.num_edges,
+                            plans, out_degrees);
+  std::vector<Edge> records;
+  std::vector<eid_t> local_offsets;
+  std::vector<vid_t> sources;
+  for (std::size_t s = 0; s < plans.size(); ++s) {
+    const SegmentPlan& plan = plans[s];
+    const std::string p = spill_path(out_path, s);
+    records.resize(plan.edges);
+    {
+      FilePtr f(std::fopen(p.c_str(), "rb"));
+      HIPA_CHECK(f != nullptr, "cannot reopen spill file '" << p << "'");
+      HIPA_CHECK(std::fread(records.data(), sizeof(Edge), plan.edges,
+                            f.get()) == plan.edges,
+                 "spill file '" << p << "' is shorter than planned ("
+                                << plan.edges << " edges)");
+    }
+    std::remove(p.c_str());
+    std::sort(records.begin(), records.end(),
+              [](const Edge& a, const Edge& b) {
+                return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+              });
+    const vid_t nv = plan.range.size();
+    local_offsets.assign(static_cast<std::size_t>(nv) + 1, 0);
+    sources.resize(plan.edges);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      ++local_offsets[records[i].dst - plan.range.begin + 1];
+      sources[i] = records[i].src;
+    }
+    for (vid_t v = 0; v < nv; ++v) {
+      local_offsets[v + 1] += local_offsets[v];
+    }
+    writer.write_segment(local_offsets, sources);
+    stats.max_segment_payload_bytes =
+        std::max(stats.max_segment_payload_bytes,
+                 segment_payload_bytes(nv, plan.edges));
+  }
+  writer.finish();
+  return stats;
+}
+
+}  // namespace hipa::graph

@@ -12,6 +12,8 @@ std::string_view phase_name(Phase p) {
       return "scatter";
     case Phase::kGather:
       return "gather";
+    case Phase::kIoWait:
+      return "io_wait";
   }
   return "?";
 }

@@ -43,9 +43,17 @@ enum class Telemetry : unsigned char { kOff = 0, kOn = 1 };
 /// The engine sub-phases every methodology reports through. All five
 /// engines map their internal passes onto this shared vocabulary:
 /// PCPM init/scatter/gather directly; v-PR contrib→scatter,
-/// pull→gather; Polymer replicate→scatter, pull→gather.
-enum class Phase : unsigned { kInit = 0, kScatter = 1, kGather = 2 };
-inline constexpr unsigned kNumPhases = 3;
+/// pull→gather; Polymer replicate→scatter, pull→gather. kIoWait is
+/// the out-of-core driver's stall accounting: time compute spent
+/// blocked on a segment fetch that the prefetch pipeline had not
+/// finished yet (zero for fully resident runs).
+enum class Phase : unsigned {
+  kInit = 0,
+  kScatter = 1,
+  kGather = 2,
+  kIoWait = 3,
+};
+inline constexpr unsigned kNumPhases = 4;
 
 [[nodiscard]] std::string_view phase_name(Phase p);
 
