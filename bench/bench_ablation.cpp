@@ -73,8 +73,9 @@ int main(int argc, char** argv) {
     sim::SimMachine machine(sim::Topology::skylake_2s().scaled(scale));
     engine::SimBackend backend(machine);
     engine::PcpmEngine<engine::SimBackend> eng(g, v.opt, backend);
-    const auto report =
-        eng.run({.iterations = iters, .damping = 0.85f}).report;
+    engine::PageRankOptions pr;
+    pr.iterations = iters;
+    const auto report = eng.run(pr).report;
     if (full_seconds == 0.0) full_seconds = report.seconds;
     std::printf("%-32s %10.4f %8.2fx %8.1f%% %11llu\n", v.label,
                 report.seconds, report.seconds / full_seconds,

@@ -47,8 +47,9 @@ int main(int argc, char** argv) {
       }
       imbalance[i] = static_cast<double>(max_edges) * plan.num_threads() /
                      static_cast<double>(sum_edges);
-      secs[i] = eng.run({.iterations = iters, .damping = 0.85f})
-                    .report.seconds;
+      engine::PageRankOptions pr;
+      pr.iterations = iters;
+      secs[i] = eng.run(pr).report.seconds;
     }
     std::printf("%-9s | %9.2fx %10.4f | %9.2fx %10.4f |  %5.2fx\n",
                 d.name.c_str(), imbalance[0], secs[0], imbalance[1],

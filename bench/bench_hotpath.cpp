@@ -47,6 +47,7 @@
 // EXPERIMENTS.md can track the numbers. `--smoke` shrinks to one tiny
 // dataset and two iterations for the `perf-smoke` ctest label.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <span>
 #include <string>
@@ -739,6 +740,232 @@ int main(int argc, char** argv) {
     jw.kv("overhead_frac", ov2.overhead_frac);
     jw.kv("ranks_l1_off_vs_on", ov2.ranks_l1);
     jw.kv("ranks_bitwise_identical", ov2.ranks_l1 == 0.0);
+    jw.end_object();
+  }
+
+  // ---- kernels: per-kernel hot-path cost through run<K>() -------------
+  if (!datasets.empty()) {
+    const bench::ScaledDataset& d = datasets.front();
+    const std::vector<algo::Kernel> kernels = flags.kernels_or(
+        {algo::Kernel::kPageRank, algo::Kernel::kPersonalized,
+         algo::Kernel::kBfs, algo::Kernel::kWcc, algo::Kernel::kSssp});
+    const eid_t edges = d.graph.num_edges();
+    vid_t source = 0;
+    for (vid_t v = 1; v < d.graph.num_vertices(); ++v) {
+      if (d.graph.out.degree(v) > d.graph.out.degree(source)) source = v;
+    }
+
+    // One HiPa engine, one kernel slot each; telemetry gives the
+    // scatter message volume, the bins give the full-frontier volume
+    // so the skip ratio is (1 - produced / (rounds * full)).
+    engine::NativeBackend backend;
+    const unsigned threads = std::max(1u, runtime::available_cpus());
+    engine::PcpmEngine<engine::NativeBackend> eng(
+        d.graph,
+        engine::PcpmOptions::hipa(
+            threads, 1, algo::default_partition_bytes(algo::Method::kHipa,
+                                                      d.scale)),
+        backend);
+    const std::uint64_t full_round = eng.bins().total_messages();
+
+    struct KernelRow {
+      algo::Kernel kernel{};
+      bool frontier = false;
+      unsigned iterations = 0;
+      double native_seconds = 0.0;
+      double ns_per_edge = 0.0;
+      double messages_per_edge = 0.0;
+      double active_skip_ratio = 0.0;
+    };
+    auto run_one = [&]<class K>(algo::Kernel k,
+                                const typename K::Options& ko) {
+      engine::RunOptions ro;
+      ro.iterations = iters;
+      ro.telemetry = runtime::Telemetry::kOn;
+      const auto kr = eng.template run<K>(ko, ro);
+      KernelRow r;
+      r.kernel = k;
+      r.frontier = K::kUsesFrontier;
+      r.iterations = kr.report.iterations;
+      r.native_seconds = kr.report.seconds;
+      const double work =
+          static_cast<double>(edges) * std::max(1u, r.iterations);
+      const auto produced =
+          kr.report.telemetry[runtime::Phase::kScatter].messages_produced;
+      r.ns_per_edge =
+          work > 0.0 ? kr.report.seconds * 1e9 / work : 0.0;
+      r.messages_per_edge =
+          work > 0.0 ? static_cast<double>(produced) / work : 0.0;
+      const double full =
+          static_cast<double>(full_round) * std::max(1u, r.iterations);
+      r.active_skip_ratio =
+          full > 0.0 ? 1.0 - static_cast<double>(produced) / full : 0.0;
+      return r;
+    };
+
+    std::vector<KernelRow> rows;
+    for (const algo::Kernel k : kernels) {
+      switch (k) {
+        case algo::Kernel::kPageRank:
+          rows.push_back(
+              run_one.template operator()<engine::PageRankKernel>(k, {}));
+          break;
+        case algo::Kernel::kPersonalized: {
+          engine::PprOptions ko;
+          ko.seeds = {source};
+          rows.push_back(
+              run_one.template operator()<engine::PprKernel>(k, ko));
+          break;
+        }
+        case algo::Kernel::kBfs: {
+          engine::BfsOptions ko;
+          ko.source = source;
+          rows.push_back(
+              run_one.template operator()<engine::BfsKernel>(k, ko));
+          break;
+        }
+        case algo::Kernel::kWcc:
+          // Raw directed graph (no symmetrization): a pure engine
+          // measurement, not a weak-connectivity answer.
+          rows.push_back(
+              run_one.template operator()<engine::WccKernel>(k, {}));
+          break;
+        case algo::Kernel::kSssp: {
+          engine::SsspOptions ko;
+          ko.source = source;
+          rows.push_back(
+              run_one.template operator()<engine::SsspKernel>(k, ko));
+          break;
+        }
+      }
+    }
+
+    // Abstraction-drift gate: the PageRank-only facade and
+    // run<PageRankKernel> are two entry points to one core, so every
+    // deterministic work counter — iterations, messages produced and
+    // consumed — and the ranks must match EXACTLY. Simulated cycles
+    // are reported alongside but not gated at zero: the cache model
+    // indexes by real heap address, so two engine instances (whose
+    // large buffers land wherever mmap puts them) differ by O(1e-5)
+    // in set-conflict noise even though they execute the same code.
+    // Each run gets its own scope so peak memory stays one engine.
+    engine::PageRankOptions pr;
+    pr.iterations = iters;
+    pr.telemetry = runtime::Telemetry::kOn;
+    std::uint64_t cycles_facade = 0;
+    std::uint64_t cycles_kernel = 0;
+    std::uint64_t produced_facade = 0;
+    std::uint64_t produced_kernel = 0;
+    std::uint64_t consumed_facade = 0;
+    std::uint64_t consumed_kernel = 0;
+    unsigned iters_facade = 0;
+    unsigned iters_kernel = 0;
+    double ranks_l1 = 0.0;
+    std::vector<rank_t> facade_ranks;
+    facade_ranks.resize(d.graph.num_vertices());
+    {
+      sim::SimMachine m1 = bench::make_machine(d.scale);
+      engine::SimBackend b1(m1);
+      engine::PcpmEngine<engine::SimBackend> e1(
+          d.graph,
+          engine::PcpmOptions::hipa(
+              algo::default_threads(algo::Method::kHipa, m1.topology()),
+              m1.topology().num_nodes,
+              algo::default_partition_bytes(algo::Method::kHipa, d.scale)),
+          b1);
+      auto facade = e1.run(pr);
+      cycles_facade = facade.report.stats.total_cycles;
+      produced_facade = facade.report.telemetry.total_messages_produced();
+      consumed_facade = facade.report.telemetry.total_messages_consumed();
+      iters_facade = facade.report.iterations;
+      std::copy(facade.ranks.begin(), facade.ranks.end(),
+                facade_ranks.begin());
+    }
+    {
+      sim::SimMachine m2 = bench::make_machine(d.scale);
+      engine::SimBackend b2(m2);
+      engine::PcpmEngine<engine::SimBackend> e2(
+          d.graph,
+          engine::PcpmOptions::hipa(
+              algo::default_threads(algo::Method::kHipa, m2.topology()),
+              m2.topology().num_nodes,
+              algo::default_partition_bytes(algo::Method::kHipa, d.scale)),
+          b2);
+      engine::PrOptions ko;
+      ko.damping = pr.damping;
+      const auto kernel = e2.template run<engine::PageRankKernel>(ko, pr);
+      cycles_kernel = kernel.report.stats.total_cycles;
+      produced_kernel = kernel.report.telemetry.total_messages_produced();
+      consumed_kernel = kernel.report.telemetry.total_messages_consumed();
+      iters_kernel = kernel.report.iterations;
+      ranks_l1 = algo::l1_distance(facade_ranks, kernel.values);
+    }
+    const auto rel = [](std::uint64_t a, std::uint64_t b) {
+      const double lo = static_cast<double>(std::max<std::uint64_t>(
+          1, std::min(a, b)));
+      return std::fabs(static_cast<double>(a) - static_cast<double>(b)) /
+             lo;
+    };
+    const double drift =
+        std::max({rel(iters_facade, iters_kernel),
+                  rel(produced_facade, produced_kernel),
+                  rel(consumed_facade, consumed_kernel)});
+    if (ranks_l1 != 0.0 || drift != 0.0) {
+      std::fprintf(stderr,
+                   "ERROR: run<PageRankKernel> drifted from the facade "
+                   "(ranks L1 = %g, work drift = %g; iters %u vs %u, "
+                   "msgs out %llu vs %llu, msgs in %llu vs %llu)\n",
+                   ranks_l1, drift, iters_facade, iters_kernel,
+                   static_cast<unsigned long long>(produced_facade),
+                   static_cast<unsigned long long>(produced_kernel),
+                   static_cast<unsigned long long>(consumed_facade),
+                   static_cast<unsigned long long>(consumed_kernel));
+      rc = 1;
+    }
+
+    std::printf("\nkernels through run<K>() (HiPa on '%s', native, %u "
+                "threads):\n",
+                d.name.c_str(), threads);
+    std::printf("  %-9s %5s %9s %9s %9s %7s\n", "kernel", "iters",
+                "ns/edge", "msg/edge", "skip", "front");
+    for (const KernelRow& r : rows) {
+      std::printf("  %-9s %5u %9.2f %9.3f %8.1f%% %7s\n",
+                  algo::kernel_name(r.kernel), r.iterations, r.ns_per_edge,
+                  r.messages_per_edge, 100.0 * r.active_skip_ratio,
+                  r.frontier ? "yes" : "no");
+    }
+    std::printf("  pagerank abstraction drift: work %.3g%%, ranks L1 %g "
+                "(sim cycles %llu vs %llu, informational)\n",
+                100.0 * drift, ranks_l1,
+                static_cast<unsigned long long>(cycles_facade),
+                static_cast<unsigned long long>(cycles_kernel));
+
+    jw.key("kernels");
+    jw.begin_object();
+    jw.kv("dataset", d.name);
+    jw.kv("iterations", iters);
+    jw.kv("threads", threads);
+    jw.kv("full_round_messages", static_cast<std::uint64_t>(full_round));
+    jw.key("entries");
+    jw.begin_array();
+    for (const KernelRow& r : rows) {
+      jw.begin_object();
+      jw.kv("kernel", algo::kernel_name(r.kernel));
+      jw.kv("frontier", r.frontier);
+      jw.kv("iterations", r.iterations);
+      jw.kv("native_seconds", r.native_seconds);
+      jw.kv("ns_per_edge", r.ns_per_edge);
+      jw.kv("messages_per_edge", r.messages_per_edge);
+      jw.kv("active_skip_ratio", r.active_skip_ratio);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.kv("pagerank_sim_cycles_facade", cycles_facade);
+    jw.kv("pagerank_sim_cycles_kernel", cycles_kernel);
+    jw.kv("pagerank_abstraction_drift", drift);
+    jw.kv("pagerank_ranks_l1_vs_facade", ranks_l1);
+    jw.kv("pagerank_bitwise_identical_to_facade",
+          ranks_l1 == 0.0 && drift == 0.0);
     jw.end_object();
   }
 

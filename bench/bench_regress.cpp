@@ -420,6 +420,74 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Kernel section: the abstraction-drift gate is a correctness claim
+  // about the CURRENT run (hard, baseline-independent) — the facade
+  // and run<PageRankKernel> are the same core, so simulated cycles
+  // and ranks must agree exactly. Per-kernel message volume, round
+  // counts and skip ratios are deterministic functions of graph +
+  // partition plan: tight hard bands. ns/edge is host wall clock:
+  // advisory.
+  {
+    const Value* ck = get(cur, "kernels");
+    if (ck != nullptr) {
+      double drift = -1.0;
+      if (!get_number(ck, "pagerank_abstraction_drift", &drift) ||
+          drift != 0.0) {
+        fail("/kernels/pagerank_abstraction_drift", "must be 0");
+      }
+      double l1 = -1.0;
+      if (!get_number(ck, "pagerank_ranks_l1_vs_facade", &l1) ||
+          l1 != 0.0) {
+        fail("/kernels/pagerank_ranks_l1_vs_facade", "must be 0");
+      }
+      const Value* ident = get(ck, "pagerank_bitwise_identical_to_facade");
+      if (ident == nullptr || ident->type != Value::Type::kBool ||
+          !ident->boolean) {
+        fail("/kernels/pagerank_bitwise_identical_to_facade",
+             "must be true");
+      }
+      const Value* bk = get(base, "kernels");
+      compare_metric(ck, bk, "/kernels", "full_round_messages", 0.0, true);
+      // Simulated cycles carry heap-address set-conflict noise
+      // (~1e-5 relative); anything past 2% is a real model change.
+      compare_metric(ck, bk, "/kernels", "pagerank_sim_cycles_facade",
+                     0.02, true);
+      compare_metric(ck, bk, "/kernels", "pagerank_sim_cycles_kernel",
+                     0.02, true);
+      const Value* bentries = get(bk, "entries");
+      const Value* centries = get(ck, "entries");
+      if (bentries != nullptr && bentries->type == Value::Type::kArray) {
+        for (const ValuePtr& be : bentries->array) {
+          const Value* name = get(be.get(), "kernel");
+          if (name == nullptr) continue;
+          const std::string ep = "/kernels/entries[kernel=" + name->str +
+                                 "]";
+          const Value* ce = nullptr;
+          if (centries != nullptr &&
+              centries->type == Value::Type::kArray) {
+            for (const ValuePtr& c : centries->array) {
+              const Value* n = get(c.get(), "kernel");
+              if (n != nullptr && n->str == name->str) {
+                ce = c.get();
+                break;
+              }
+            }
+          }
+          if (ce == nullptr) {
+            fail(ep, "kernel present in baseline but missing in current");
+            continue;
+          }
+          compare_metric(ce, be.get(), ep, "iterations", 0.0, true);
+          compare_metric(ce, be.get(), ep, "messages_per_edge", 0.02, true,
+                         0.001);
+          compare_metric(ce, be.get(), ep, "active_skip_ratio", 0.02, true,
+                         0.01);
+          compare_metric(ce, be.get(), ep, "ns_per_edge", 3.0, false, 0.1);
+        }
+      }
+    }
+  }
+
   // Out-of-core streaming: bitwise identity with the in-core run and
   // staying inside the resident budget are correctness claims about
   // the CURRENT run (hard, baseline-independent). The segmentation

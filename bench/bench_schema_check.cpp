@@ -346,6 +346,62 @@ void check_hotpath(const Value& root) {
     }
   }
 
+  // Kernel section: per-kernel hot-path cost through run<K>() plus the
+  // facade-vs-kernel abstraction-drift gate (must be exactly zero).
+  const Value* ker = require(root, top, "kernels", Value::Type::kObject);
+  if (ker != nullptr) {
+    const std::string kp = at(top, "kernels");
+    require(*ker, kp, "dataset", Value::Type::kString);
+    require_nonneg(*ker, kp, "iterations");
+    require_nonneg(*ker, kp, "threads");
+    require_nonneg(*ker, kp, "full_round_messages");
+    const Value* entries = require(*ker, kp, "entries", Value::Type::kArray);
+    if (entries != nullptr) {
+      if (entries->array.empty()) err(at(kp, "entries"), "is empty");
+      for (std::size_t i = 0; i < entries->array.size(); ++i) {
+        const Value& e = *entries->array[i];
+        const std::string ep = at(at(kp, "entries"), i);
+        require(e, ep, "kernel", Value::Type::kString);
+        const Value* frontier =
+            require(e, ep, "frontier", Value::Type::kBool);
+        const double rounds = require_nonneg(e, ep, "iterations");
+        if (rounds < 1.0) err(at(ep, "iterations"), "must be >= 1");
+        require_nonneg(e, ep, "native_seconds");
+        require_nonneg(e, ep, "ns_per_edge");
+        require_nonneg(e, ep, "messages_per_edge");
+        const double skip = require_fraction(e, ep, "active_skip_ratio");
+        // Non-frontier kernels scatter every partition every round: a
+        // nonzero skip ratio there means the accounting broke.
+        if (frontier != nullptr && !frontier->boolean && skip != 0.0) {
+          err(at(ep, "active_skip_ratio"),
+              "must be 0 for non-frontier kernels (got " +
+                  std::to_string(skip) + ")");
+        }
+      }
+    }
+    require_nonneg(*ker, kp, "pagerank_sim_cycles_facade");
+    require_nonneg(*ker, kp, "pagerank_sim_cycles_kernel");
+    const Value* drift =
+        require(*ker, kp, "pagerank_abstraction_drift", Value::Type::kNumber);
+    if (drift != nullptr && drift->number != 0.0) {
+      err(at(kp, "pagerank_abstraction_drift"),
+          "must be 0 (got " + std::to_string(drift->number) + ")");
+    }
+    const Value* l1 = require(*ker, kp, "pagerank_ranks_l1_vs_facade",
+                              Value::Type::kNumber);
+    if (l1 != nullptr && l1->number != 0.0) {
+      err(at(kp, "pagerank_ranks_l1_vs_facade"),
+          "must be 0 (got " + std::to_string(l1->number) + ")");
+    }
+    const Value* ident = require(*ker, kp,
+                                 "pagerank_bitwise_identical_to_facade",
+                                 Value::Type::kBool);
+    if (ident != nullptr && !ident->boolean) {
+      err(at(kp, "pagerank_bitwise_identical_to_facade"),
+          "must be true — run<PageRankKernel> drifted from the facade");
+    }
+  }
+
   const Value* toh =
       require(root, top, "telemetry_overhead", Value::Type::kObject);
   if (toh != nullptr) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "algos/pagerank.hpp"
+#include "common/cli.hpp"
 #include "graph/datasets.hpp"
 #include "runtime/numa_audit.hpp"
 #include "runtime/telemetry.hpp"
@@ -25,18 +26,24 @@ namespace hipa::bench {
 /// --smoke (quick + one dataset + short iterations; CI-friendly),
 /// --dataset=name (restrict to one), --methods=a,b (restrict the
 /// methodology set; names per algo::method_from_name, e.g.
-/// "hipa,ppr,GPOP"), --reorder=a,b (restrict the vertex-reorder mode
-/// set; names per algo::reorder_from_name: none degree hub),
-/// --out=path (JSON output path for benches that emit
-/// machine-readable results), --trace-out=path (Chrome/Perfetto
-/// trace_events timeline of the instrumented native run; open with
-/// ui.perfetto.dev), --help.
+/// "hipa,ppr,GPOP"), --kernel=a,b (restrict the kernel set; names per
+/// algo::kernel_from_name: pagerank ppr bfs wcc sssp), --reorder=a,b
+/// (restrict the vertex-reorder mode set; names per
+/// algo::reorder_from_name: none degree hub), --out=path (JSON output
+/// path for benches that emit machine-readable results),
+/// --trace-out=path (Chrome/Perfetto trace_events timeline of the
+/// instrumented native run; open with ui.perfetto.dev), --help.
+///
+/// The flag grammar itself (prefix matching, list splitting, strict
+/// integers) lives in common/cli.hpp, shared with the offline tools;
+/// this struct only binds it to the bench vocabulary.
 struct Flags {
   unsigned iterations = 0;  ///< 0 = per-bench default
   bool quick = false;
   bool smoke = false;  ///< implies quick; benches also trim datasets
   std::string dataset;
   std::vector<algo::Method> methods;  ///< empty = bench default set
+  std::vector<algo::Kernel> kernels;  ///< empty = bench default set
   std::vector<engine::Reorder> reorders;  ///< empty = bench default set
   std::string out;        ///< JSON output path ("" = bench default)
   std::string trace_out;  ///< Chrome trace path ("" = no trace)
@@ -45,32 +52,35 @@ struct Flags {
     Flags f;
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
-      if (std::strncmp(a, "--iters=", 8) == 0) {
-        f.iterations = static_cast<unsigned>(std::atoi(a + 8));
-      } else if (std::strcmp(a, "--quick") == 0) {
+      if (const char* v = cli::flag_value(a, "--iters=")) {
+        f.iterations = static_cast<unsigned>(cli::parse_u64("--iters", v));
+      } else if (cli::flag_is(a, "--quick")) {
         // Smoke mode: 8x extra shrink. Degenerate caches distort shapes;
         // use default scales for reproduction-quality numbers.
         f.quick = true;
-      } else if (std::strcmp(a, "--smoke") == 0) {
+      } else if (cli::flag_is(a, "--smoke")) {
         f.smoke = true;
         f.quick = true;
-      } else if (std::strncmp(a, "--dataset=", 10) == 0) {
-        f.dataset = a + 10;
-      } else if (std::strncmp(a, "--methods=", 10) == 0) {
-        f.methods = parse_methods(a + 10);
-      } else if (std::strncmp(a, "--reorder=", 10) == 0) {
-        f.reorders = parse_reorders(a + 10);
-      } else if (std::strncmp(a, "--out=", 6) == 0) {
-        f.out = a + 6;
-      } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
-        f.trace_out = a + 12;
-      } else if (std::strcmp(a, "--help") == 0) {
+      } else if (const char* v = cli::flag_value(a, "--dataset=")) {
+        f.dataset = v;
+      } else if (const char* v = cli::flag_value(a, "--methods=")) {
+        f.methods = parse_methods(v);
+      } else if (const char* v = cli::flag_value(a, "--kernel=")) {
+        f.kernels = parse_kernels(v);
+      } else if (const char* v = cli::flag_value(a, "--reorder=")) {
+        f.reorders = parse_reorders(v);
+      } else if (const char* v = cli::flag_value(a, "--out=")) {
+        f.out = v;
+      } else if (const char* v = cli::flag_value(a, "--trace-out=")) {
+        f.trace_out = v;
+      } else if (cli::flag_is(a, "--help")) {
         std::printf(
             "flags: --iters=N  --quick  --smoke  --dataset=<name>  "
-            "--methods=a,b  --reorder=a,b  --out=<path>  "
+            "--methods=a,b  --kernel=a,b  --reorder=a,b  --out=<path>  "
             "--trace-out=<path>\n"
             "datasets: journal pld wiki kron twitter mpi\n"
             "methods:  hipa ppr vpr gpop polymer (or the paper names)\n"
+            "kernels:  pagerank ppr bfs wcc sssp\n"
             "reorder:  none degree hub\n");
         std::exit(0);
       }
@@ -82,51 +92,28 @@ struct Flags {
   /// Unknown names abort with a message listing the vocabulary — a
   /// silently dropped methodology would corrupt a reproduction run.
   static std::vector<algo::Method> parse_methods(const char* list) {
-    std::vector<algo::Method> out;
-    const std::string s(list);
-    std::size_t pos = 0;
-    while (pos <= s.size()) {
-      const std::size_t comma = std::min(s.find(',', pos), s.size());
-      const std::string tok = s.substr(pos, comma - pos);
-      if (!tok.empty()) {
-        const auto m = algo::method_from_name(tok);
-        if (!m.has_value()) {
-          std::fprintf(stderr,
-                       "unknown method '%s' (try hipa ppr vpr gpop "
-                       "polymer)\n",
-                       tok.c_str());
-          std::exit(2);
-        }
-        out.push_back(*m);
-      }
-      pos = comma + 1;
-    }
-    return out;
+    return cli::parse_name_list<algo::Method>(
+        list, [](const std::string& s) { return algo::method_from_name(s); },
+        "method", "hipa ppr vpr gpop polymer");
+  }
+
+  /// Comma-separated kernel list -> algo::Kernel via
+  /// algo::kernel_from_name; unknown names abort, same policy as
+  /// parse_methods.
+  static std::vector<algo::Kernel> parse_kernels(const char* list) {
+    return cli::parse_name_list<algo::Kernel>(
+        list, [](const std::string& s) { return algo::kernel_from_name(s); },
+        "kernel", "pagerank ppr bfs wcc sssp");
   }
 
   /// Comma-separated reorder-mode list -> engine::Reorder via
   /// algo::reorder_from_name; unknown names abort, same policy as
   /// parse_methods.
   static std::vector<engine::Reorder> parse_reorders(const char* list) {
-    std::vector<engine::Reorder> out;
-    const std::string s(list);
-    std::size_t pos = 0;
-    while (pos <= s.size()) {
-      const std::size_t comma = std::min(s.find(',', pos), s.size());
-      const std::string tok = s.substr(pos, comma - pos);
-      if (!tok.empty()) {
-        const auto r = algo::reorder_from_name(tok);
-        if (!r.has_value()) {
-          std::fprintf(stderr,
-                       "unknown reorder mode '%s' (try none degree hub)\n",
-                       tok.c_str());
-          std::exit(2);
-        }
-        out.push_back(*r);
-      }
-      pos = comma + 1;
-    }
-    return out;
+    return cli::parse_name_list<engine::Reorder>(
+        list,
+        [](const std::string& s) { return algo::reorder_from_name(s); },
+        "reorder mode", "none degree hub");
   }
 
   /// The bench's method set: the --methods= filter if given (order
@@ -135,6 +122,14 @@ struct Flags {
       std::initializer_list<algo::Method> defaults) const {
     if (!methods.empty()) return methods;
     return std::vector<algo::Method>(defaults);
+  }
+
+  /// The bench's kernel set: the --kernel= filter if given, otherwise
+  /// `defaults`.
+  [[nodiscard]] std::vector<algo::Kernel> kernels_or(
+      std::initializer_list<algo::Kernel> defaults) const {
+    if (!kernels.empty()) return kernels;
+    return std::vector<algo::Kernel>(defaults);
   }
 
   /// The bench's reorder-mode set: the --reorder= filter if given,

@@ -48,8 +48,10 @@ int main(int argc, char** argv) {
 
   // 3. Run PageRank — with run-level telemetry, so the report can say
   //    where the time went, not just how much there was.
-  const auto [report, ranks] = engine.run(
-      {.iterations = 20, .telemetry = runtime::Telemetry::kOn});
+  engine::PageRankOptions pr;
+  pr.iterations = 20;
+  pr.telemetry = runtime::Telemetry::kOn;
+  const auto [report, ranks] = engine.run(pr);
   std::printf("20 iterations in %.3f s (%.1f M edges/s)\n", report.seconds,
               20.0 * static_cast<double>(g.num_edges()) / report.seconds /
                   1e6);

@@ -1,20 +1,25 @@
-// Level-synchronous breadth-first search (paper §6's third extension
-// target), with the HiPa treatment: vertex ranges partitioned and
-// pinned per thread, persistent node-bound team, NUMA-placed arrays.
-//
-// The expansion uses idempotent dense writes (next[u] = 1) instead of
-// CAS, so races are benign; levels are applied in a second phase.
+// Breadth-first search through the kernel-generic engine (paper §6's
+// third extension target): a thin wrapper over
+// PcpmEngine::run<BfsKernel> — hierarchical partitions, pinned
+// persistent threads, NUMA-placed attribute arrays and the
+// active-partition frontier all come from the shared engine; only the
+// result shaping (levels/reached from the distance vector) lives here.
+// bfs_reference (bfs.cpp) is the serial correctness oracle.
 #pragma once
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "engines/backend.hpp"
+#include "engines/pcpm_engine.hpp"
 #include "graph/csr.hpp"
-#include "partition/plan.hpp"
 
 namespace hipa::algo {
 
 inline constexpr std::uint32_t kUnreached = ~0u;
+static_assert(kUnreached == engine::BfsKernel::kUnreached,
+              "algo and kernel sentinel must agree");
 
 struct BfsOptions {
   unsigned threads = 4;
@@ -35,123 +40,27 @@ struct BfsResult {
 /// HiPa-style parallel BFS on either backend.
 template <class Backend>
 [[nodiscard]] BfsResult bfs(const graph::Graph& g, vid_t source,
-                            const BfsOptions& opt, Backend& backend);
-
-// ---- implementation ---------------------------------------------------------
-
-template <class Backend>
-BfsResult bfs(const graph::Graph& g, vid_t source, const BfsOptions& opt,
-              Backend& backend) {
-  using Mem = typename Backend::Mem;
-  const vid_t n = g.num_vertices();
-  HIPA_CHECK(source < n, "source out of range");
-
-  part::PlanConfig cfg;
-  cfg.partition_bytes = opt.partition_bytes;
-  cfg.num_nodes = std::max(1u, std::min(opt.num_nodes, opt.threads));
-  cfg.threads_per_node.assign(cfg.num_nodes, 0);
-  for (unsigned t = 0; t < opt.threads; ++t) {
-    ++cfg.threads_per_node[t % cfg.num_nodes];
-  }
-  const part::HierarchicalPlan plan =
-      part::build_hierarchical_plan(g.out, cfg);
-
-  AlignedBuffer<std::uint32_t> dist(n);
-  AlignedBuffer<std::uint8_t> frontier(n);
-  AlignedBuffer<std::uint8_t> next(n);
-  for (unsigned node = 0; node < plan.num_nodes; ++node) {
-    const VertexRange vr = plan.node_vertex_range(node);
-    backend.register_buffer(dist.data() + vr.begin,
-                            vr.size() * sizeof(std::uint32_t),
-                            engine::DataPlacement::kNode, node);
-    backend.register_buffer(frontier.data() + vr.begin, vr.size(),
-                            engine::DataPlacement::kNode, node);
-    backend.register_buffer(next.data() + vr.begin, vr.size(),
-                            engine::DataPlacement::kNode, node);
-  }
-
-  engine::ThreadTeamSpec spec;
-  spec.num_threads = opt.threads;
-  spec.persistent = true;
-  spec.binding = engine::ThreadTeamSpec::Binding::kNodeBlocked;
-  spec.threads_per_node = plan.threads_per_node;
-  spec.threads_per_node.resize(
-      std::max<std::size_t>(spec.threads_per_node.size(), opt.num_nodes), 0);
+                            const BfsOptions& opt, Backend& backend) {
+  HIPA_CHECK(source < g.num_vertices(), "source out of range");
+  // num_nodes passes through unclamped: the engine clamps its plan to
+  // the thread count itself, but pads the thread-team spec back up to
+  // num_nodes so node-blocked placement sees one entry per node.
+  auto popt = engine::PcpmOptions::hipa(opt.threads,
+                                        std::max(1u, opt.num_nodes),
+                                        opt.partition_bytes);
+  engine::PcpmEngine<Backend> eng(g, popt, backend);
+  engine::BfsOptions ko;
+  ko.source = source;
+  auto kr = eng.template run<engine::BfsKernel>(ko);
 
   BfsResult result;
-  std::vector<std::uint64_t> found_per_thread(opt.threads, 0);
-
-  const double t0 = backend.now_seconds();
-  backend.start_team(spec);
-  backend.phase([&](unsigned t, Mem& mem) {
-    const VertexRange r = plan.table.vertices_of_thread(t);
-    mem.stream_write(dist.data() + r.begin, r.size());
-    mem.stream_write(frontier.data() + r.begin, r.size());
-    mem.stream_write(next.data() + r.begin, r.size());
-    for (vid_t v = r.begin; v < r.end; ++v) {
-      dist[v] = kUnreached;
-      frontier[v] = 0;
-      next[v] = 0;
-    }
-    mem.work(r.size());
-  });
-  dist[source] = 0;
-  frontier[source] = 1;
-  result.reached = 1;
-
-  std::uint32_t level = 0;
-  for (;;) {
-    // Expand: every frontier vertex marks its unreached out-neighbors.
-    backend.phase([&](unsigned t, Mem& mem) {
-      const auto [pb, pe] = plan.table.partitions_of_thread(t);
-      for (std::uint32_t p = pb; p < pe; ++p) {
-        const VertexRange r = plan.parts.range(p);
-        mem.stream_read(frontier.data() + r.begin, r.size());
-        for (vid_t v = r.begin; v < r.end; ++v) {
-          if (frontier[v] == 0) continue;
-          const auto neigh = g.out.neighbors(v);
-          mem.stream_read(neigh.data(), neigh.size());
-          for (vid_t u : neigh) {
-            if (mem.load(dist.data() + u) == kUnreached) {
-              // Idempotent publish; races write the same value.
-              mem.store(next.data() + u, std::uint8_t{1});
-            }
-          }
-          mem.work(neigh.size() + 2);
-        }
-      }
-    });
-    // Apply: consume marks, assign distances, build the new frontier.
-    const std::uint32_t new_level = level + 1;
-    backend.phase([&](unsigned t, Mem& mem) {
-      const VertexRange r = plan.table.vertices_of_thread(t);
-      std::uint64_t found = 0;
-      mem.stream_read(next.data() + r.begin, r.size());
-      mem.stream_write(frontier.data() + r.begin, r.size());
-      for (vid_t v = r.begin; v < r.end; ++v) {
-        const bool fresh = next[v] != 0 && dist[v] == kUnreached;
-        if (fresh) {
-          mem.store(dist.data() + v, new_level);
-          ++found;
-        }
-        frontier[v] = fresh ? 1 : 0;
-        next[v] = 0;
-      }
-      mem.work(r.size());
-      found_per_thread[t] = found;
-    });
-    std::uint64_t found_total = 0;
-    for (std::uint64_t f : found_per_thread) found_total += f;
-    if (found_total == 0) break;
-    result.reached += found_total;
-    level = new_level;
+  result.distance = std::move(kr.values);
+  for (std::uint32_t d : result.distance) {
+    if (d == kUnreached) continue;
+    ++result.reached;
+    result.levels = std::max(result.levels, d);
   }
-  backend.end_team();
-
-  result.levels = level;
-  result.report.seconds = backend.now_seconds() - t0;
-  result.report.iterations = level;
-  result.distance.assign(dist.begin(), dist.end());
+  result.report = std::move(kr.report);
   return result;
 }
 

@@ -5,12 +5,6 @@
 #include <cmath>
 #include <numeric>
 
-#include "common/timer.hpp"
-#include "engines/polymer_engine.hpp"
-#include "engines/vpr_engine.hpp"
-#include "graph/reorder.hpp"
-#include "runtime/affinity.hpp"
-
 namespace hipa::algo {
 
 std::vector<rank_t> pagerank_reference(const graph::Graph& g,
@@ -29,6 +23,43 @@ std::vector<rank_t> pagerank_reference(const graph::Graph& g,
       rank_t sum = 0.0f;
       for (vid_t u : g.in.neighbors(v)) sum += contrib[u];
       rank[v] = base + damping * sum;
+    }
+  }
+  return rank;
+}
+
+std::vector<rank_t> ppr_reference(const graph::Graph& g, unsigned iterations,
+                                  rank_t damping,
+                                  std::span<const vid_t> seeds) {
+  const vid_t n = g.num_vertices();
+  HIPA_CHECK(n > 0, "empty graph");
+  // Restart vector: uniform over seeds (uniform over all vertices when
+  // the seed set is empty — matches PprKernel::Pull::setup and
+  // PprKernel::begin_run).
+  std::vector<rank_t> rst(n, 0.0f);
+  if (seeds.empty()) {
+    std::fill(rst.begin(), rst.end(),
+              static_cast<rank_t>(1.0 / static_cast<double>(n)));
+  } else {
+    const auto w =
+        static_cast<rank_t>(1.0 / static_cast<double>(seeds.size()));
+    for (vid_t v : seeds) {
+      HIPA_CHECK(v < n, "PPR seed out of range");
+      rst[v] += w;
+    }
+  }
+  const rank_t omd = 1.0f - damping;
+  std::vector<rank_t> rank(rst);
+  std::vector<rank_t> contrib(n);
+  for (unsigned it = 0; it < iterations; ++it) {
+    for (vid_t v = 0; v < n; ++v) {
+      const vid_t d = g.out.degree(v);
+      contrib[v] = d == 0 ? 0.0f : rank[v] / static_cast<rank_t>(d);
+    }
+    for (vid_t v = 0; v < n; ++v) {
+      rank_t sum = 0.0f;
+      for (vid_t u : g.in.neighbors(v)) sum += contrib[u];
+      rank[v] = omd * rst[v] + damping * sum;
     }
   }
   return rank;
@@ -89,6 +120,37 @@ std::optional<Method> method_from_name(std::string_view name) {
   if (name == "vpr") return Method::kVpr;
   if (name == "gpop") return Method::kGpop;
   if (name == "polymer") return Method::kPolymer;
+  return std::nullopt;
+}
+
+std::span<const Kernel> all_kernels() {
+  static constexpr std::array<Kernel, 5> kAll = {
+      Kernel::kPageRank, Kernel::kPersonalized, Kernel::kBfs, Kernel::kWcc,
+      Kernel::kSssp};
+  return kAll;
+}
+
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kPageRank:
+      return "pagerank";
+    case Kernel::kPersonalized:
+      return "ppr";
+    case Kernel::kBfs:
+      return "bfs";
+    case Kernel::kWcc:
+      return "wcc";
+    case Kernel::kSssp:
+      return "sssp";
+  }
+  return "?";
+}
+
+std::optional<Kernel> kernel_from_name(std::string_view name) {
+  for (Kernel k : all_kernels()) {
+    if (name == kernel_name(k)) return k;  // exact round-trip
+  }
+  if (name == "pr") return Kernel::kPageRank;  // CLI-friendly alias
   return std::nullopt;
 }
 
@@ -155,118 +217,73 @@ std::uint64_t default_partition_bytes(Method m, unsigned scale_denom) {
   return 0;
 }
 
-namespace {
-
-template <class Backend>
-RunResult dispatch(Method m, const graph::Graph& g, Backend& backend,
-                   unsigned threads, std::uint64_t part_bytes,
-                   unsigned num_nodes, const MethodParams& params) {
-  const engine::PageRankOptions& pr = params.pr;
-  switch (m) {
-    case Method::kHipa: {
-      auto opt = engine::PcpmOptions::hipa(threads, num_nodes, part_bytes);
-      engine::PcpmEngine<Backend> eng(g, opt, backend);
-      return eng.run(pr);
-    }
-    case Method::kPpr: {
-      auto opt = engine::PcpmOptions::ppr(threads, num_nodes, part_bytes);
-      engine::PcpmEngine<Backend> eng(g, opt, backend);
-      return eng.run(pr);
-    }
-    case Method::kGpop: {
-      auto opt = engine::PcpmOptions::gpop(threads, num_nodes, part_bytes);
-      engine::PcpmEngine<Backend> eng(g, opt, backend);
-      return eng.run(pr);
-    }
-    case Method::kVpr: {
-      engine::VprOptions opt;
-      opt.num_threads = threads;
-      engine::VprEngine<Backend> eng(g, opt, backend);
-      return eng.run(pr);
-    }
-    case Method::kPolymer: {
-      engine::PolymerOptions opt;
-      opt.num_threads = threads;
-      opt.num_nodes = num_nodes;
-      engine::PolymerEngine<Backend> eng(g, opt, backend);
-      return eng.run(pr);
-    }
-  }
-  HIPA_CHECK(false, "unknown method");
-  __builtin_unreachable();
-}
-
-/// The facade's reorder pipeline: permute the graph's vertex ids,
-/// run the engine on the permuted CSR (with the knob cleared so the
-/// engine sees a plain graph), and inverse-permute the ranks back to
-/// original ids — out[v] = ranks[perm[v]]. Every engine is
-/// deterministic for a fixed (graph, options), so any manual
-/// permute/run/inverse-permute with the same permutation reproduces
-/// this bitwise. `charge_wall_prep` adds the permutation's wall-clock
-/// cost to preprocessing_seconds (native runs only — simulated reports
-/// count modeled cycles, not host time).
-template <class RunFn>
-RunResult run_with_reorder(const graph::Graph& g, const MethodParams& params,
-                           bool charge_wall_prep, RunFn&& run) {
-  if (params.pr.reorder == engine::Reorder::kNone) return run(g, params);
-  Timer prep_timer;
-  const graph::Permutation perm =
-      make_reorder_permutation(params.pr.reorder, g);
-  const graph::Graph permuted = graph::apply_permutation(g, perm);
-  const double prep_seconds = prep_timer.seconds();
-  MethodParams inner = params;
-  inner.pr.reorder = engine::Reorder::kNone;
-  RunResult result = run(permuted, inner);
-  std::vector<rank_t> unpermuted(result.ranks.size());
-  for (vid_t v = 0; v < static_cast<vid_t>(unpermuted.size()); ++v) {
-    unpermuted[v] = result.ranks[perm[v]];
-  }
-  result.ranks = std::move(unpermuted);
-  if (charge_wall_prep) {
-    result.report.preprocessing_seconds += prep_seconds;
-  }
-  return result;
-}
-
-}  // namespace
-
 RunResult run_method_sim(Method m, const graph::Graph& g,
                          sim::SimMachine& machine,
                          const MethodParams& params) {
-  return run_with_reorder(
-      g, params, /*charge_wall_prep=*/false,
-      [&](const graph::Graph& rg, const MethodParams& p) {
-        engine::SimBackend backend(machine);
-        const unsigned threads = p.threads != 0
-                                     ? p.threads
-                                     : default_threads(m, machine.topology());
-        const std::uint64_t part_bytes =
-            p.partition_bytes != 0
-                ? p.partition_bytes
-                : default_partition_bytes(m, p.scale_denom);
-        return dispatch(m, rg, backend, threads, part_bytes,
-                        machine.topology().num_nodes, p);
-      });
+  engine::PrOptions ko;
+  ko.damping = params.pr.damping;
+  auto kr =
+      run_kernel_sim<engine::PageRankKernel>(m, g, machine, ko, params);
+  RunResult result;
+  result.report = std::move(kr.report);
+  result.ranks = std::move(kr.values);
+  return result;
 }
 
 RunResult run_method_native(Method m, const graph::Graph& g,
                             const MethodParams& params) {
-  return run_with_reorder(
-      g, params, /*charge_wall_prep=*/true,
-      [&](const graph::Graph& rg, const MethodParams& p) {
-        engine::NativeBackend backend;
-        const unsigned cpus = runtime::available_cpus();
-        const unsigned threads = p.threads != 0 ? p.threads : cpus;
-        std::uint64_t part_bytes = p.partition_bytes;
-        if (part_bytes == 0) {
-          part_bytes = default_partition_bytes(m, p.scale_denom);
-          if (part_bytes == 0) {
-            part_bytes = 256 * 1024;  // vertex-centric: unused
-          }
-        }
-        // Native runs on this host: treat it as one NUMA node.
-        return dispatch(m, rg, backend, threads, part_bytes, 1, p);
+  engine::PrOptions ko;
+  ko.damping = params.pr.damping;
+  auto kr = run_kernel_native<engine::PageRankKernel>(m, g, ko, params);
+  RunResult result;
+  result.report = std::move(kr.report);
+  result.ranks = std::move(kr.values);
+  return result;
+}
+
+namespace {
+
+/// Shared switch for the runtime-dispatched runners: pick the kernel's
+/// option member off params and invoke the typed template.
+template <class RunK>
+engine::RunReport dispatch_kernel(const MethodParams& params, RunK&& run) {
+  switch (params.kernel) {
+    case Kernel::kPageRank: {
+      engine::PrOptions ko;
+      ko.damping = params.pr.damping;
+      return run.template operator()<engine::PageRankKernel>(ko);
+    }
+    case Kernel::kPersonalized:
+      return run.template operator()<engine::PprKernel>(params.personalized);
+    case Kernel::kBfs:
+      return run.template operator()<engine::BfsKernel>(params.bfs);
+    case Kernel::kWcc:
+      return run.template operator()<engine::WccKernel>(params.wcc);
+    case Kernel::kSssp:
+      return run.template operator()<engine::SsspKernel>(params.sssp);
+  }
+  HIPA_CHECK(false, "unknown kernel");
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+engine::RunReport run_any_kernel_sim(Method m, const graph::Graph& g,
+                                     sim::SimMachine& machine,
+                                     const MethodParams& params) {
+  return dispatch_kernel(
+      params, [&]<class K>(const typename K::Options& ko) {
+        return run_kernel_sim<K>(m, g, machine, ko, params).report;
       });
+}
+
+engine::RunReport run_any_kernel_native(Method m, const graph::Graph& g,
+                                        const MethodParams& params) {
+  return dispatch_kernel(params,
+                         [&]<class K>(const typename K::Options& ko) {
+                           return run_kernel_native<K>(m, g, ko, params)
+                               .report;
+                         });
 }
 
 }  // namespace hipa::algo

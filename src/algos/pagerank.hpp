@@ -1,17 +1,21 @@
-// PageRank front door: reference implementation, the five paper
-// methodologies behind one runner API, and result-comparison helpers.
+// Algorithm front door: serial reference oracles, the five paper
+// methodologies and five kernels behind one runner API, and
+// result-comparison helpers.
 #pragma once
 
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/timer.hpp"
 #include "engines/backend.hpp"
-#include "engines/pcpm_engine.hpp"
+#include "engines/run.hpp"
 #include "graph/csr.hpp"
 #include "graph/reorder.hpp"
+#include "runtime/affinity.hpp"
 #include "sim/machine.hpp"
 
 namespace hipa::algo {
@@ -26,6 +30,13 @@ using RunResult = engine::RunResult;
                                                      unsigned iterations,
                                                      rank_t damping = 0.85f);
 
+/// Serial personalized PageRank: restart mass split uniformly over the
+/// seed set (uniform over all vertices when empty — engine semantics).
+[[nodiscard]] std::vector<rank_t> ppr_reference(const graph::Graph& g,
+                                                unsigned iterations,
+                                                rank_t damping,
+                                                std::span<const vid_t> seeds);
+
 /// Sum of |a[i] - b[i]|.
 [[nodiscard]] double l1_distance(std::span<const rank_t> a,
                                  std::span<const rank_t> b);
@@ -34,8 +45,9 @@ using RunResult = engine::RunResult;
 [[nodiscard]] std::vector<vid_t> top_k(std::span<const rank_t> ranks,
                                        std::size_t k);
 
-/// The five methodologies evaluated in the paper.
-enum class Method { kHipa, kPpr, kVpr, kGpop, kPolymer };
+/// The five methodologies evaluated in the paper — one enum, shared
+/// with the engine facade (engine::run<K> takes it via EngineParams).
+using Method = engine::EngineKind;
 
 [[nodiscard]] std::span<const Method> all_methods();
 [[nodiscard]] const char* method_name(Method m);
@@ -45,6 +57,17 @@ enum class Method { kHipa, kPpr, kVpr, kGpop, kPolymer };
 /// aliases used on bench command lines ("hipa", "ppr", "vpr", "gpop",
 /// "polymer"). Returns nullopt for anything else.
 [[nodiscard]] std::optional<Method> method_from_name(std::string_view name);
+
+/// The five kernels behind the run<K>() API (engines/kernels.hpp),
+/// as a runtime value for CLI flags and option plumbing.
+enum class Kernel { kPageRank, kPersonalized, kBfs, kWcc, kSssp };
+
+[[nodiscard]] std::span<const Kernel> all_kernels();
+
+/// Kernel names for bench flags and reports: "pagerank", "ppr", "bfs",
+/// "wcc", "sssp" (exact round-trip through kernel_from_name).
+[[nodiscard]] const char* kernel_name(Kernel k);
+[[nodiscard]] std::optional<Kernel> kernel_from_name(std::string_view name);
 
 /// Reorder-mode names for bench flags and reports: "none", "degree",
 /// "hub" (exact round-trip through reorder_from_name).
@@ -68,10 +91,19 @@ struct MethodParams {
   unsigned scale_denom = 1;
   /// The engine-level run options (iterations, damping, tolerance,
   /// telemetry, hw counters, trace path, placement audit) — ONE source
-  /// of truth shared with every engine's run()/run_pagerank(). The
-  /// historic flat iterations/damping duplicates (deprecated in the
-  /// previous PR) are gone; set `pr.iterations` / `pr.damping`.
+  /// of truth shared with every engine's run()/run_pagerank().
   engine::PageRankOptions pr{};
+  /// Which kernel the runtime-dispatched runners execute
+  /// (run_any_kernel_{sim,native}; the typed run_kernel_* templates
+  /// name their kernel statically and ignore this field).
+  Kernel kernel = Kernel::kPageRank;
+  /// Per-kernel options for the runtime-dispatched path, one member
+  /// per kernel (engine namespace owns the structs; PageRank's damping
+  /// rides in `pr`).
+  engine::PprOptions personalized{};
+  engine::BfsOptions bfs{};
+  engine::WccOptions wcc{};
+  engine::SsspOptions sssp{};
 };
 
 /// Paper-default thread count of a methodology on a topology
@@ -87,14 +119,124 @@ struct MethodParams {
 /// Run methodology `m` on the simulated machine. Preprocessing and
 /// iteration costs both land in the machine's cycle counter; the
 /// returned report carries this run's stats delta. The final ranks
-/// ride along in the returned RunResult (the historic
-/// `std::vector<rank_t>*` out-param is gone).
+/// ride along in the returned RunResult. Thin wrapper over
+/// run_kernel_sim<engine::PageRankKernel>.
 [[nodiscard]] RunResult run_method_sim(Method m, const graph::Graph& g,
                                        sim::SimMachine& machine,
                                        const MethodParams& params = {});
 
 /// Run methodology `m` natively (real threads, wall-clock timing).
+/// Thin wrapper over run_kernel_native<engine::PageRankKernel>.
 [[nodiscard]] RunResult run_method_native(Method m, const graph::Graph& g,
                                           const MethodParams& params = {});
+
+/// Runtime-dispatched kernel runners for CLI-driven harnesses: switch
+/// on params.kernel, pull that kernel's options member, and return the
+/// report (values stay inside — use the typed templates below when the
+/// result vector matters).
+[[nodiscard]] engine::RunReport run_any_kernel_sim(
+    Method m, const graph::Graph& g, sim::SimMachine& machine,
+    const MethodParams& params = {});
+[[nodiscard]] engine::RunReport run_any_kernel_native(
+    Method m, const graph::Graph& g, const MethodParams& params = {});
+
+namespace detail {
+
+/// The runners' reorder pipeline, kernel-generic: permute the graph's
+/// vertex ids (remapping id-valued kernel options — BFS/SSSP sources,
+/// PPR seeds), run the engine on the permuted CSR with the knob
+/// cleared, inverse-permute the values back to original positions, and
+/// let the kernel remap id-valued *results* (WCC labels). Every engine
+/// is deterministic for a fixed (graph, options), so any manual
+/// permute/run/inverse-permute with the same permutation reproduces
+/// this bitwise. `charge_wall_prep` adds the permutation's wall-clock
+/// cost to preprocessing_seconds (native runs only — simulated reports
+/// count modeled cycles, not host time).
+template <class K, class RunFn>
+engine::KernelResult<K> run_kernel_with_reorder(const graph::Graph& g,
+                                                typename K::Options ko,
+                                                const MethodParams& params,
+                                                bool charge_wall_prep,
+                                                RunFn&& run) {
+  if (params.pr.reorder == engine::Reorder::kNone) {
+    return run(g, ko, params);
+  }
+  Timer prep_timer;
+  const graph::Permutation perm =
+      make_reorder_permutation(params.pr.reorder, g);
+  const graph::Graph permuted = graph::apply_permutation(g, perm);
+  const double prep_seconds = prep_timer.seconds();
+  MethodParams inner = params;
+  inner.pr.reorder = engine::Reorder::kNone;
+  K::remap_options(ko, perm);
+  engine::KernelResult<K> result = run(permuted, ko, inner);
+  std::vector<typename K::Value> unpermuted(result.values.size());
+  for (vid_t v = 0; v < static_cast<vid_t>(unpermuted.size()); ++v) {
+    unpermuted[v] = result.values[perm[v]];
+  }
+  std::vector<vid_t> old_of_new(perm.size());
+  for (vid_t v = 0; v < static_cast<vid_t>(perm.size()); ++v) {
+    old_of_new[perm[v]] = v;
+  }
+  K::remap_values(unpermuted, old_of_new);
+  result.values = std::move(unpermuted);
+  if (charge_wall_prep) {
+    result.report.preprocessing_seconds += prep_seconds;
+  }
+  return result;
+}
+
+}  // namespace detail
+
+/// Run kernel K through methodology `m` on the simulated machine.
+template <class K>
+[[nodiscard]] engine::KernelResult<K> run_kernel_sim(
+    Method m, const graph::Graph& g, sim::SimMachine& machine,
+    typename K::Options ko = {}, const MethodParams& params = {}) {
+  return detail::run_kernel_with_reorder<K>(
+      g, std::move(ko), params, /*charge_wall_prep=*/false,
+      [&](const graph::Graph& rg, const typename K::Options& rko,
+          const MethodParams& p) {
+        engine::SimBackend backend(machine);
+        engine::EngineParams ep;
+        ep.engine = m;
+        ep.threads = p.threads != 0
+                         ? p.threads
+                         : default_threads(m, machine.topology());
+        ep.partition_bytes =
+            p.partition_bytes != 0
+                ? p.partition_bytes
+                : default_partition_bytes(m, p.scale_denom);
+        ep.num_nodes = machine.topology().num_nodes;
+        return engine::run<K>(rg, backend, rko, p.pr, ep);
+      });
+}
+
+/// Run kernel K through methodology `m` natively.
+template <class K>
+[[nodiscard]] engine::KernelResult<K> run_kernel_native(
+    Method m, const graph::Graph& g, typename K::Options ko = {},
+    const MethodParams& params = {}) {
+  return detail::run_kernel_with_reorder<K>(
+      g, std::move(ko), params, /*charge_wall_prep=*/true,
+      [&](const graph::Graph& rg, const typename K::Options& rko,
+          const MethodParams& p) {
+        engine::NativeBackend backend;
+        engine::EngineParams ep;
+        ep.engine = m;
+        ep.threads =
+            p.threads != 0 ? p.threads : runtime::available_cpus();
+        ep.partition_bytes = p.partition_bytes;
+        if (ep.partition_bytes == 0) {
+          ep.partition_bytes = default_partition_bytes(m, p.scale_denom);
+          if (ep.partition_bytes == 0) {
+            ep.partition_bytes = 256 * 1024;  // vertex-centric: unused
+          }
+        }
+        // Native runs on this host: treat it as one NUMA node.
+        ep.num_nodes = 1;
+        return engine::run<K>(rg, backend, rko, p.pr, ep);
+      });
+}
 
 }  // namespace hipa::algo

@@ -476,10 +476,15 @@ class SimBackend {
 
 /// PageRank run parameters — the one options surface every engine's
 /// `run()` / `run_pagerank()` accepts (PCPM family, v-PR, Polymer).
-struct PageRankOptions {
+/// Kernel-independent run controls shared by every engine and every
+/// kernel (PageRank, PPR, BFS, WCC, SSSP): iteration budget,
+/// convergence tracking, instrumentation, placement and reordering.
+/// Kernel-specific knobs (damping, seeds, source vertex) live in the
+/// per-kernel option structs (engines/kernels.hpp).
+struct RunOptions {
   unsigned iterations = 20;  ///< paper's fixed iteration count (a cap
-                             ///< when tolerance > 0)
-  rank_t damping = 0.85f;
+                             ///< when tolerance > 0); frontier kernels
+                             ///< use their own max_rounds instead
   /// L1 convergence threshold: stop once sum_v |r_new - r_old| drops
   /// to or below it. 0 (default) keeps the paper's fixed-iteration
   /// behavior. The per-thread partial sums and the early-stop decision
@@ -524,6 +529,21 @@ struct PageRankOptions {
   }
 };
 
+/// PageRank's run surface: the shared run controls plus the damping
+/// factor. The (iterations, damping) constructor exists so positional
+/// `{20, 0.85f}` initialization keeps meaning (iterations, damping) —
+/// without it, aggregate brace elision would silently route the second
+/// value into RunOptions::tolerance.
+struct PageRankOptions : RunOptions {
+  rank_t damping = 0.85f;
+
+  PageRankOptions() = default;
+  PageRankOptions(unsigned iters, rank_t d = 0.85f) {
+    iterations = iters;
+    damping = d;
+  }
+};
+
 /// Result of one engine run.
 struct RunReport {
   double seconds = 0.0;                ///< iteration time
@@ -546,9 +566,10 @@ struct RunReport {
   runtime::ArenaStats arena;
 };
 
-/// The unified run surface every engine and the `algo::` facade return:
-/// the report and the final ranks in one value (replaces the historic
-/// `std::vector<rank_t>*` out-params).
+/// The unified PageRank run surface every engine and the `algo::`
+/// facade return: the report and the final ranks in one value. The
+/// kernel-generic analog is KernelResult<K> (engines/kernels.hpp);
+/// RunResult is exactly KernelResult<PageRankKernel> by another name.
 struct RunResult {
   RunReport report;
   std::vector<rank_t> ranks;

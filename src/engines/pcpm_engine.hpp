@@ -11,19 +11,28 @@
 //   GPOP  — like p-PR with 1 MB partitions plus framework state
 //           (per-partition Flags/State fields, extra indirection)
 //
-// PageRank per iteration is two parallel regions (paper Algorithm 1/2):
+// The engine is kernel-generic (engines/kernels.hpp): any Kernel with
+// scatter/gather hooks runs through the same hierarchical plan, bins,
+// NUMA placement, telemetry and both execution paths. One iteration is
+// two parallel regions (paper Algorithm 1/2):
 //   scatter: for each owned source partition, stream its message
-//            sources, read the cache-resident scaled ranks, stream the
-//            values into destination bins;
-//   gather : for each owned destination partition, stream its inbox and
-//            propagate each message to its destination vertices through
-//            intra-partition edges; then apply the PageRank update.
+//            sources, read the cache-resident per-vertex state, stream
+//            the kernel's messages into destination bins;
+//   gather : for each owned destination partition, stream its inbox
+//            and fold each message into its destination vertices
+//            through intra-partition edges; then the kernel's apply
+//            epilogue (PageRank-family) updates the vertex state.
+// Frontier kernels (BFS/WCC/SSSP) additionally keep per-partition
+// active maps: inactive partitions skip their whole scatter stream and
+// their stale inbox pairs are skipped in gather.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <string>
+#include <typeindex>
 #include <utility>
 #include <vector>
 
@@ -31,6 +40,7 @@
 #include "common/logging.hpp"
 #include "common/prefetch.hpp"
 #include "engines/backend.hpp"
+#include "engines/kernels.hpp"
 #include "graph/csr.hpp"
 #include "partition/plan.hpp"
 #include "pcp/bins.hpp"
@@ -47,13 +57,12 @@ struct PcpmOptions {
   bool persistent_threads = true;
   bool pinned_partitions = true;  ///< false: FCFS dynamic claiming
   bool framework_overhead = false;  ///< GPOP-style per-partition state
-  /// Enter ONE parallel region for the whole PageRank run
-  /// (Backend::run_loop with in-region barriers) instead of two
-  /// condvar dispatches per iteration. Only takes effect on backends
-  /// that support it AND with persistent pinned-partition teams (the
-  /// HiPa configuration); p-PR/GPOP keep the per-phase Algorithm 1
-  /// path. Off exists for A/B measurement (bench_hotpath) and the
-  /// bitwise-equivalence tests.
+  /// Enter ONE parallel region for the whole run (Backend::run_loop
+  /// with in-region barriers) instead of two condvar dispatches per
+  /// iteration. Only takes effect on backends that support it AND with
+  /// persistent pinned-partition teams (the HiPa configuration);
+  /// p-PR/GPOP keep the per-phase Algorithm 1 path. Off exists for A/B
+  /// measurement (bench_hotpath) and the bitwise-equivalence tests.
   bool single_dispatch = true;
   /// Edge-balanced (paper Eq. 2) vs even-vertex partitioning (§3.1's
   /// rejected strawman, kept for the balance ablation).
@@ -97,8 +106,9 @@ struct PcpmOptions {
   }
 };
 
-// PageRankOptions (shared by every engine) lives in engines/backend.hpp
-// next to RunReport/RunResult — the unified run surface.
+// RunOptions/PageRankOptions (shared by every engine) live in
+// engines/backend.hpp next to RunReport/RunResult — the unified run
+// surface; the per-kernel option structs live in engines/kernels.hpp.
 
 template <class Backend>
 class PcpmEngine {
@@ -113,8 +123,19 @@ class PcpmEngine {
     build_plan();
     if (!opt_.pinned_partitions) build_fcfs_slots();
     build_bins();
-    build_attributes();
-    place_data();
+    // The PageRank slot is built eagerly so the constructor carves the
+    // arena in the historical order (rank, rank_scaled, acc, values,
+    // framework state) and preprocessing_seconds covers it; other
+    // kernels' state is built lazily on their first run.
+    slot<PageRankKernel>().prep_seconds = 0.0;
+    if (opt_.framework_overhead) {
+      const std::size_t words_per_part =
+          opt_.framework_bytes_per_part / sizeof(std::uint64_t);
+      framework_state_ = backend_->template alloc_pages<std::uint64_t>(
+          std::size_t{plan_.parts.num_partitions()} * words_per_part);
+      framework_state_.fill_zero();
+    }
+    place_bins();
     charge_preprocessing();
     preprocessing_seconds_ = backend.now_seconds() - t0;
   }
@@ -126,31 +147,97 @@ class PcpmEngine {
     return result;
   }
 
+  /// Kernel-generic run surface: one templated entry point for every
+  /// kernel (PageRank, PPR, BFS, WCC, SSSP). Instrumentation
+  /// (telemetry, hw counters, trace spans) stays a compile-time fork:
+  /// the uninstrumented instantiation contains no recording code.
+  template <class K>
+  [[nodiscard]] KernelResult<K> run(const typename K::Options& ko,
+                                    const RunOptions& ro = {}) {
+    KernelResult<K> result;
+    result.report = ro.instrumented()
+                        ? run_kernel_impl<K, true>(ko, ro, &result.values)
+                        : run_kernel_impl<K, false>(ko, ro, &result.values);
+    return result;
+  }
+
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
-  /// Instrumentation (telemetry, hw counters, trace spans) is a
-  /// compile-time fork: the uninstrumented instantiation contains no
-  /// recording code at all.
+  /// Thin wrapper over the generic core — ranks are bitwise identical
+  /// to the pre-redesign PageRank-only engine.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
-    return pr.instrumented() ? run_pagerank_impl<true>(pr, ranks_out)
-                             : run_pagerank_impl<false>(pr, ranks_out);
+    PrOptions ko;
+    ko.damping = pr.damping;
+    return pr.instrumented()
+               ? run_kernel_impl<PageRankKernel, true>(ko, pr, ranks_out)
+               : run_kernel_impl<PageRankKernel, false>(ko, pr, ranks_out);
   }
 
  private:
-  template <bool kTel>
-  RunReport run_pagerank_impl(const PageRankOptions& pr,
-                              std::vector<rank_t>* ranks_out) {
-    const vid_t n = graph_->num_vertices();
+  /// Per-kernel engine-side state: the kernel's vertex attributes, its
+  /// typed message inbox (NUMA-placed like the PageRank values array)
+  /// and, for frontier kernels, the double-buffered per-partition
+  /// active maps (swapped by the control/0 thread between rounds).
+  template <class K>
+  struct KernelSlot {
+    typename K::State state;
+    AlignedBuffer<typename K::Message> values;
+    AlignedBuffer<std::uint8_t> active;
+    AlignedBuffer<std::uint8_t> next_active;
+    std::uint8_t* active_ptr = nullptr;
+    std::uint8_t* next_ptr = nullptr;
+    /// Wall seconds spent building this slot (0 for the
+    /// constructor-built PageRank slot — the engine's
+    /// preprocessing_seconds already covers it).
+    double prep_seconds = 0.0;
+  };
+
+  /// Find-or-create the slot for kernel K. Creation allocates the
+  /// kernel's state + inbox from the arena and registers the same
+  /// per-node placement the PageRank attributes get.
+  template <class K>
+  KernelSlot<K>& slot() {
+    const std::type_index key(typeid(K));
+    for (auto& [k, p] : slots_) {
+      if (k == key) return *static_cast<KernelSlot<K>*>(p.get());
+    }
+    const double t0 = backend_->now_seconds();
+    auto sp = std::make_shared<KernelSlot<K>>();
+    sp->state = K::make_state(*graph_, *backend_);
+    sp->values = backend_->template alloc_pages<typename K::Message>(
+        bins_.total_messages());
+    if constexpr (K::kUsesFrontier) {
+      const std::uint32_t parts = plan_.parts.num_partitions();
+      sp->active = backend_->template alloc_pages<std::uint8_t>(parts);
+      sp->next_active = backend_->template alloc_pages<std::uint8_t>(parts);
+      sp->active_ptr = sp->active.data();
+      sp->next_ptr = sp->next_active.data();
+    }
+    place_slot<K>(*sp);
+    sp->prep_seconds = backend_->now_seconds() - t0;
+    KernelSlot<K>& ref = *sp;
+    slots_.emplace_back(key, std::move(sp));
+    return ref;
+  }
+
+  template <class K, bool kTel>
+  RunReport run_kernel_impl(const typename K::Options& ko,
+                            const RunOptions& ro,
+                            std::vector<typename K::Value>* values_out) {
+    KernelSlot<K>& sl = slot<K>();
+    K::begin_run(sl.state, ko, *graph_);
+    const unsigned max_iters = K::max_iterations(ko, ro);
     if constexpr (kTel) {
       timeline_.reset(opt_.num_threads);
-      timeline_.reserve_iterations(pr.iterations);
+      timeline_.reserve_iterations(std::min(max_iters, 4096u));
       if constexpr (!Backend::kSimulated) {
         // Hardware counters + trace spans are host-side concepts; the
         // simulated backend keeps its modeled counters instead.
         hwprof_.reset(opt_.num_threads,
-                      pr.hw_counters == runtime::HwProf::kOn);
-        if (!pr.trace_path.empty()) {
-          timeline_.enable_spans(4 * std::size_t{pr.iterations} + 8);
+                      ro.hw_counters == runtime::HwProf::kOn);
+        if (!ro.trace_path.empty()) {
+          timeline_.enable_spans(
+              4 * std::size_t{std::min(max_iters, 4096u)} + 8);
         }
       }
     }
@@ -175,14 +262,12 @@ class PcpmEngine {
     // come from the arena (debug builds assert; all builds count).
     [[maybe_unused]] std::optional<runtime::HotPathGuard> hot_guard;
     if constexpr (!Backend::kSimulated) {
-      backend_->set_barrier_kind(pr.barrier);
+      backend_->set_barrier_kind(ro.barrier);
       hot_guard.emplace();
     }
     phase_salt_ = 0;  // runs replay identically on a reset machine
     backend_->start_team(spec);
-    const auto base =
-        static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
-    const bool track = pr.tolerance > 0.0;
+    const bool track = K::kHasApply && ro.tolerance > 0.0;
     if (track) deltas_.assign(opt_.num_threads, PaddedDouble{});
 
     unsigned iters_done = 0;
@@ -197,34 +282,38 @@ class PcpmEngine {
     }
     if (single_dispatch) {
       if constexpr (Backend::kSupportsRunLoop) {
-        run_pagerank_single_dispatch<kTel>(pr, base, track, &iters_done,
-                                           &last_delta);
+        run_single_dispatch<K, kTel>(sl, ro, track, max_iters, &iters_done,
+                                     &last_delta);
       }
     } else {
       timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
-        init_thread<kTel>(t, mem);
+        init_thread<K, kTel>(sl, t, mem);
       });
-      for (unsigned it = 0; it < pr.iterations; ++it) {
+      for (unsigned it = 0; it < max_iters; ++it) {
         [[maybe_unused]] double it0 = 0.0;
         if constexpr (kTel) it0 = backend_->now_seconds();
         ++phase_salt_;
         timed_phase<kTel>(runtime::Phase::kScatter,
                           [&](unsigned t, Mem& mem) {
-                            scatter_thread<kTel>(t, mem);
+                            scatter_thread<K, kTel>(sl, t, mem);
                           });
         ++phase_salt_;
         timed_phase<kTel>(runtime::Phase::kGather, [&](unsigned t, Mem& mem) {
           if (track) deltas_[t].value = 0.0;
-          gather_thread<kTel>(t, mem, base, pr.damping,
-                              track ? &deltas_[t].value : nullptr);
+          gather_thread<K, kTel>(sl, t, mem,
+                                 track ? &deltas_[t].value : nullptr);
         });
         if constexpr (kTel) {
           timeline_.record_iteration(backend_->now_seconds() - it0);
         }
         iters_done = it + 1;
-        if (track) {
-          last_delta = reduce_deltas();
-          if (last_delta <= pr.tolerance) break;
+        if constexpr (K::kUsesFrontier) {
+          if (!advance_frontier(sl)) break;
+        } else {
+          if (track) {
+            last_delta = reduce_deltas();
+            if (last_delta <= ro.tolerance) break;
+          }
         }
       }
     }
@@ -232,7 +321,7 @@ class PcpmEngine {
 
     RunReport report;
     report.seconds = backend_->now_seconds() - t0;
-    report.preprocessing_seconds = preprocessing_seconds_;
+    report.preprocessing_seconds = preprocessing_seconds_ + sl.prep_seconds;
     report.iterations = iters_done;
     report.last_delta = last_delta;
     if constexpr (Backend::kSimulated) {
@@ -241,7 +330,7 @@ class PcpmEngine {
     if constexpr (kTel) {
       report.telemetry = runtime::aggregate(timeline_);
       if constexpr (!Backend::kSimulated) {
-        if (pr.hw_counters == runtime::HwProf::kOn) {
+        if (ro.hw_counters == runtime::HwProf::kOn) {
           report.telemetry.hw_available = hwprof_.any_open();
           report.telemetry.hw_threads = hwprof_.open_threads();
           report.telemetry.hw_event_mask = hwprof_.event_mask();
@@ -249,10 +338,10 @@ class PcpmEngine {
             report.telemetry.hw_errno = hwprof_.group(0).last_errno();
           }
         }
-        if (!pr.trace_path.empty() &&
-            !trace::ChromeTraceWriter::write(pr.trace_path, timeline_,
+        if (!ro.trace_path.empty() &&
+            !trace::ChromeTraceWriter::write(ro.trace_path, timeline_,
                                              engine_label())) {
-          HIPA_WARN("trace write failed: " << pr.trace_path);
+          HIPA_WARN("trace write failed: " << ro.trace_path);
         }
       }
     }
@@ -260,11 +349,9 @@ class PcpmEngine {
       // Plain runtime branch after the parallel region — never on the
       // hot path, works with or without telemetry.
       report.arena = backend_->arena_stats();
-      if (pr.audit_placement) report.placement_audit = run_placement_audit();
+      if (ro.audit_placement) report.placement_audit = run_placement_audit(sl);
     }
-    if (ranks_out != nullptr) {
-      ranks_out->assign(rank_.begin(), rank_.end());
-    }
+    if (values_out != nullptr) K::extract(sl.state, *values_out);
     return report;
   }
 
@@ -305,7 +392,7 @@ class PcpmEngine {
   }
 
  public:
-  /// Whether run_pagerank will take the single-dispatch run_loop path
+  /// Whether run() will take the single-dispatch run_loop path
   /// (backend capability x policy knobs). Exposed for tests/bench.
   [[nodiscard]] bool uses_single_dispatch() const {
     return Backend::kSupportsRunLoop && opt_.single_dispatch &&
@@ -337,10 +424,13 @@ class PcpmEngine {
   /// Sparse matrix-vector product over the adjacency matrix:
   /// y[v] = sum of x[u] over edges u->v (paper §6's first listed
   /// extension). Runs one scatter-gather round through the same bins
-  /// and thread-data pinning as PageRank.
+  /// and thread-data pinning as PageRank, reusing the PageRank slot's
+  /// attribute arrays as staging.
   RunReport run_spmv(std::span<const rank_t> x, std::vector<rank_t>& y) {
     const vid_t n = graph_->num_vertices();
     HIPA_CHECK(x.size() == n, "input vector size mismatch");
+    KernelSlot<PageRankKernel>& sl = slot<PageRankKernel>();
+    typename PageRankKernel::State& st = sl.state;
     ThreadTeamSpec spec;
     spec.num_threads = opt_.num_threads;
     spec.persistent = opt_.persistent_threads;
@@ -355,35 +445,37 @@ class PcpmEngine {
     if constexpr (Backend::kSimulated) before = backend_->machine().stats();
     const double t0 = backend_->now_seconds();
 
-    // Stage x into the NUMA-placed rank_scaled_ array, then reuse the
-    // PageRank scatter; gather accumulates into acc_ and copies to y.
+    // Stage x into the NUMA-placed rank_scaled array, then reuse the
+    // PageRank scatter; gather accumulates into acc and copies to y.
     backend_->start_team(spec);
     ++phase_salt_;
     backend_->phase([&](unsigned t, Mem& mem) {
       for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
         const VertexRange r = plan_.parts.range(p);
         mem.stream_read(x.data() + r.begin, r.size());
-        mem.stream_write(rank_scaled_.data() + r.begin, r.size());
+        mem.stream_write(st.rank_scaled.data() + r.begin, r.size());
         for (vid_t v = r.begin; v < r.end; ++v) {
-          rank_scaled_[v] = x[v];
-          acc_[v] = 0.0f;
+          st.rank_scaled.data()[v] = x[v];
+          st.acc.data()[v] = 0.0f;
         }
         mem.work(r.size());
       });
     });
     ++phase_salt_;
-    backend_->phase([&](unsigned t, Mem& mem) { scatter_thread(t, mem); });
+    backend_->phase([&](unsigned t, Mem& mem) {
+      scatter_thread<PageRankKernel, false>(sl, t, mem);
+    });
     ++phase_salt_;
     y.resize(n);
     backend_->phase([&](unsigned t, Mem& mem) {
-      gather_accumulate(t, mem);
+      gather_accumulate<PageRankKernel, false>(sl, t, mem);
       for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
         const VertexRange r = plan_.parts.range(q);
-        mem.stream_read(acc_.data() + r.begin, r.size());
+        mem.stream_read(st.acc.data() + r.begin, r.size());
         mem.stream_write(y.data() + r.begin, r.size());
         for (vid_t v = r.begin; v < r.end; ++v) {
-          y[v] = acc_[v];
-          acc_[v] = 0.0f;
+          y[v] = st.acc.data()[v];
+          st.acc.data()[v] = 0.0f;
         }
         mem.work(r.size());
       });
@@ -400,146 +492,21 @@ class PcpmEngine {
     return report;
   }
 
-
-  /// Weakly-connected components by min-label propagation through the
-  /// same bins and pinning (another §6-style generalization). The
-  /// graph must be symmetric (every edge present in both directions,
-  /// e.g. built with BuildOptions::symmetrize) for the result to be
-  /// *weak* connectivity. Returns the converged labels (smallest
-  /// vertex id in each component) and the rounds used.
+  /// Weakly-connected components through the generic WccKernel (kept
+  /// as a named convenience for algo::wcc and older call sites). The
+  /// graph must be symmetric for the result to be *weak* connectivity.
   struct WccResult {
     std::vector<vid_t> labels;
     unsigned rounds = 0;
     RunReport report;
   };
   WccResult run_wcc(unsigned max_rounds = 1000) {
-    const vid_t n = graph_->num_vertices();
-    ThreadTeamSpec spec;
-    spec.num_threads = opt_.num_threads;
-    spec.persistent = opt_.persistent_threads;
-    spec.binding = opt_.numa_aware ? ThreadTeamSpec::Binding::kNodeBlocked
-                                   : ThreadTeamSpec::Binding::kRandom;
-    spec.threads_per_node = plan_.threads_per_node;
-    spec.threads_per_node.resize(
-        std::max<std::size_t>(spec.threads_per_node.size(), opt_.num_nodes),
-        0);
-
-    // Label attributes and a label-typed message buffer, placed like
-    // their PageRank counterparts.
-    AlignedBuffer<vid_t> label = backend_->template alloc_pages<vid_t>(n);
-    AlignedBuffer<vid_t> lvalues =
-        backend_->template alloc_pages<vid_t>(bins_.total_messages());
-    if (opt_.numa_aware) {
-      for (unsigned node = 0; node < plan_.num_nodes; ++node) {
-        const VertexRange vr = plan_.node_vertex_range(node);
-        backend_->register_buffer(label.data() + vr.begin,
-                                  vr.size() * sizeof(vid_t),
-                                  DataPlacement::kNode, node);
-        const std::uint32_t pb = plan_.node_part_begin[node];
-        const std::uint32_t pe = plan_.node_part_begin[node + 1];
-        const auto [mb, me] = bins_.msg_slice(pb, pe);
-        backend_->register_buffer(lvalues.data() + mb,
-                                  (me - mb) * sizeof(vid_t),
-                                  DataPlacement::kNode, node);
-      }
-    } else {
-      backend_->register_buffer(label.data(), n * sizeof(vid_t),
-                                DataPlacement::kInterleave);
-      backend_->register_buffer(lvalues.data(),
-                                lvalues.size() * sizeof(vid_t),
-                                DataPlacement::kInterleave);
-    }
-
-    sim::SimStats before;
-    if constexpr (Backend::kSimulated) before = backend_->machine().stats();
-    const double t0 = backend_->now_seconds();
-
-    std::vector<std::uint64_t> changed(opt_.num_threads, 0);
-    phase_salt_ = 0;
-    backend_->start_team(spec);
-    backend_->phase([&](unsigned t, Mem& mem) {
-      for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
-        const VertexRange r = plan_.parts.range(p);
-        mem.stream_write(label.data() + r.begin, r.size());
-        for (vid_t v = r.begin; v < r.end; ++v) label[v] = v;
-        mem.work(r.size());
-      });
-    });
-
+    WccOptions ko;
+    ko.max_rounds = max_rounds;
+    const RunOptions ro;
     WccResult result;
-    const auto& pairs = bins_.pairs();
-    const auto& src_begin = bins_.src_pair_begin();
-    const auto& dpi = bins_.dst_pair_index();
-    const auto& dpb = bins_.dst_pair_begin();
-    const vid_t* src_list = bins_.src_list().data();
-    // Entry-type-generic min-label drain (same branchless message
-    // tracking as gather_accumulate_impl); E is deduced from the
-    // active destination-list encoding.
-    auto drain_labels = [&]<class E>(const E* dst_list, unsigned t,
-                                     Mem& mem) -> std::uint64_t {
-      constexpr unsigned kShift = sizeof(E) == 2 ? 15 : 31;
-      constexpr std::uint32_t kMask = (std::uint32_t{1} << kShift) - 1;
-      std::uint64_t local_changed = 0;
-      for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
-        vid_t vbase = 0;
-        if constexpr (sizeof(E) == 2) vbase = plan_.parts.range(q).begin;
-        for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
-          const pcp::PairInfo& pr = pairs[dpi[idx]];
-          mem.stream_read(lvalues.data() + pr.value_off, pr.msg_count);
-          mem.stream_read(dst_list + pr.dst_off, pr.dst_count);
-          const E* __restrict dl = dst_list + pr.dst_off;
-          eid_t msg = pr.value_off - 1;
-          for (eid_t j = 0; j < pr.dst_count; ++j) {
-            const std::uint32_t e = dl[j];
-            msg += e >> kShift;
-            const vid_t val = lvalues[msg];
-            const vid_t d = vbase + (e & kMask);
-            if (val < label[d]) {
-              mem.store(label.data() + d, val);
-              ++local_changed;
-            }
-          }
-          mem.work(2 * pr.dst_count);
-        }
-      });
-      return local_changed;
-    };
-    for (; result.rounds < max_rounds; ++result.rounds) {
-      ++phase_salt_;
-      backend_->phase([&](unsigned t, Mem& mem) {
-        for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
-          for (std::uint32_t k = src_begin[p]; k < src_begin[p + 1]; ++k) {
-            const pcp::PairInfo& pr = pairs[k];
-            mem.stream_read(src_list + pr.src_off, pr.msg_count);
-            mem.stream_write(lvalues.data() + pr.value_off, pr.msg_count);
-            const vid_t* __restrict src = src_list + pr.src_off;
-            vid_t* __restrict out = lvalues.data() + pr.value_off;
-            for (eid_t i = 0; i < pr.msg_count; ++i) {
-              out[i] = mem.load(label.data() + src[i]);
-            }
-            mem.work(2 * pr.msg_count);
-          }
-        });
-      });
-      ++phase_salt_;
-      std::fill(changed.begin(), changed.end(), 0);
-      backend_->phase([&](unsigned t, Mem& mem) {
-        changed[t] = bins_.compact()
-                         ? drain_labels(bins_.dst_list16().data(), t, mem)
-                         : drain_labels(bins_.dst_list().data(), t, mem);
-      });
-      std::uint64_t total = 0;
-      for (std::uint64_t c : changed) total += c;
-      if (total == 0) break;
-    }
-    backend_->end_team();
-
-    result.report.seconds = backend_->now_seconds() - t0;
-    result.report.iterations = result.rounds;
-    if constexpr (Backend::kSimulated) {
-      result.report.stats = stats_delta(backend_->machine().stats(), before);
-    }
-    result.labels.assign(label.begin(), label.end());
+    result.report = run_kernel_impl<WccKernel, false>(ko, ro, &result.labels);
+    result.rounds = result.report.iterations;
     return result;
   }
 
@@ -572,36 +539,6 @@ class PcpmEngine {
     bins_ = pcp::build_bins(graph_->out, plan_.parts, opt_.dst_encoding);
   }
 
-  void build_attributes() {
-    const vid_t n = graph_->num_vertices();
-    // Attribute arrays are single contiguous allocations; per-node
-    // physical placement is registered over slices (paper §3.4's
-    // contiguous virtual address space with per-node pages). Carved
-    // page-aligned from the arena's first-touch region — fresh,
-    // never-touched pages, deliberately NOT eagerly zeroed: the first
-    // write to rank_/rank_scaled_/acc_ happens in init_thread, i.e.
-    // from the pinned owner of each slice — the classic first-touch
-    // placement that keeps pages node-local even without mbind support.
-    rank_ = backend_->template alloc_pages<rank_t>(n);
-    rank_scaled_ = backend_->template alloc_pages<rank_t>(n);
-    acc_ = backend_->template alloc_pages<rank_t>(n);
-    // Reciprocal out-degrees, the shared owner of the sink-vertex
-    // semantics (inv 0 for sinks): the per-iteration divide in the
-    // seed/gather epilogues becomes a branchless multiply. Cold-path
-    // heap allocation by design: inverse_degrees computes into a
-    // cache-line-aligned buffer during preprocessing, below the
-    // page-alignment threshold the arena hook polices.
-    inv_deg_ = graph::inverse_degrees<rank_t>(graph_->out);
-    values_ = backend_->template alloc_pages<rank_t>(bins_.total_messages());
-    if (opt_.framework_overhead) {
-      const std::size_t words_per_part =
-          opt_.framework_bytes_per_part / sizeof(std::uint64_t);
-      framework_state_ = backend_->template alloc_pages<std::uint64_t>(
-          std::size_t{plan_.parts.num_partitions()} * words_per_part);
-      framework_state_.fill_zero();
-    }
-  }
-
   /// Register the active destination list's [db, de) entry range.
   void register_dst_range(eid_t db, eid_t de, DataPlacement pl,
                           unsigned node = 0) {
@@ -614,23 +551,56 @@ class PcpmEngine {
     }
   }
 
-  void place_data() {
+  /// NUMA placement of one kernel slot: per-node slices of every
+  /// vertex-indexed attribute array, and destination-side inbox
+  /// first-touch. Attribute arrays are single contiguous allocations;
+  /// per-node physical placement is registered over slices (paper
+  /// §3.4's contiguous virtual address space with per-node pages). The
+  /// inbox is written remotely in scatter and consumed locally in
+  /// gather (Fig. 1's "send out updated data") — natural first touch
+  /// would happen on the SOURCE node, the wrong side — so its pages
+  /// are committed to the consuming node explicitly while their
+  /// contents are still dead.
+  template <class K>
+  void place_slot(KernelSlot<K>& sl) {
+    using Message = typename K::Message;
+    const vid_t n = graph_->num_vertices();
     if (!opt_.numa_aware) {
       // NUMA-oblivious: pages land wherever the allocator/first-touch
       // scatter them; interleave is the faithful 2-node average.
-      backend_->register_buffer(rank_.data(), rank_.size() * sizeof(rank_t),
+      K::for_each_vertex_array(
+          sl.state, [&](const char*, const void* base, std::size_t elem,
+                        bool) {
+            backend_->register_buffer(base, std::size_t{n} * elem,
+                                      DataPlacement::kInterleave);
+          });
+      backend_->register_buffer(sl.values.data(),
+                                sl.values.size() * sizeof(Message),
                                 DataPlacement::kInterleave);
-      backend_->register_buffer(rank_scaled_.data(),
-                                rank_scaled_.size() * sizeof(rank_t),
-                                DataPlacement::kInterleave);
-      backend_->register_buffer(acc_.data(), acc_.size() * sizeof(rank_t),
-                                DataPlacement::kInterleave);
-      backend_->register_buffer(inv_deg_.data(),
-                                inv_deg_.size() * sizeof(rank_t),
-                                DataPlacement::kInterleave);
-      backend_->register_buffer(values_.data(),
-                                values_.size() * sizeof(rank_t),
-                                DataPlacement::kInterleave);
+      return;
+    }
+    for (unsigned node = 0; node < plan_.num_nodes; ++node) {
+      const VertexRange vr = plan_.node_vertex_range(node);
+      K::for_each_vertex_array(
+          sl.state, [&](const char*, const void* base, std::size_t elem,
+                        bool) {
+            backend_->register_buffer(
+                static_cast<const char*>(base) +
+                    std::size_t{vr.begin} * elem,
+                std::size_t{vr.size()} * elem, DataPlacement::kNode, node);
+          });
+      const std::uint32_t pb = plan_.node_part_begin[node];
+      const std::uint32_t pe = plan_.node_part_begin[node + 1];
+      const auto [mb, me] = bins_.msg_slice(pb, pe);
+      backend_->first_touch(sl.values.data() + mb,
+                            (me - mb) * sizeof(Message), node);
+    }
+  }
+
+  /// Placement of the kernel-independent bin streams (source lists +
+  /// destination lists), registered once at construction.
+  void place_bins() {
+    if (!opt_.numa_aware) {
       backend_->register_buffer(bins_.src_list().data(),
                                 bins_.src_list().size_bytes(),
                                 DataPlacement::kInterleave);
@@ -639,17 +609,6 @@ class PcpmEngine {
       return;
     }
     for (unsigned node = 0; node < plan_.num_nodes; ++node) {
-      const VertexRange vr = plan_.node_vertex_range(node);
-      auto reg_verts = [&](const void* base, std::size_t elem) {
-        backend_->register_buffer(
-            static_cast<const char*>(base) + std::size_t{vr.begin} * elem,
-            std::size_t{vr.size()} * elem, DataPlacement::kNode, node);
-      };
-      reg_verts(rank_.data(), sizeof(rank_t));
-      reg_verts(rank_scaled_.data(), sizeof(rank_t));
-      reg_verts(acc_.data(), sizeof(rank_t));
-      reg_verts(inv_deg_.data(), sizeof(rank_t));
-
       const std::uint32_t pb = plan_.node_part_begin[node];
       const std::uint32_t pe = plan_.node_part_begin[node + 1];
       // Source-side stream (read by this node's scatter threads).
@@ -657,47 +616,41 @@ class PcpmEngine {
       backend_->register_buffer(bins_.src_list().data() + sb,
                                 (se - sb) * sizeof(vid_t),
                                 DataPlacement::kNode, node);
-      // Destination-side inbox (written remotely in scatter, consumed
-      // locally in gather — Fig. 1's "send out updated data"). Natural
-      // first touch would happen in scatter, i.e. on the SOURCE node —
-      // the wrong side — so commit these pages to the consuming node
-      // explicitly while their contents are still dead.
-      const auto [mb, me] = bins_.msg_slice(pb, pe);
-      backend_->first_touch(values_.data() + mb,
-                            (me - mb) * sizeof(rank_t), node);
       const auto [db, de] = bins_.dst_slice(pb, pe);
       register_dst_range(db, de, DataPlacement::kNode, node);
     }
   }
 
-  /// Verify the physical placement place_data() asked for: register
-  /// each per-node slice of the attribute arrays plus the
-  /// destination-side inbox with the auditor and query the kernel for
-  /// where the pages actually live. NUMA-oblivious configurations have
-  /// no intended node per buffer, so they audit nothing (available
-  /// stays false unless the host is multi-node AND numa_aware).
-  [[nodiscard]] numa::PlacementAudit run_placement_audit() const {
+  /// Verify the physical placement place_slot() asked for: register
+  /// each per-node slice of the kernel's audited attribute arrays plus
+  /// the destination-side inbox with the auditor and query the kernel
+  /// for where the pages actually live. NUMA-oblivious configurations
+  /// have no intended node per buffer, so they audit nothing
+  /// (available stays false unless the host is multi-node AND
+  /// numa_aware).
+  template <class K>
+  [[nodiscard]] numa::PlacementAudit run_placement_audit(
+      KernelSlot<K>& sl) const {
     numa::PlacementAuditor auditor;
     backend_->register_arena(auditor);
     if (opt_.numa_aware) {
       for (unsigned node = 0; node < plan_.num_nodes; ++node) {
         const VertexRange vr = plan_.node_vertex_range(node);
         const std::string tag = "[node" + std::to_string(node) + "]";
-        auto add_verts = [&](const char* nm, const void* base,
-                             std::size_t elem) {
-          auditor.add(nm + tag,
-                      static_cast<const char*>(base) +
-                          std::size_t{vr.begin} * elem,
-                      std::size_t{vr.size()} * elem, node);
-        };
-        add_verts("rank", rank_.data(), sizeof(rank_t));
-        add_verts("rank_scaled", rank_scaled_.data(), sizeof(rank_t));
-        add_verts("acc", acc_.data(), sizeof(rank_t));
+        K::for_each_vertex_array(
+            sl.state, [&](const char* nm, const void* base,
+                          std::size_t elem, bool audited) {
+              if (!audited) return;
+              auditor.add(nm + tag,
+                          static_cast<const char*>(base) +
+                              std::size_t{vr.begin} * elem,
+                          std::size_t{vr.size()} * elem, node);
+            });
         const std::uint32_t pb = plan_.node_part_begin[node];
         const std::uint32_t pe = plan_.node_part_begin[node + 1];
         const auto [mb, me] = bins_.msg_slice(pb, pe);
-        auditor.add("values" + tag, values_.data() + mb,
-                    (me - mb) * sizeof(rank_t), node);
+        auditor.add("values" + tag, sl.values.data() + mb,
+                    (me - mb) * sizeof(typename K::Message), node);
       }
     }
     return auditor.audit();
@@ -732,22 +685,38 @@ class PcpmEngine {
     return sum;
   }
 
-  /// The whole PageRank run inside ONE Backend::run_loop parallel
+  /// Frontier bookkeeping between rounds (control thread on the
+  /// phase() path, thread 0 between barriers on the single-dispatch
+  /// path): scan the next-active map written by this round's gather,
+  /// swap the double buffer, and report whether any partition stays
+  /// active. Plain byte accesses — the phase barrier/join orders them.
+  template <class K>
+  bool advance_frontier(KernelSlot<K>& sl) {
+    const std::uint32_t parts = plan_.parts.num_partitions();
+    const std::uint8_t* nx = sl.next_ptr;
+    bool any = false;
+    for (std::uint32_t p = 0; p < parts; ++p) any = any || nx[p] != 0;
+    std::swap(sl.active_ptr, sl.next_ptr);
+    return any;
+  }
+
+  /// The whole kernel run inside ONE Backend::run_loop parallel
   /// region: init, then per iteration scatter | barrier | gather+apply
   /// | barrier, with thread 0 publishing the iteration scalars
-  /// (executed count, convergence sum, stop flag) between barriers.
-  /// Eliminates the 2-per-iteration condvar dispatch latency of the
-  /// phase() path while computing bitwise-identical ranks.
+  /// (executed count, convergence sum or frontier emptiness, stop
+  /// flag) between barriers. Eliminates the 2-per-iteration condvar
+  /// dispatch latency of the phase() path while computing
+  /// bitwise-identical results.
   ///
   /// Telemetry (kTel): each thread times its own barrier waits
   /// (attributed to the phase the barrier closes) and thread 0 appends
   /// per-iteration wall seconds between barriers — the same
   /// happens-before pattern as the convergence scalars. The kOff
   /// instantiation is token-identical to the untelemetered loop.
-  template <bool kTel>
-  void run_pagerank_single_dispatch(const PageRankOptions& pr, rank_t base,
-                                    bool track, unsigned* iters_out,
-                                    double* delta_out) {
+  template <class K, bool kTel>
+  void run_single_dispatch(KernelSlot<K>& sl, const RunOptions& ro,
+                           bool track, unsigned max_iters,
+                           unsigned* iters_out, double* delta_out) {
     // Published by thread 0 between barriers; the barrier's
     // acquire/release atomics order these plain accesses.
     unsigned iters_done = 0;
@@ -767,33 +736,40 @@ class PcpmEngine {
         }
       };
       runtime::MaybeTimer<kTel> iter_timer;
-      init_thread<kTel>(t, mem);
-      // ranks/scaled ranks visible before any scatter
+      init_thread<K, kTel>(sl, t, mem);
+      // vertex state (and active maps) visible before any scatter
       timed_barrier(runtime::Phase::kInit);
-      for (unsigned it = 0; it < pr.iterations; ++it) {
+      for (unsigned it = 0; it < max_iters; ++it) {
         if constexpr (kTel) {
           if (t == 0) iter_timer.reset();
         }
-        scatter_thread<kTel>(t, mem);
+        scatter_thread<K, kTel>(sl, t, mem);
         // every inbox written before any gather reads
         timed_barrier(runtime::Phase::kScatter);
         if (track) deltas_[t].value = 0.0;
-        gather_thread<kTel>(t, mem, base, pr.damping,
-                            track ? &deltas_[t].value : nullptr);
-        // new scaled ranks ready for the next scatter
+        gather_thread<K, kTel>(sl, t, mem,
+                               track ? &deltas_[t].value : nullptr);
+        // new vertex state ready for the next scatter
         timed_barrier(runtime::Phase::kGather);
         if (t == 0) {
           iters_done = it + 1;
           if constexpr (kTel) {
             timeline_.record_iteration(iter_timer.seconds());
           }
-          if (track) {
-            last_delta = reduce_deltas();
-            stop = last_delta <= pr.tolerance;
+          if constexpr (K::kUsesFrontier) {
+            stop = !advance_frontier(sl);
+          } else {
+            if (track) {
+              last_delta = reduce_deltas();
+              stop = last_delta <= ro.tolerance;
+            }
           }
         }
-        if (!track) continue;
-        // thread 0's stop decision reaches the team
+        if constexpr (!K::kUsesFrontier) {
+          if (!track) continue;
+        }
+        // thread 0's stop decision (and swapped active maps for
+        // frontier kernels) reaches the team
         timed_barrier(runtime::Phase::kGather);
         if (stop) break;
       }
@@ -851,30 +827,27 @@ class PcpmEngine {
 
   // ---- kernels -------------------------------------------------------------
 
-  template <bool kTel = false>
-  void init_thread(unsigned t, Mem& mem) {
+  template <class K, bool kTel>
+  void init_thread(KernelSlot<K>& sl, unsigned t, Mem& mem) {
     // Per-thread kernel wall is only meaningful on native backends
     // (simulated threads run in charged sim time, not host time).
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
-    const vid_t n = graph_->num_vertices();
-    const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
+    [[maybe_unused]] std::uint8_t* act = nullptr;
+    [[maybe_unused]] std::uint8_t* nxt = nullptr;
+    if constexpr (K::kUsesFrontier) {
+      act = sl.active_ptr;
+      nxt = sl.next_ptr;
+    }
     for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
       const VertexRange r = plan_.parts.range(p);
-      mem.stream_read(inv_deg_.data() + r.begin, r.size());
-      mem.stream_write(rank_.data() + r.begin, r.size());
-      mem.stream_write(rank_scaled_.data() + r.begin, r.size());
-      mem.stream_write(acc_.data() + r.begin, r.size());
-      const rank_t* __restrict inv = inv_deg_.data();
-      for (vid_t v = r.begin; v < r.end; ++v) {
-        rank_[v] = r0;
-        // Branchless sink handling: inv is exactly 0 for sinks.
-        rank_scaled_[v] = r0 * inv[v];
-        acc_[v] = 0.0f;
+      K::init(sl.state, mem, r);
+      if constexpr (K::kUsesFrontier) {
+        act[p] = K::initially_active(sl.state, r) ? 1 : 0;
+        nxt[p] = 0;
       }
-      mem.work(r.size());
     });
     if constexpr (kTel) {
       runtime::PhaseSample& row =
@@ -891,8 +864,9 @@ class PcpmEngine {
   /// inside the partition's resident slice.
   static constexpr eid_t kPrefetchDist = 16;
 
-  template <bool kTel = false>
-  void scatter_thread(unsigned t, Mem& mem) {
+  template <class K, bool kTel>
+  void scatter_thread(KernelSlot<K>& sl, unsigned t, Mem& mem) {
+    using Message = typename K::Message;
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
@@ -901,28 +875,42 @@ class PcpmEngine {
     const auto& pairs = bins_.pairs();
     const auto& src_begin = bins_.src_pair_begin();
     const vid_t* src_list = bins_.src_list().data();
-    const rank_t* rs = rank_scaled_.data();
-    rank_t* vals = values_.data();
+    const auto sc = K::scatter_ctx(sl.state);
+    Message* vals = sl.values.data();
+    [[maybe_unused]] const std::uint8_t* act = nullptr;
+    [[maybe_unused]] std::uint8_t* nxt = nullptr;
+    if constexpr (K::kUsesFrontier) {
+      act = sl.active_ptr;
+      nxt = sl.next_ptr;
+    }
     for_owned_partitions(t, mem, true, [&](std::uint32_t p) {
+      if constexpr (K::kUsesFrontier) {
+        // Clearing here (before the gather phase sets bits) keeps the
+        // double buffer race-free: every partition is claimed exactly
+        // once per phase. An inactive partition skips its whole
+        // source stream — the frontier payoff.
+        nxt[p] = 0;
+        if (act[p] == 0) return;
+      }
       for (std::uint32_t k = src_begin[p]; k < src_begin[p + 1]; ++k) {
         const pcp::PairInfo& pr = pairs[k];
         if constexpr (kTel) tel_msgs += pr.msg_count;
         mem.stream_read(&pr, 1);  // bin metadata
         mem.stream_read(src_list + pr.src_off, pr.msg_count);
         mem.stream_write(vals + pr.value_off, pr.msg_count);
-        // Hoisted cursors; the rank read is random but resident in
-        // this partition's cache slice — prefetch hides its latency
-        // when the slice spills past L1.
+        // Hoisted cursors; the per-vertex state read is random but
+        // resident in this partition's cache slice — prefetch hides
+        // its latency when the slice spills past L1.
         const vid_t* __restrict src = src_list + pr.src_off;
-        rank_t* __restrict out = vals + pr.value_off;
+        Message* __restrict out = vals + pr.value_off;
         const eid_t cnt = pr.msg_count;
         const eid_t fenced = cnt > kPrefetchDist ? cnt - kPrefetchDist : 0;
         eid_t i = 0;
         for (; i < fenced; ++i) {
-          prefetch_read(rs + src[i + kPrefetchDist]);
-          out[i] = mem.load(rs + src[i]);
+          K::scatter_prefetch(sc, src[i + kPrefetchDist]);
+          out[i] = K::scatter(sc, mem, src[i]);
         }
-        for (; i < cnt; ++i) out[i] = mem.load(rs + src[i]);
+        for (; i < cnt; ++i) out[i] = K::scatter(sc, mem, src[i]);
         mem.work(2 * pr.msg_count);
         if (opt_.framework_overhead) {
           mem.work(std::uint64_t{opt_.framework_cycles_per_msg} *
@@ -937,34 +925,40 @@ class PcpmEngine {
       ++row.invocations;
       row.wall_seconds += sw.seconds();
       row.messages_produced += tel_msgs;
-      row.bytes_produced += tel_msgs * sizeof(rank_t);
+      row.bytes_produced += tel_msgs * sizeof(Message);
       hwsec.finish(row.hw);
       span.finish(t, runtime::Phase::kScatter, runtime::SpanKind::kKernel);
     }
   }
 
-  /// Inbox drain of one thread's destination partitions: accumulate
-  /// message values into acc_ (shared by PageRank gather and SpMV).
-  /// Dispatches once per run to the compact (16-bit) or wide (32-bit)
-  /// destination-entry kernel.
-  template <bool kTel = false>
-  void gather_accumulate(unsigned t, Mem& mem) {
+  /// Inbox drain of one thread's destination partitions: fold message
+  /// values into the kernel's vertex state (shared by the gather phase
+  /// and SpMV). Dispatches once per run to the compact (16-bit) or
+  /// wide (32-bit) destination-entry kernel.
+  template <class K, bool kTel>
+  void gather_accumulate(KernelSlot<K>& sl, unsigned t, Mem& mem) {
     if (bins_.compact()) {
-      gather_accumulate_impl<kTel>(t, mem, bins_.dst_list16().data());
+      gather_accumulate_impl<K, kTel>(sl, t, mem, bins_.dst_list16().data());
     } else {
-      gather_accumulate_impl<kTel>(t, mem, bins_.dst_list().data());
+      gather_accumulate_impl<K, kTel>(sl, t, mem, bins_.dst_list().data());
     }
   }
 
-  /// Entry-type-generic accumulate kernel. The inner loop is
-  /// branchless: the new-message flag sits in the entry's top bit, so
-  /// `msg += entry >> shift` advances the message index and the value
-  /// re-load is L1-resident. Compact entries are partition-local, so
-  /// the destination partition's first vertex (loop-invariant) is
-  /// added back; wide entries carry global ids (base 0).
-  template <bool kTel = false, class E>
-  void gather_accumulate_impl(unsigned t, Mem& mem, const E* dst_list) {
+  /// Entry-type-generic drain kernel. The inner loop is branchless in
+  /// its message tracking: the new-message flag sits in the entry's
+  /// top bit, so `msg += entry >> shift` advances the message index
+  /// and the value re-load is L1-resident. Compact entries are
+  /// partition-local, so the destination partition's first vertex
+  /// (loop-invariant) is added back; wide entries carry global ids
+  /// (base 0). Frontier kernels skip pairs whose source partition is
+  /// inactive — those inbox slices were not rewritten this round — and
+  /// mark the destination partition next-active when any vertex
+  /// changed.
+  template <class K, bool kTel, class E>
+  void gather_accumulate_impl(KernelSlot<K>& sl, unsigned t, Mem& mem,
+                              const E* dst_list) {
     static_assert(sizeof(E) == 2 || sizeof(E) == 4);
+    using Message = typename K::Message;
     constexpr unsigned kShift = sizeof(E) == 2 ? 15 : 31;
     constexpr std::uint32_t kMask = (std::uint32_t{1} << kShift) - 1;
     [[maybe_unused]] std::uint64_t tel_msgs = 0;
@@ -972,14 +966,24 @@ class PcpmEngine {
     const auto& pairs = bins_.pairs();
     const auto& dpi = bins_.dst_pair_index();
     const auto& dpb = bins_.dst_pair_begin();
-    const rank_t* __restrict vals = values_.data();
-    rank_t* __restrict acc = acc_.data();
+    const Message* __restrict vals = sl.values.data();
+    const auto gc = K::gather_ctx(sl.state);
+    [[maybe_unused]] const std::uint8_t* act = nullptr;
+    [[maybe_unused]] std::uint8_t* nxt = nullptr;
+    if constexpr (K::kUsesFrontier) {
+      act = sl.active_ptr;
+      nxt = sl.next_ptr;
+    }
     for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
       // Loop-invariant partition base (0 for the wide encoding).
       vid_t vbase = 0;
       if constexpr (sizeof(E) == 2) vbase = plan_.parts.range(q).begin;
+      [[maybe_unused]] bool part_changed = false;
       for (std::uint32_t idx = dpb[q]; idx < dpb[q + 1]; ++idx) {
         const pcp::PairInfo& pr = pairs[dpi[idx]];
+        if constexpr (K::kUsesFrontier) {
+          if (act[pr.src_part] == 0) continue;
+        }
         if constexpr (kTel) {
           tel_msgs += pr.msg_count;
           tel_dsts += pr.dst_count;
@@ -996,19 +1000,26 @@ class PcpmEngine {
         eid_t j = 0;
         for (; j < fenced; ++j) {
           const std::uint32_t e = dl[j];
-          prefetch_write(
-              acc + vbase +
-              (static_cast<std::uint32_t>(dl[j + kPrefetchDist]) & kMask));
+          K::gather_prefetch(
+              gc, vbase + (static_cast<std::uint32_t>(dl[j + kPrefetchDist]) &
+                           kMask));
           msg += e >> kShift;
           const vid_t d = vbase + (e & kMask);
-          // Random update, resident in partition q's cache slice.
-          mem.store(acc + d, acc[d] + vals[msg]);
+          if constexpr (K::kUsesFrontier) {
+            part_changed |= K::gather(gc, mem, d, vals[msg]);
+          } else {
+            K::gather(gc, mem, d, vals[msg]);
+          }
         }
         for (; j < cnt; ++j) {
           const std::uint32_t e = dl[j];
           msg += e >> kShift;
           const vid_t d = vbase + (e & kMask);
-          mem.store(acc + d, acc[d] + vals[msg]);
+          if constexpr (K::kUsesFrontier) {
+            part_changed |= K::gather(gc, mem, d, vals[msg]);
+          } else {
+            K::gather(gc, mem, d, vals[msg]);
+          }
         }
         mem.work(2 * pr.dst_count + pr.msg_count);
         if (opt_.framework_overhead) {
@@ -1016,63 +1027,44 @@ class PcpmEngine {
                    pr.msg_count);
         }
       }
+      if constexpr (K::kUsesFrontier) {
+        if (part_changed) nxt[q] = 1;
+      }
     });
     if constexpr (kTel) {
       runtime::PhaseSample& row =
           timeline_.thread(t)[runtime::Phase::kGather];
       row.messages_consumed += tel_msgs;
       row.bytes_consumed +=
-          tel_msgs * sizeof(rank_t) + tel_dsts * sizeof(E);
+          tel_msgs * sizeof(Message) + tel_dsts * sizeof(E);
     }
   }
 
-  /// Gather + apply. When `delta_out` is non-null, accumulates this
-  /// thread's L1 rank change (sum |new - old| over owned vertices, in
-  /// vertex order) for the convergence check; the rank arithmetic is
-  /// identical either way.
-  template <bool kTel = false>
-  void gather_thread(unsigned t, Mem& mem, rank_t base, rank_t damping,
+  /// Gather + apply. When `delta_out` is non-null (kHasApply kernels
+  /// tracking convergence), accumulates this thread's L1 state change
+  /// (sum |new - old| over owned vertices, in vertex order); the
+  /// update arithmetic is identical either way.
+  template <class K, bool kTel>
+  void gather_thread(KernelSlot<K>& sl, unsigned t, Mem& mem,
                      double* delta_out = nullptr) {
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
-    gather_accumulate<kTel>(t, mem);
-    double l1 = 0.0;
-    for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
-      // Apply: finish PageRank for this partition's vertices. All four
-      // arrays stream; the body is branchless (sinks have inv == 0)
-      // and autovectorizable.
-      const VertexRange r = plan_.parts.range(q);
-      mem.stream_read(acc_.data() + r.begin, r.size());
-      mem.stream_read(inv_deg_.data() + r.begin, r.size());
-      mem.stream_write(rank_.data() + r.begin, r.size());
-      mem.stream_write(rank_scaled_.data() + r.begin, r.size());
-      rank_t* __restrict rank = rank_.data();
-      rank_t* __restrict scaled = rank_scaled_.data();
-      rank_t* __restrict acc = acc_.data();
-      const rank_t* __restrict inv = inv_deg_.data();
-      if (delta_out == nullptr) {
-        for (vid_t v = r.begin; v < r.end; ++v) {
-          const rank_t new_rank = base + damping * acc[v];
-          rank[v] = new_rank;
-          scaled[v] = new_rank * inv[v];
-          acc[v] = 0.0f;
+    gather_accumulate<K, kTel>(sl, t, mem);
+    if constexpr (K::kHasApply) {
+      double l1 = 0.0;
+      for_owned_partitions(t, mem, false, [&](std::uint32_t q) {
+        const VertexRange r = plan_.parts.range(q);
+        if (delta_out == nullptr) {
+          K::apply(sl.state, mem, r);
+        } else {
+          l1 += K::apply_tracked(sl.state, mem, r);
         }
-      } else {
-        for (vid_t v = r.begin; v < r.end; ++v) {
-          const rank_t new_rank = base + damping * acc[v];
-          l1 += std::fabs(static_cast<double>(new_rank) -
-                          static_cast<double>(rank[v]));
-          rank[v] = new_rank;
-          scaled[v] = new_rank * inv[v];
-          acc[v] = 0.0f;
-        }
-      }
-      mem.work(3 * r.size());
-      if (opt_.framework_overhead) framework_touch(q, mem);
-    });
-    if (delta_out != nullptr) *delta_out += l1;
+        if (opt_.framework_overhead) framework_touch(q, mem);
+      });
+      if (delta_out != nullptr) *delta_out += l1;
+    }
     if constexpr (kTel) {
       runtime::PhaseSample& row =
           timeline_.thread(t)[runtime::Phase::kGather];
@@ -1099,11 +1091,10 @@ class PcpmEngine {
   Backend* backend_;
   part::HierarchicalPlan plan_;
   pcp::PcpmBins bins_;
-  AlignedBuffer<rank_t> rank_;
-  AlignedBuffer<rank_t> rank_scaled_;
-  AlignedBuffer<rank_t> acc_;
-  AlignedBuffer<rank_t> inv_deg_;  ///< 1/out-degree, 0 for sinks
-  AlignedBuffer<rank_t> values_;
+  /// Per-kernel state slots (vertex attributes + typed inbox + active
+  /// maps), keyed by kernel type; the PageRank slot is built in the
+  /// constructor, others on first use.
+  std::vector<std::pair<std::type_index, std::shared_ptr<void>>> slots_;
   AlignedBuffer<std::uint64_t> framework_state_;
   std::vector<std::vector<std::uint32_t>> fcfs_slots_;
   /// Per-thread L1 convergence partials (only sized when a run tracks

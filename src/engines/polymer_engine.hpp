@@ -14,10 +14,22 @@
 //    keeps every vertex active — the framework tax the paper measures;
 //  * persistent threads bound to nodes (Polymer is pthread-based and
 //    NUMA-aware).
+//
+// Kernel-generic: the replicate/pull core is templated on the Kernel
+// concept's pull-mode algebra (K::Pull — engines/kernels.hpp). The
+// framework's vertex values use K::Pull::PolymerValue (double for the
+// PageRank family — Ligra/Polymer compute in double precision, twice
+// the attribute traffic of the hand-coded float engines) and the fold
+// accumulator uses K::Pull::Acc. Additive kernels combine sub-pass
+// folds with Ligra's writeAdd (CAS loop even when uncontended);
+// monotone kernels combine with writeMin and early-stop once an
+// iteration changes nothing.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
+#include <typeindex>
 #include <utility>
 #include <vector>
 
@@ -25,6 +37,7 @@
 #include "common/logging.hpp"
 #include "common/numeric.hpp"
 #include "engines/backend.hpp"
+#include "engines/kernels.hpp"
 #include "engines/vpr_engine.hpp"  // SimStats delta helper
 #include "graph/csr.hpp"
 #include "partition/edge_balanced.hpp"
@@ -72,29 +85,125 @@ class PolymerEngine {
     return result;
   }
 
+  /// Kernel-generic run surface (see PcpmEngine::run<K>).
+  template <class K>
+  [[nodiscard]] KernelResult<K> run(const typename K::Options& ko,
+                                    const RunOptions& ro = {}) {
+    KernelResult<K> result;
+    result.report = ro.instrumented()
+                        ? run_kernel_impl<K, true>(ko, ro, &result.values)
+                        : run_kernel_impl<K, false>(ko, ro, &result.values);
+    return result;
+  }
+
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
   /// Instrumentation is a compile-time fork: the uninstrumented
   /// instantiation contains no recording code at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
-    return pr.instrumented() ? run_pagerank_impl<true>(pr, ranks_out)
-                             : run_pagerank_impl<false>(pr, ranks_out);
+    PrOptions ko;
+    ko.damping = pr.damping;
+    return pr.instrumented()
+               ? run_kernel_impl<PageRankKernel, true>(ko, pr, ranks_out)
+               : run_kernel_impl<PageRankKernel, false>(ko, pr, ranks_out);
   }
 
  private:
-  template <bool kTel>
-  RunReport run_pagerank_impl(const PageRankOptions& pr,
-                              std::vector<rank_t>* ranks_out) {
+  /// Per-kernel framework state: node-sliced vertex values and fold
+  /// accumulators plus one full contribution replica per node. The
+  /// frontier double-buffer is kernel-independent (engine-level).
+  template <class K>
+  struct PolySlot {
+    using TV = typename K::Pull::PolymerValue;
+    using Acc = typename K::Pull::Acc;
+    AlignedBuffer<TV> value;
+    AlignedBuffer<TV> inv_deg;  ///< only allocated when Pull::kNeedsInv
+    AlignedBuffer<Acc> acc;
+    std::vector<AlignedBuffer<typename K::Message>> replicas;
+    std::vector<TV> init;
+    std::vector<TV> bias;
+    rank_t damping = 0.0f;
+    double prep_seconds = 0.0;
+  };
+
+  template <class K>
+  PolySlot<K>& slot() {
+    using TV = typename K::Pull::PolymerValue;
+    using Acc = typename K::Pull::Acc;
+    const std::type_index key(typeid(K));
+    for (auto& [k, p] : slots_) {
+      if (k == key) return *static_cast<PolySlot<K>*>(p.get());
+    }
+    const double t0 = backend_->now_seconds();
     const vid_t n = graph_->num_vertices();
+    const unsigned nodes = opt_.num_nodes;
+    auto sp = std::make_shared<PolySlot<K>>();
+
+    // Attribute arrays: page-aligned arena carves, sliced onto the
+    // owning node below. Reciprocal degrees stay in the framework's
+    // value precision (shared sink semantics: 0 for sinks, multiply
+    // instead of guarded divide) and on the plain heap — cache-line
+    // aligned cold-path preprocessing output.
+    sp->value = backend_->template alloc_pages<TV>(n);
+    if constexpr (K::Pull::kNeedsInv) {
+      sp->inv_deg = graph::inverse_degrees<TV>(graph_->out);
+    }
+    sp->acc = backend_->template alloc_pages<Acc>(n);
+    const bool own_frontier = frontier_.data() == nullptr;
+    if (own_frontier) {
+      frontier_ = backend_->template alloc_pages<std::uint8_t>(n);
+      next_frontier_ = backend_->template alloc_pages<std::uint8_t>(n);
+    }
+    for (vid_t v = 0; v < n; ++v) {
+      sp->acc[v] = K::Pull::template identity<Acc>();
+    }
+    for (unsigned nd = 0; nd < nodes; ++nd) {
+      const vid_t b = node_bounds_[nd];
+      const vid_t sz = node_bounds_[nd + 1] - b;
+      backend_->register_buffer(sp->value.data() + b, sz * sizeof(TV),
+                                DataPlacement::kNode, nd);
+      if constexpr (K::Pull::kNeedsInv) {
+        backend_->register_buffer(sp->inv_deg.data() + b, sz * sizeof(TV),
+                                  DataPlacement::kNode, nd);
+      }
+      backend_->register_buffer(sp->acc.data() + b, sz * sizeof(Acc),
+                                DataPlacement::kNode, nd);
+      if (own_frontier) {
+        backend_->register_buffer(frontier_.data() + b, sz,
+                                  DataPlacement::kNode, nd);
+        backend_->register_buffer(next_frontier_.data() + b, sz,
+                                  DataPlacement::kNode, nd);
+      }
+    }
+
+    // Full contribution replica per node, local to its readers.
+    for (unsigned nd = 0; nd < nodes; ++nd) {
+      sp->replicas.push_back(backend_->template alloc<typename K::Message>(
+          n, DataPlacement::kNode, nd));
+    }
+    sp->prep_seconds = backend_->now_seconds() - t0;
+    slots_.emplace_back(key, sp);
+    return *sp;
+  }
+
+  template <class K, bool kTel>
+  RunReport run_kernel_impl(const typename K::Options& ko,
+                            const RunOptions& ro,
+                            std::vector<typename K::Value>* values_out) {
+    const vid_t n = graph_->num_vertices();
+    PolySlot<K>& sl = slot<K>();
+    sl.damping = K::Pull::setup(ko, *graph_, sl.init, sl.bias);
+    const unsigned max_iters = K::max_iterations(ko, ro);
     if constexpr (kTel) {
       timeline_.reset(opt_.num_threads);
-      timeline_.reserve_iterations(pr.iterations);
+      timeline_.reserve_iterations(std::min(max_iters, 4096u));
       if constexpr (!Backend::kSimulated) {
         hwprof_.reset(opt_.num_threads,
-                      pr.hw_counters == runtime::HwProf::kOn);
-        if (!pr.trace_path.empty()) {
-          timeline_.enable_spans(
-              std::size_t{pr.iterations} * (1 + opt_.num_nodes) + 4);
+                      ro.hw_counters == runtime::HwProf::kOn);
+        if (!ro.trace_path.empty()) {
+          timeline_.enable_spans(std::size_t{std::min(max_iters, 4096u)} *
+                                     (1 + opt_.num_nodes) +
+                                 4);
         }
       }
     }
@@ -117,7 +226,9 @@ class PolymerEngine {
     [[maybe_unused]] std::optional<runtime::HotPathGuard> hot_guard;
     if constexpr (!Backend::kSimulated) hot_guard.emplace();
     backend_->start_team(spec);
-    const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
+    if constexpr (K::kUsesFrontier) {
+      changes_.assign(opt_.num_threads, PaddedFlag{});
+    }
     timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
       runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
       runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
@@ -125,10 +236,10 @@ class PolymerEngine {
       sw.reset();
       const vid_t b = thread_vertex_bounds_[t];
       const vid_t e = thread_vertex_bounds_[t + 1];
-      mem.stream_write(rank_.data() + b, e - b);
+      mem.stream_write(sl.value.data() + b, e - b);
       mem.stream_write(frontier_.data() + b, e - b);
       for (vid_t v = b; v < e; ++v) {
-        rank_[v] = static_cast<double>(r0);
+        sl.value[v] = sl.init[v];
         frontier_[v] = 1;
       }
       mem.work(e - b);
@@ -141,38 +252,42 @@ class PolymerEngine {
         span.finish(t, runtime::Phase::kInit, runtime::SpanKind::kKernel);
       }
     });
-    const auto base =
-        static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
-    for (unsigned it = 0; it < pr.iterations; ++it) {
+    unsigned iters_done = 0;
+    for (unsigned it = 0; it < max_iters; ++it) {
       [[maybe_unused]] double it0 = 0.0;
       if constexpr (kTel) it0 = backend_->now_seconds();
       // Polymer maps onto the shared phase vocabulary as
       // replicate→scatter (produce per-node contribution replicas)
       // and pull→gather (consume one replica entry per in-edge).
       timed_phase<kTel>(runtime::Phase::kScatter, [&](unsigned t, Mem& mem) {
-        replicate_pass<kTel>(t, mem);
+        replicate_pass<K, kTel>(sl, t, mem);
       });
       for (unsigned m = 0; m < opt_.num_nodes; ++m) {
         const bool last = (m + 1 == opt_.num_nodes);
         timed_phase<kTel>(runtime::Phase::kGather,
                           [&](unsigned t, Mem& mem) {
-                            pull_pass<kTel>(t, mem, m, last, base,
-                                            pr.damping);
+                            pull_pass<K, kTel>(sl, t, mem, m, last);
                           });
       }
       // The frontier double-buffer flips once per iteration (framework
-      // behavior; contents are all-ones for PageRank).
+      // behavior; contents are all-ones regardless of kernel).
       std::swap(frontier_, next_frontier_);
       if constexpr (kTel) {
         timeline_.record_iteration(backend_->now_seconds() - it0);
+      }
+      iters_done = it + 1;
+      if constexpr (K::kUsesFrontier) {
+        bool any = false;
+        for (const PaddedFlag& f : changes_) any = any || f.value;
+        if (!any) break;
       }
     }
     backend_->end_team();
 
     RunReport report;
     report.seconds = backend_->now_seconds() - t0;
-    report.preprocessing_seconds = preprocessing_seconds_;
-    report.iterations = pr.iterations;
+    report.preprocessing_seconds = preprocessing_seconds_ + sl.prep_seconds;
+    report.iterations = iters_done;
     if constexpr (Backend::kSimulated) {
       report.stats =
           VprEngine<Backend>::delta(backend_->machine().stats(), before);
@@ -180,7 +295,7 @@ class PolymerEngine {
     if constexpr (kTel) {
       report.telemetry = runtime::aggregate(timeline_);
       if constexpr (!Backend::kSimulated) {
-        if (pr.hw_counters == runtime::HwProf::kOn) {
+        if (ro.hw_counters == runtime::HwProf::kOn) {
           report.telemetry.hw_available = hwprof_.any_open();
           report.telemetry.hw_threads = hwprof_.open_threads();
           report.telemetry.hw_event_mask = hwprof_.event_mask();
@@ -188,21 +303,23 @@ class PolymerEngine {
             report.telemetry.hw_errno = hwprof_.group(0).last_errno();
           }
         }
-        if (!pr.trace_path.empty() &&
-            !trace::ChromeTraceWriter::write(pr.trace_path, timeline_,
+        if (!ro.trace_path.empty() &&
+            !trace::ChromeTraceWriter::write(ro.trace_path, timeline_,
                                              "Polymer")) {
-          HIPA_WARN("trace write failed: " << pr.trace_path);
+          HIPA_WARN("trace write failed: " << ro.trace_path);
         }
       }
     }
     if constexpr (!Backend::kSimulated) {
       report.arena = backend_->arena_stats();
-      if (pr.audit_placement) report.placement_audit = run_placement_audit();
+      if (ro.audit_placement) {
+        report.placement_audit = run_placement_audit<K>(sl);
+      }
     }
-    if (ranks_out != nullptr) {
-      ranks_out->resize(n);
+    if (values_out != nullptr) {
+      values_out->resize(n);
       for (vid_t v = 0; v < n; ++v) {
-        (*ranks_out)[v] = static_cast<rank_t>(rank_[v]);
+        (*values_out)[v] = static_cast<typename K::Value>(sl.value[v]);
       }
     }
     return report;
@@ -237,9 +354,14 @@ class PolymerEngine {
   }
 
  private:
+  /// One cache line per thread: per-iteration changed flags for the
+  /// monotone kernels' early stop.
+  struct alignas(kCacheLine) PaddedFlag {
+    bool value = false;
+  };
+
   void build_layout() {
     const graph::Graph& g = *graph_;
-    const vid_t n = g.num_vertices();
     const unsigned nodes = opt_.num_nodes;
 
     threads_per_node_.assign(nodes, 0);
@@ -269,42 +391,16 @@ class PolymerEngine {
       }
     }
 
-    // Attribute arrays: page-aligned arena carves, sliced onto the
-    // owning node below. Reciprocal degrees stay in Polymer's double
-    // precision (shared sink semantics: 0 for sinks, multiply instead
-    // of guarded divide) and on the plain heap — cache-line aligned
-    // cold-path preprocessing output.
-    rank_ = backend_->template alloc_pages<double>(n);
-    inv_deg_ = graph::inverse_degrees<double>(g.out);
-    acc_ = backend_->template alloc_pages<double>(n);
-    frontier_ = backend_->template alloc_pages<std::uint8_t>(n);
-    next_frontier_ = backend_->template alloc_pages<std::uint8_t>(n);
-    acc_.fill_zero();
-    for (unsigned nd = 0; nd < nodes; ++nd) {
-      const vid_t b = node_bounds_[nd];
-      const vid_t sz = node_bounds_[nd + 1] - b;
-      backend_->register_buffer(rank_.data() + b, sz * sizeof(double),
-                                DataPlacement::kNode, nd);
-      backend_->register_buffer(inv_deg_.data() + b, sz * sizeof(double),
-                                DataPlacement::kNode, nd);
-      backend_->register_buffer(acc_.data() + b, sz * sizeof(double),
-                                DataPlacement::kNode, nd);
-      backend_->register_buffer(frontier_.data() + b, sz,
-                                DataPlacement::kNode, nd);
-      backend_->register_buffer(next_frontier_.data() + b, sz,
-                                DataPlacement::kNode, nd);
-    }
-
-    // Full contribution replica per node, local to its readers.
-    replicas_.clear();
-    for (unsigned nd = 0; nd < nodes; ++nd) {
-      replicas_.push_back(backend_->template alloc<rank_t>(
-          n, DataPlacement::kNode, nd));
-    }
+    // PageRank's slot is built eagerly so the constructor's allocation
+    // and registration order matches the historical engine (value,
+    // inv_deg, acc, frontier pair, per-node slices, replicas); other
+    // kernels build lazily on first run.
+    slot<PageRankKernel>().prep_seconds = 0.0;
 
     // Sub-CSCs: for destination node nd and source node m, the
     // in-edges of nd's vertices whose source lies in m's range.
-    // Offsets are local to nd's vertex range.
+    // Offsets are local to nd's vertex range. Kernel-independent:
+    // every kernel pulls over the same per-node layout.
     sub_offsets_.clear();
     sub_offsets_.resize(std::size_t{nodes} * nodes);
     sub_targets_.clear();
@@ -352,20 +448,23 @@ class PolymerEngine {
     }
   }
 
-  /// Verify the per-node placement build_layout() asked for: each
-  /// node's slice of the double-precision attributes plus its full
-  /// contribution replica.
-  [[nodiscard]] numa::PlacementAudit run_placement_audit() const {
+  /// Verify the per-node placement slot() asked for: each node's slice
+  /// of the attribute arrays plus its full contribution replica.
+  template <class K>
+  [[nodiscard]] numa::PlacementAudit run_placement_audit(
+      const PolySlot<K>& sl) const {
+    using TV = typename K::Pull::PolymerValue;
+    using Acc = typename K::Pull::Acc;
     numa::PlacementAuditor auditor;
     backend_->register_arena(auditor);
     for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
       const vid_t b = node_bounds_[nd];
       const vid_t sz = node_bounds_[nd + 1] - b;
       const std::string tag = "[node" + std::to_string(nd) + "]";
-      auditor.add("rank" + tag, rank_.data() + b, sz * sizeof(double), nd);
-      auditor.add("acc" + tag, acc_.data() + b, sz * sizeof(double), nd);
-      auditor.add("replica" + tag, replicas_[nd].data(),
-                  replicas_[nd].size() * sizeof(rank_t), nd);
+      auditor.add("rank" + tag, sl.value.data() + b, sz * sizeof(TV), nd);
+      auditor.add("acc" + tag, sl.acc.data() + b, sz * sizeof(Acc), nd);
+      auditor.add("replica" + tag, sl.replicas[nd].data(),
+                  sl.replicas[nd].size() * sizeof(typename K::Message), nd);
     }
     return auditor.audit();
   }
@@ -388,25 +487,35 @@ class PolymerEngine {
 
   /// Compute contributions for the thread's own vertices and push them
   /// into every node's replica (Polymer's per-iteration replication).
-  template <bool kTel = false>
-  void replicate_pass(unsigned t, Mem& mem) {
+  template <class K, bool kTel>
+  void replicate_pass(PolySlot<K>& sl, unsigned t, Mem& mem) {
+    using TV = typename K::Pull::PolymerValue;
+    using Message = typename K::Message;
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     const vid_t b = thread_vertex_bounds_[t];
     const vid_t e = thread_vertex_bounds_[t + 1];
-    mem.stream_read(rank_.data() + b, e - b);
-    mem.stream_read(inv_deg_.data() + b, e - b);
+    mem.stream_read(sl.value.data() + b, e - b);
+    if constexpr (K::Pull::kNeedsInv) {
+      mem.stream_read(sl.inv_deg.data() + b, e - b);
+    }
     mem.stream_read(frontier_.data() + b, e - b);
     for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
-      mem.stream_write(replicas_[nd].data() + b, e - b);
+      mem.stream_write(sl.replicas[nd].data() + b, e - b);
     }
     for (vid_t v = b; v < e; ++v) {
       // Branchless: inv_deg is exactly 0 for sinks.
-      const auto c = static_cast<rank_t>(rank_[v] * inv_deg_[v]);
+      const Message c = [&] {
+        if constexpr (K::Pull::kNeedsInv) {
+          return K::Pull::contrib(sl.value[v], sl.inv_deg[v], v);
+        } else {
+          return K::Pull::contrib(sl.value[v], TV{}, v);
+        }
+      }();
       for (unsigned nd = 0; nd < opt_.num_nodes; ++nd) {
-        replicas_[nd][v] = c;
+        sl.replicas[nd][v] = c;
       }
     }
     mem.work(std::uint64_t{e - b} *
@@ -421,59 +530,79 @@ class PolymerEngine {
       const std::uint64_t msgs =
           std::uint64_t{e - b} * opt_.num_nodes;
       row.messages_produced += msgs;
-      row.bytes_produced += msgs * sizeof(rank_t);
+      row.bytes_produced += msgs * sizeof(Message);
       hwsec.finish(row.hw);
       span.finish(t, runtime::Phase::kScatter, runtime::SpanKind::kKernel);
     }
   }
 
   /// One source-node sub-pass of the pull; the last sub-pass applies
-  /// the PageRank update and refreshes the frontier.
-  template <bool kTel = false>
-  void pull_pass(unsigned t, Mem& mem, unsigned m, bool last, rank_t base,
-                 rank_t damping) {
+  /// the vertex update and refreshes the frontier.
+  template <class K, bool kTel>
+  void pull_pass(PolySlot<K>& sl, unsigned t, Mem& mem, unsigned m,
+                 bool last) {
+    using TV = typename K::Pull::PolymerValue;
+    using Acc = typename K::Pull::Acc;
+    using Message = typename K::Message;
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     [[maybe_unused]] std::uint64_t tel_edges = 0;
+    [[maybe_unused]] bool any_changed = false;
     const unsigned nd = node_of_thread(t);
     const vid_t node_begin = node_bounds_[nd];
     const vid_t b = thread_pull_bounds_[t];
     const vid_t e = thread_pull_bounds_[t + 1];
     const auto& offs = sub_offsets_[nd * opt_.num_nodes + m];
     const auto& tgts = sub_targets_[nd * opt_.num_nodes + m];
-    const rank_t* replica = replicas_[nd].data();
+    const Message* replica = sl.replicas[nd].data();
 
     mem.stream_read(offs.data() + (b - node_begin), e - b + 1);
     for (vid_t v = b; v < e; ++v) {
       const eid_t lo = offs[v - node_begin];
       const eid_t hi = offs[v - node_begin + 1];
       mem.stream_read(tgts.data() + lo, hi - lo);
-      double sum = 0.0;
+      auto sum = K::Pull::template identity<Acc>();
       for (eid_t i = lo; i < hi; ++i) {
         // Random read over one source node's range of the local replica.
-        sum += mem.load(replica + tgts[i]);
+        sum = K::Pull::merge(sum, mem.load(replica + tgts[i]));
       }
-      // Ligra's writeAdd: vertex updates go through a CAS loop even
-      // when uncontended.
-      mem.atomic_add(acc_.data() + v, sum);
+      if constexpr (K::Pull::kAddCombine) {
+        // Ligra's writeAdd: vertex updates go through a CAS loop even
+        // when uncontended.
+        mem.atomic_add(sl.acc.data() + v, sum);
+      } else {
+        // Ligra's writeMin equivalent: each vertex is owned by exactly
+        // one thread and sub-passes are barrier-separated, so a plain
+        // read-merge-write is race-free.
+        mem.store(sl.acc.data() + v,
+                  K::Pull::merge(mem.load(sl.acc.data() + v), sum));
+      }
       mem.work((hi - lo) * (1 + opt_.framework_cycles_per_edge) + 2);
       if constexpr (kTel) tel_edges += hi - lo;
     }
     if (last) {
-      mem.stream_read(acc_.data() + b, e - b);
-      mem.stream_write(rank_.data() + b, e - b);
+      mem.stream_read(sl.acc.data() + b, e - b);
+      mem.stream_write(sl.value.data() + b, e - b);
       mem.stream_read(frontier_.data() + b, e - b);
       mem.stream_write(next_frontier_.data() + b, e - b);
+      const TV* bias = sl.bias.empty() ? nullptr : sl.bias.data();
       for (vid_t v = b; v < e; ++v) {
-        rank_[v] = static_cast<double>(base) +
-                   static_cast<double>(damping) * acc_[v];
-        acc_[v] = 0.0;
-        next_frontier_[v] = 1;  // PageRank: everything stays active
+        const TV next = K::Pull::apply(sl.value[v], sl.acc[v],
+                                       bias ? bias[v] : TV{}, sl.damping);
+        if constexpr (K::kUsesFrontier) {
+          any_changed = any_changed || next != sl.value[v];
+        }
+        sl.value[v] = next;
+        sl.acc[v] = K::Pull::template identity<Acc>();
+        next_frontier_[v] = 1;  // framework keeps everything active
       }
       mem.work(std::uint64_t{e - b} *
                (2 + opt_.framework_cycles_per_vertex));
+      if constexpr (K::kUsesFrontier) {
+        changes_[t].value = any_changed;
+      }
     }
     if constexpr (kTel) {
       runtime::PhaseSample& row =
@@ -481,7 +610,7 @@ class PolymerEngine {
       ++row.invocations;
       row.wall_seconds += sw.seconds();
       row.messages_consumed += tel_edges;
-      row.bytes_consumed += tel_edges * sizeof(rank_t);
+      row.bytes_consumed += tel_edges * sizeof(Message);
       hwsec.finish(row.hw);
       span.finish(t, runtime::Phase::kGather, runtime::SpanKind::kKernel);
     }
@@ -494,16 +623,15 @@ class PolymerEngine {
   std::vector<vid_t> node_bounds_;
   std::vector<vid_t> thread_vertex_bounds_;
   std::vector<vid_t> thread_pull_bounds_;
-  // Ligra/Polymer compute PageRank in double precision — twice the
-  // attribute traffic of the hand-coded float engines.
-  AlignedBuffer<double> rank_;
-  AlignedBuffer<double> inv_deg_;  ///< 1/out-degree, 0 for sinks
-  AlignedBuffer<double> acc_;
+  /// Per-kernel value/acc/replica arrays, keyed by kernel type
+  /// (PageRank built in the constructor, others on first use).
+  std::vector<std::pair<std::type_index, std::shared_ptr<void>>> slots_;
   AlignedBuffer<std::uint8_t> frontier_;
   AlignedBuffer<std::uint8_t> next_frontier_;
-  std::vector<AlignedBuffer<rank_t>> replicas_;
   std::vector<AlignedBuffer<eid_t>> sub_offsets_;
   std::vector<AlignedBuffer<vid_t>> sub_targets_;
+  /// Per-thread changed flags (monotone kernels' early stop).
+  std::vector<PaddedFlag> changes_;
   /// Per-thread telemetry rows + phase-region totals; reset at the top
   /// of every telemetered run, untouched (empty) otherwise.
   runtime::PhaseTimeline timeline_;

@@ -1,4 +1,4 @@
-// v-PR: hand-optimized pull-based vertex-centric PageRank
+// v-PR: hand-optimized pull-based vertex-centric engine
 // (paper §4.1, "Hand-coded implementation").
 //
 // Each vertex pulls contributions from its in-neighbors, so "all
@@ -8,9 +8,18 @@
 // per-phase regions. The pull reads `contrib[u]` at random over the
 // whole vertex range, which is exactly the cache-hostile pattern the
 // partition-centric engines eliminate.
+//
+// Kernel-generic: the run core is templated on the Kernel concept's
+// pull-mode algebra (K::Pull — engines/kernels.hpp), so the same
+// contrib/pull structure runs PageRank, PPR, BFS, WCC and SSSP.
+// Monotone (frontier) kernels early-stop when an iteration changes no
+// vertex value; PageRank keeps its fixed iteration count and bitwise
+// ranks.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <typeindex>
 #include <utility>
 #include <vector>
 
@@ -18,6 +27,7 @@
 #include "common/logging.hpp"
 #include "common/numeric.hpp"
 #include "engines/backend.hpp"
+#include "engines/kernels.hpp"
 #include "graph/csr.hpp"
 #include "partition/edge_balanced.hpp"
 #include "runtime/trace.hpp"
@@ -44,15 +54,9 @@ class VprEngine {
     vertex_chunks_ = even_chunks<vid_t>(n, opt.num_threads);
     pull_chunks_ = part::split_vertices_by_degree(g.in, opt.num_threads);
 
-    rank_ = backend.template alloc<rank_t>(n, DataPlacement::kInterleave);
-    contrib_ = backend.template alloc<rank_t>(n, DataPlacement::kInterleave);
-    // Reciprocal out-degrees (0 for sinks): shared sink semantics, one
-    // multiply instead of a guarded divide per vertex per iteration.
-    // Cold-path heap allocation by design (cache-line aligned,
-    // preprocessing time — below the arena hook's page threshold).
-    inv_deg_ = graph::inverse_degrees<rank_t>(g.out);
-    backend.register_buffer(inv_deg_.data(), inv_deg_.size() * sizeof(rank_t),
-                            DataPlacement::kInterleave);
+    // PageRank's slot is built eagerly so the constructor's allocation
+    // order matches the historical engine; other kernels build lazily.
+    slot<PageRankKernel>();
     backend.register_buffer(g.in.offsets().data(),
                             g.in.offsets().size_bytes(),
                             DataPlacement::kInterleave);
@@ -74,28 +78,89 @@ class VprEngine {
     return result;
   }
 
+  /// Kernel-generic run surface (see PcpmEngine::run<K>).
+  template <class K>
+  [[nodiscard]] KernelResult<K> run(const typename K::Options& ko,
+                                    const RunOptions& ro = {}) {
+    KernelResult<K> result;
+    result.report = ro.instrumented()
+                        ? run_kernel_impl<K, true>(ko, ro, &result.values)
+                        : run_kernel_impl<K, false>(ko, ro, &result.values);
+    return result;
+  }
+
   /// Run PageRank; final ranks land in `ranks_out` when non-null.
   /// Instrumentation is a compile-time fork: the uninstrumented
   /// instantiation contains no recording code at all.
   RunReport run_pagerank(const PageRankOptions& pr,
                          std::vector<rank_t>* ranks_out = nullptr) {
-    return pr.instrumented() ? run_pagerank_impl<true>(pr, ranks_out)
-                             : run_pagerank_impl<false>(pr, ranks_out);
+    PrOptions ko;
+    ko.damping = pr.damping;
+    return pr.instrumented()
+               ? run_kernel_impl<PageRankKernel, true>(ko, pr, ranks_out)
+               : run_kernel_impl<PageRankKernel, false>(ko, pr, ranks_out);
   }
 
  private:
-  template <bool kTel>
-  RunReport run_pagerank_impl(const PageRankOptions& pr,
-                              std::vector<rank_t>* ranks_out) {
+  /// Per-kernel pull-engine state: the vertex value array, the
+  /// per-vertex contribution array the pull reads, and (PageRank
+  /// family) reciprocal out-degrees. All interleaved — v-PR is
+  /// NUMA-oblivious by definition.
+  template <class K>
+  struct VprSlot {
+    using TV = typename K::Value;
+    AlignedBuffer<TV> value;
+    AlignedBuffer<typename K::Message> contrib;
+    AlignedBuffer<TV> inv_deg;  ///< only allocated when Pull::kNeedsInv
+    std::vector<TV> init;
+    std::vector<TV> bias;
+    rank_t damping = 0.0f;
+  };
+
+  template <class K>
+  VprSlot<K>& slot() {
+    using TV = typename K::Value;
+    const std::type_index key(typeid(K));
+    for (auto& [k, p] : slots_) {
+      if (k == key) return *static_cast<VprSlot<K>*>(p.get());
+    }
     const vid_t n = graph_->num_vertices();
+    auto sp = std::make_shared<VprSlot<K>>();
+    sp->value =
+        backend_->template alloc<TV>(n, DataPlacement::kInterleave);
+    sp->contrib = backend_->template alloc<typename K::Message>(
+        n, DataPlacement::kInterleave);
+    if constexpr (K::Pull::kNeedsInv) {
+      // Reciprocal out-degrees (0 for sinks): shared sink semantics,
+      // one multiply instead of a guarded divide per vertex per
+      // iteration. Cold-path heap allocation by design (cache-line
+      // aligned, preprocessing time — below the arena hook's page
+      // threshold).
+      sp->inv_deg = graph::inverse_degrees<TV>(graph_->out);
+      backend_->register_buffer(sp->inv_deg.data(),
+                                sp->inv_deg.size() * sizeof(TV),
+                                DataPlacement::kInterleave);
+    }
+    slots_.emplace_back(key, sp);
+    return *sp;
+  }
+
+  template <class K, bool kTel>
+  RunReport run_kernel_impl(const typename K::Options& ko,
+                            const RunOptions& ro,
+                            std::vector<typename K::Value>* values_out) {
+    VprSlot<K>& sl = slot<K>();
+    sl.damping = K::Pull::setup(ko, *graph_, sl.init, sl.bias);
+    const unsigned max_iters = K::max_iterations(ko, ro);
     if constexpr (kTel) {
       timeline_.reset(opt_.num_threads);
-      timeline_.reserve_iterations(pr.iterations);
+      timeline_.reserve_iterations(std::min(max_iters, 4096u));
       if constexpr (!Backend::kSimulated) {
         hwprof_.reset(opt_.num_threads,
-                      pr.hw_counters == runtime::HwProf::kOn);
-        if (!pr.trace_path.empty()) {
-          timeline_.enable_spans(2 * std::size_t{pr.iterations} + 4);
+                      ro.hw_counters == runtime::HwProf::kOn);
+        if (!ro.trace_path.empty()) {
+          timeline_.enable_spans(
+              2 * std::size_t{std::min(max_iters, 4096u)} + 4);
         }
       }
     }
@@ -117,7 +182,9 @@ class VprEngine {
     [[maybe_unused]] std::optional<runtime::HotPathGuard> hot_guard;
     if constexpr (!Backend::kSimulated) hot_guard.emplace();
     backend_->start_team(spec);
-    const auto r0 = static_cast<rank_t>(1.0 / static_cast<double>(n));
+    if constexpr (K::kUsesFrontier) {
+      changes_.assign(opt_.num_threads, PaddedFlag{});
+    }
     timed_phase<kTel>(runtime::Phase::kInit, [&](unsigned t, Mem& mem) {
       runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
       runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
@@ -125,8 +192,8 @@ class VprEngine {
       sw.reset();
       const vid_t b = vertex_chunks_[t];
       const vid_t e = vertex_chunks_[t + 1];
-      mem.stream_write(rank_.data() + b, e - b);
-      for (vid_t v = b; v < e; ++v) rank_[v] = r0;
+      mem.stream_write(sl.value.data() + b, e - b);
+      for (vid_t v = b; v < e; ++v) sl.value.data()[v] = sl.init[v];
       mem.work(e - b);
       if constexpr (kTel) {
         runtime::PhaseSample& row =
@@ -137,22 +204,28 @@ class VprEngine {
         span.finish(t, runtime::Phase::kInit, runtime::SpanKind::kKernel);
       }
     });
-    const auto base =
-        static_cast<rank_t>((1.0 - pr.damping) / static_cast<double>(n));
-    for (unsigned it = 0; it < pr.iterations; ++it) {
+    unsigned iters_done = 0;
+    for (unsigned it = 0; it < max_iters; ++it) {
       [[maybe_unused]] double it0 = 0.0;
       if constexpr (kTel) it0 = backend_->now_seconds();
       // v-PR maps onto the shared phase vocabulary as
       // contrib→scatter (produce per-vertex contributions) and
       // pull→gather (consume one contribution per in-edge).
       timed_phase<kTel>(runtime::Phase::kScatter, [&](unsigned t, Mem& mem) {
-        contrib_pass<kTel>(t, mem);
+        contrib_pass<K, kTel>(sl, t, mem);
       });
       timed_phase<kTel>(runtime::Phase::kGather, [&](unsigned t, Mem& mem) {
-        pull_pass<kTel>(t, mem, base, pr.damping);
+        if constexpr (K::kUsesFrontier) changes_[t].value = false;
+        pull_pass<K, kTel>(sl, t, mem);
       });
       if constexpr (kTel) {
         timeline_.record_iteration(backend_->now_seconds() - it0);
+      }
+      iters_done = it + 1;
+      if constexpr (K::kUsesFrontier) {
+        bool any = false;
+        for (const PaddedFlag& f : changes_) any = any || f.value;
+        if (!any) break;
       }
     }
     backend_->end_team();
@@ -160,14 +233,14 @@ class VprEngine {
     RunReport report;
     report.seconds = backend_->now_seconds() - t0;
     report.preprocessing_seconds = preprocessing_seconds_;
-    report.iterations = pr.iterations;
+    report.iterations = iters_done;
     if constexpr (Backend::kSimulated) {
       report.stats = delta(backend_->machine().stats(), before);
     }
     if constexpr (kTel) {
       report.telemetry = runtime::aggregate(timeline_);
       if constexpr (!Backend::kSimulated) {
-        if (pr.hw_counters == runtime::HwProf::kOn) {
+        if (ro.hw_counters == runtime::HwProf::kOn) {
           report.telemetry.hw_available = hwprof_.any_open();
           report.telemetry.hw_threads = hwprof_.open_threads();
           report.telemetry.hw_event_mask = hwprof_.event_mask();
@@ -175,10 +248,10 @@ class VprEngine {
             report.telemetry.hw_errno = hwprof_.group(0).last_errno();
           }
         }
-        if (!pr.trace_path.empty() &&
-            !trace::ChromeTraceWriter::write(pr.trace_path, timeline_,
+        if (!ro.trace_path.empty() &&
+            !trace::ChromeTraceWriter::write(ro.trace_path, timeline_,
                                              "v-PR")) {
-          HIPA_WARN("trace write failed: " << pr.trace_path);
+          HIPA_WARN("trace write failed: " << ro.trace_path);
         }
       }
     }
@@ -188,7 +261,9 @@ class VprEngine {
     if constexpr (!Backend::kSimulated) {
       report.arena = backend_->arena_stats();
     }
-    if (ranks_out != nullptr) ranks_out->assign(rank_.begin(), rank_.end());
+    if (values_out != nullptr) {
+      values_out->assign(sl.value.begin(), sl.value.end());
+    }
     return report;
   }
 
@@ -243,22 +318,39 @@ class VprEngine {
   }
 
  private:
-  template <bool kTel = false>
-  void contrib_pass(unsigned t, Mem& mem) {
+  /// One cache line per thread: per-iteration changed flags for the
+  /// monotone kernels' early stop.
+  struct alignas(kCacheLine) PaddedFlag {
+    bool value = false;
+  };
+
+  template <class K, bool kTel>
+  void contrib_pass(VprSlot<K>& sl, unsigned t, Mem& mem) {
+    using TV = typename K::Value;
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     const vid_t b = vertex_chunks_[t];
     const vid_t e = vertex_chunks_[t + 1];
-    mem.stream_read(rank_.data() + b, e - b);
-    mem.stream_read(inv_deg_.data() + b, e - b);
-    mem.stream_write(contrib_.data() + b, e - b);
-    const rank_t* __restrict rank = rank_.data();
-    const rank_t* __restrict inv = inv_deg_.data();
-    rank_t* __restrict contrib = contrib_.data();
-    // Branchless (sinks have inv == 0) and autovectorizable.
-    for (vid_t v = b; v < e; ++v) contrib[v] = rank[v] * inv[v];
+    mem.stream_read(sl.value.data() + b, e - b);
+    if constexpr (K::Pull::kNeedsInv) {
+      mem.stream_read(sl.inv_deg.data() + b, e - b);
+    }
+    mem.stream_write(sl.contrib.data() + b, e - b);
+    const TV* __restrict value = sl.value.data();
+    typename K::Message* __restrict contrib = sl.contrib.data();
+    if constexpr (K::Pull::kNeedsInv) {
+      const TV* __restrict inv = sl.inv_deg.data();
+      // Branchless (sinks have inv == 0) and autovectorizable.
+      for (vid_t v = b; v < e; ++v) {
+        contrib[v] = K::Pull::contrib(value[v], inv[v], v);
+      }
+    } else {
+      for (vid_t v = b; v < e; ++v) {
+        contrib[v] = K::Pull::contrib(value[v], TV{}, v);
+      }
+    }
     mem.work(e - b);
     if constexpr (kTel) {
       runtime::PhaseSample& row =
@@ -266,38 +358,54 @@ class VprEngine {
       ++row.invocations;
       row.wall_seconds += sw.seconds();
       row.messages_produced += e - b;
-      row.bytes_produced += std::uint64_t{e - b} * sizeof(rank_t);
+      row.bytes_produced +=
+          std::uint64_t{e - b} * sizeof(typename K::Message);
       hwsec.finish(row.hw);
       span.finish(t, runtime::Phase::kScatter, runtime::SpanKind::kKernel);
     }
   }
 
-  template <bool kTel = false>
-  void pull_pass(unsigned t, Mem& mem, rank_t base, rank_t damping) {
+  template <class K, bool kTel>
+  void pull_pass(VprSlot<K>& sl, unsigned t, Mem& mem) {
+    using TV = typename K::Value;
+    using Message = typename K::Message;
     runtime::MaybeTimer<kTel && !Backend::kSimulated> sw;
     runtime::HwSection<kTel && !Backend::kSimulated> hwsec(hwprof_, t);
     runtime::MaybeSpan<kTel && !Backend::kSimulated> span(timeline_);
     sw.reset();
     [[maybe_unused]] std::uint64_t tel_edges = 0;
+    [[maybe_unused]] bool any_changed = false;
     const vid_t b = pull_chunks_[t];
     const vid_t e = pull_chunks_[t + 1];
     const graph::CsrGraph& in = graph_->in;
     const eid_t* offsets = in.offsets().data();
     const vid_t* targets = in.targets().data();
+    const Message* contrib = sl.contrib.data();
+    TV* __restrict value = sl.value.data();
+    const rank_t damping = sl.damping;
+    const TV* bias = sl.bias.empty() ? nullptr : sl.bias.data();
     mem.stream_read(offsets + b, e - b + 1);
-    mem.stream_write(rank_.data() + b, e - b);
+    mem.stream_write(sl.value.data() + b, e - b);
     for (vid_t v = b; v < e; ++v) {
       const eid_t lo = offsets[v];
       const eid_t hi = offsets[v + 1];
       mem.stream_read(targets + lo, hi - lo);
-      rank_t sum = 0.0f;
+      auto sum = K::Pull::template identity<Message>();
       for (eid_t i = lo; i < hi; ++i) {
         // The defining access: random read over the full vertex range.
-        sum += mem.load(contrib_.data() + targets[i]);
+        sum = K::Pull::merge(sum, mem.load(contrib + targets[i]));
       }
-      rank_[v] = base + damping * sum;
+      const TV next =
+          K::Pull::apply(value[v], sum, bias ? bias[v] : TV{}, damping);
+      if constexpr (K::kUsesFrontier) {
+        any_changed = any_changed || next != value[v];
+      }
+      value[v] = next;
       mem.work(hi - lo + 2);
       if constexpr (kTel) tel_edges += hi - lo;
+    }
+    if constexpr (K::kUsesFrontier) {
+      if (any_changed) changes_[t].value = true;
     }
     if constexpr (kTel) {
       runtime::PhaseSample& row =
@@ -305,7 +413,7 @@ class VprEngine {
       ++row.invocations;
       row.wall_seconds += sw.seconds();
       row.messages_consumed += tel_edges;
-      row.bytes_consumed += tel_edges * sizeof(rank_t);
+      row.bytes_consumed += tel_edges * sizeof(Message);
       hwsec.finish(row.hw);
       span.finish(t, runtime::Phase::kGather, runtime::SpanKind::kKernel);
     }
@@ -316,9 +424,11 @@ class VprEngine {
   Backend* backend_;
   std::vector<vid_t> vertex_chunks_;
   std::vector<vid_t> pull_chunks_;
-  AlignedBuffer<rank_t> rank_;
-  AlignedBuffer<rank_t> contrib_;
-  AlignedBuffer<rank_t> inv_deg_;  ///< 1/out-degree, 0 for sinks
+  /// Per-kernel value/contrib arrays, keyed by kernel type (PageRank
+  /// built in the constructor, others on first use).
+  std::vector<std::pair<std::type_index, std::shared_ptr<void>>> slots_;
+  /// Per-thread changed flags (monotone kernels' early stop).
+  std::vector<PaddedFlag> changes_;
   /// Per-thread telemetry rows + phase-region totals; reset at the top
   /// of every telemetered run, untouched (empty) otherwise.
   runtime::PhaseTimeline timeline_;

@@ -81,10 +81,35 @@ UpdateRefresher::UpdateRefresher(vid_t num_vertices,
 
 UpdateRefresher::~UpdateRefresher() { stop(); }
 
+engine::RunResult UpdateRefresher::full_run() {
+  // Route through the kernel-generic facade, honoring the configured
+  // rank-producing kernel (the snapshot store serves rank_t vectors,
+  // so only the PageRank family can back a refresh).
+  switch (opt_.full.kernel) {
+    case algo::Kernel::kPageRank:
+      return algo::run_method_native(opt_.full_method, graph_, opt_.full);
+    case algo::Kernel::kPersonalized: {
+      auto kr = algo::run_kernel_native<engine::PprKernel>(
+          opt_.full_method, graph_, opt_.full.personalized, opt_.full);
+      engine::RunResult result;
+      result.report = std::move(kr.report);
+      result.ranks = std::move(kr.values);
+      return result;
+    }
+    case algo::Kernel::kBfs:
+    case algo::Kernel::kWcc:
+    case algo::Kernel::kSssp:
+      break;
+  }
+  HIPA_CHECK(false, "refresh kernel must be rank-valued (pagerank or ppr), "
+                    "got "
+                        << algo::kernel_name(opt_.full.kernel));
+  __builtin_unreachable();
+}
+
 std::uint64_t UpdateRefresher::publish_initial() {
   std::lock_guard<std::mutex> lock(refresh_mutex_);
-  const engine::RunResult result =
-      algo::run_method_native(opt_.full_method, graph_, opt_.full);
+  const engine::RunResult result = full_run();
   full_refreshes_.fetch_add(1, std::memory_order_relaxed);
   refreshes_.fetch_add(1, std::memory_order_relaxed);
   return store_.publish(result);
@@ -121,8 +146,7 @@ RefreshReport UpdateRefresher::refresh_now() {
   report.updates_applied = batch.size();
   report.full_run = batch.size() > opt_.small_batch_max;
   if (report.full_run) {
-    const engine::RunResult result =
-        algo::run_method_native(opt_.full_method, graph_, opt_.full);
+    const engine::RunResult result = full_run();
     report.iterations = result.report.iterations;
     report.epoch = store_.publish(result);
     full_refreshes_.fetch_add(1, std::memory_order_relaxed);

@@ -93,7 +93,10 @@ struct RefreshOptions {
   /// the delta push phase uses atomic adds, so only a single-threaded
   /// run is bitwise-reproducible).
   algo::DeltaOptions delta{.threads = 1, .num_nodes = 1};
-  /// Full-run path: methodology parameters for run_method_native.
+  /// Full-run path: methodology + parameters for the kernel-generic
+  /// runners. `full.kernel` selects which rank-producing kernel backs
+  /// the refresh — kPageRank (default) or kPersonalized with
+  /// `full.personalized` seeds; non-rank kernels are rejected.
   algo::Method full_method = algo::Method::kHipa;
   algo::MethodParams full{};
   /// CSR canonicalization for rebuilds (duplicates dropped so repeated
@@ -166,6 +169,8 @@ class UpdateRefresher {
  private:
   void apply(const std::vector<EdgeUpdate>& updates);
   void background_loop();
+  /// One full engine run with the configured method + kernel.
+  [[nodiscard]] engine::RunResult full_run();
 
   vid_t num_vertices_;
   std::vector<Edge> edges_;

@@ -7,11 +7,10 @@
 //                                        [--chunk-edges N]
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <exception>
 #include <string>
 
+#include "common/cli.hpp"
 #include "graph/convert.hpp"
 
 namespace {
@@ -30,37 +29,37 @@ void usage(const char* argv0) {
       "  --segment-bytes N   target payload bytes per segment\n"
       "                      (default 67108864 = 64 MiB)\n"
       "  --chunk-edges N     edges parsed per streaming chunk\n"
-      "                      (default 1048576)\n",
+      "                      (default 1048576)\n"
+      "(both options also accept the --flag=N spelling)\n",
       argv0);
-}
-
-std::size_t parse_size(const char* flag, const char* arg) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(arg, &end, 10);
-  if (end == arg || *end != '\0' || v == 0) {
-    std::fprintf(stderr, "hipa-convert: %s needs a positive integer, got '%s'\n",
-                 flag, arg);
-    std::exit(2);
-  }
-  return static_cast<std::size_t>(v);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using hipa::cli::flag_is;
+  using hipa::cli::flag_value;
+  using hipa::cli::parse_positive;
   std::string in_path;
   std::string out_path;
   hipa::graph::ConvertOptions opt;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+    if (flag_is(a, "--help") || flag_is(a, "-h")) {
       usage(argv[0]);
       return 0;
     }
-    if (std::strcmp(a, "--segment-bytes") == 0 && i + 1 < argc) {
-      opt.target_segment_bytes = parse_size(a, argv[++i]);
-    } else if (std::strcmp(a, "--chunk-edges") == 0 && i + 1 < argc) {
-      opt.chunk_edges = parse_size(a, argv[++i]);
+    if (flag_is(a, "--segment-bytes") && i + 1 < argc) {
+      opt.target_segment_bytes =
+          static_cast<std::size_t>(parse_positive(a, argv[++i]));
+    } else if (const char* v = flag_value(a, "--segment-bytes=")) {
+      opt.target_segment_bytes =
+          static_cast<std::size_t>(parse_positive("--segment-bytes", v));
+    } else if (flag_is(a, "--chunk-edges") && i + 1 < argc) {
+      opt.chunk_edges = static_cast<std::size_t>(parse_positive(a, argv[++i]));
+    } else if (const char* v = flag_value(a, "--chunk-edges=")) {
+      opt.chunk_edges =
+          static_cast<std::size_t>(parse_positive("--chunk-edges", v));
     } else if (a[0] == '-') {
       std::fprintf(stderr, "hipa-convert: unknown option '%s'\n", a);
       usage(argv[0]);
