@@ -252,6 +252,52 @@ void regress_serve(const Value* cur, const Value* base) {
   compare_metric(get(cur, "concurrent_refresh"),
                  get(base, "concurrent_refresh"), "/concurrent_refresh",
                  "p99_us", 10.0, false, 1.0);
+
+  // Metrics plane. The producer already enforces the deterministic
+  // gates (quantile accuracy within one bucket width, hot-path
+  // fraction < 1%); re-assert them here as hard baseline-independent
+  // invariants, then band the host-dependent costs as advisories.
+  const Value* cm = get(cur, "metrics");
+  {
+    const Value* qa = get(cm, "quantile_accuracy");
+    const Value* within = get(qa, "within_tolerance");
+    if (within == nullptr || within->type != Value::Type::kBool ||
+        !within->boolean) {
+      fail("/metrics/quantile_accuracy/within_tolerance",
+           "must be true — a histogram quantile estimate missed the "
+           "exact value by more than one bucket width");
+    }
+    const Value* oh = get(cm, "overhead");
+    const Value* gate = get(oh, "gate_ok");
+    if (gate == nullptr || gate->type != Value::Type::kBool ||
+        !gate->boolean) {
+      fail("/metrics/overhead/gate_ok",
+           "must be true — instrumentation exceeded the <1% hot-path "
+           "budget or QPS collapsed");
+    }
+  }
+  const Value* bm = get(base, "metrics");
+  if (bm != nullptr) {
+    // Scrape cost and per-event cost: absolute nanoseconds measured on
+    // whatever machine committed the baseline — advisory bands only.
+    const Value* bsc = get(bm, "scrape_cost");
+    const Value* csc = get(cm, "scrape_cost");
+    if (bsc != nullptr && bsc->type == Value::Type::kArray &&
+        csc != nullptr && csc->type == Value::Type::kArray) {
+      for (std::size_t i = 0;
+           i < bsc->array.size() && i < csc->array.size(); ++i) {
+        const std::string sp = "/metrics/scrape_cost/" + std::to_string(i);
+        compare_metric(csc->array[i].get(), bsc->array[i].get(), sp,
+                       "histograms", 0.0, true);
+        compare_metric(csc->array[i].get(), bsc->array[i].get(), sp,
+                       "ns_per_scrape", 3.0, false, 100.0);
+      }
+    }
+    compare_metric(get(cm, "overhead"), get(bm, "overhead"),
+                   "/metrics/overhead", "ns_per_event", 3.0, false, 1.0);
+    compare_metric(get(cm, "overhead"), get(bm, "overhead"),
+                   "/metrics/overhead", "qps_ratio", 0.25, false, 0.1);
+  }
 }
 
 ValuePtr load(const char* path) {

@@ -21,7 +21,8 @@
 // The top-level "bench" tag selects the schema: "hotpath",
 // "table3_microarch", or "serve" (BENCH_serve.json: QPS/latency mixes,
 // the concurrent-refresh section with its zero-torn-reads invariant,
-// and the publish-identity bit).
+// the metrics-plane section with its overhead and quantile-accuracy
+// gates, and the publish-identity bit).
 #include <cstdio>
 #include <string>
 
@@ -624,6 +625,75 @@ void check_serve(const Value& root) {
       err(at(cp, "torn_reads"),
           "must be 0 — readers observed mixed/regressing epochs (" +
               std::to_string(torn->number) + ")");
+    }
+  }
+
+  const Value* metrics = require(root, top, "metrics", Value::Type::kObject);
+  if (metrics != nullptr) {
+    const std::string mp = at(top, "metrics");
+    const Value* sc =
+        require(*metrics, mp, "scrape_cost", Value::Type::kArray);
+    if (sc != nullptr) {
+      if (sc->array.size() != 3) {
+        err(at(mp, "scrape_cost"),
+            "must have exactly 3 entries (1, 8, 64 histograms)");
+      }
+      for (std::size_t i = 0; i < sc->array.size(); ++i) {
+        const Value& row = *sc->array[i];
+        const std::string rp = at(at(mp, "scrape_cost"), i);
+        const double hists = require_nonneg(row, rp, "histograms");
+        if (hists < 1.0) err(at(rp, "histograms"), "must be >= 1");
+        require_nonneg(row, rp, "ns_per_scrape");
+        require_nonneg(row, rp, "bytes");
+      }
+    }
+
+    const Value* oh = require(*metrics, mp, "overhead", Value::Type::kObject);
+    if (oh != nullptr) {
+      const std::string op = at(mp, "overhead");
+      require_nonneg(*oh, op, "uninstrumented_qps");
+      require_nonneg(*oh, op, "instrumented_qps");
+      require_nonneg(*oh, op, "qps_ratio");
+      require_nonneg(*oh, op, "ns_per_event");
+      require_nonneg(*oh, op, "events_per_request");
+      require_fraction(*oh, op, "hot_path_fraction");
+      const Value* gate = require(*oh, op, "gate_ok", Value::Type::kBool);
+      if (gate != nullptr && !gate->boolean) {
+        err(at(op, "gate_ok"),
+            "must be true — instrumentation exceeded the <1% hot-path "
+            "budget or QPS collapsed");
+      }
+    }
+
+    const Value* qa =
+        require(*metrics, mp, "quantile_accuracy", Value::Type::kObject);
+    if (qa != nullptr) {
+      const std::string qp = at(mp, "quantile_accuracy");
+      require_nonneg(*qa, qp, "samples");
+      require_fraction(*qa, qp, "tolerance");
+      const Value* qs = require(*qa, qp, "quantiles", Value::Type::kArray);
+      if (qs != nullptr) {
+        if (qs->array.size() != 4) {
+          err(at(qp, "quantiles"),
+              "must have exactly 4 entries (p50, p95, p99, p999)");
+        }
+        for (std::size_t i = 0; i < qs->array.size(); ++i) {
+          const Value& row = *qs->array[i];
+          const std::string rp = at(at(qp, "quantiles"), i);
+          require(row, rp, "quantile", Value::Type::kString);
+          require_nonneg(row, rp, "exact_ns");
+          require_nonneg(row, rp, "estimated_ns");
+          require_fraction(row, rp, "rel_error");
+        }
+      }
+      require_fraction(*qa, qp, "max_rel_error");
+      const Value* within =
+          require(*qa, qp, "within_tolerance", Value::Type::kBool);
+      if (within != nullptr && !within->boolean) {
+        err(at(qp, "within_tolerance"),
+            "must be true — a histogram quantile estimate missed the "
+            "exact value by more than one bucket width");
+      }
     }
   }
 

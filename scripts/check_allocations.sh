@@ -45,4 +45,47 @@ if [ "$fail" -ne 0 ]; then
   echo "check_allocations: $count violation(s)" >&2
   exit 1
 fi
-echo "check_allocations: OK (no page-aligned allocation sites in src/ or tools/ outside runtime/arena)"
+
+# ---- metrics hot path must stay allocation-free ----------------------
+# The record/inc paths in runtime/metrics are called per request on the
+# serving fast path; their advertised cost is "one relaxed atomic add".
+# The regions are delimited by metrics-hot-path-begin/-end comment
+# markers in src/runtime/metrics.hpp; any allocation or locking token
+# appearing between a begin/end pair fails the lint.
+metrics_hdr=src/runtime/metrics.hpp
+hot_pattern='[^_[:alnum:]]new[^_[:alnum:]]|malloc\(|calloc\(|resize\(|push_back\(|emplace_back\(|make_unique|make_shared|std::string|lock_guard|unique_lock|\.lock\(\)|mutex'
+hot_fail=0
+in_region=0
+region_begin=0
+lineno=0
+begins=0
+while IFS= read -r src_line; do
+  lineno=$((lineno + 1))
+  case "$src_line" in
+    *metrics-hot-path-begin*)
+      in_region=1; region_begin=$lineno; begins=$((begins + 1)); continue ;;
+    *metrics-hot-path-end*)
+      in_region=0; continue ;;
+  esac
+  if [ "$in_region" -eq 1 ] && printf '%s\n' "$src_line" | grep -qE "$hot_pattern"; then
+    echo "check_allocations: $metrics_hdr:$lineno: allocation/locking token" \
+         "inside a metrics hot-path region (begins at line $region_begin)" >&2
+    echo "    $src_line" >&2
+    hot_fail=1
+  fi
+done < "$metrics_hdr"
+if [ "$in_region" -eq 1 ]; then
+  echo "check_allocations: $metrics_hdr: unterminated metrics-hot-path" \
+       "region (begins at line $region_begin)" >&2
+  hot_fail=1
+fi
+if [ "$begins" -eq 0 ]; then
+  echo "check_allocations: $metrics_hdr: no metrics-hot-path-begin markers" \
+       "found — the hot-path lint regions were removed" >&2
+  hot_fail=1
+fi
+if [ "$hot_fail" -ne 0 ]; then
+  exit 1
+fi
+
+echo "check_allocations: OK (no page-aligned allocation sites in src/ or tools/ outside runtime/arena; metrics hot paths allocation-free)"

@@ -1,0 +1,108 @@
+// Folds one engine run's per-run accounting (RunTelemetry phase
+// aggregates, HwCounters, ArenaStats, OocoreStats) into the
+// process-lifetime metrics registry. Called at run completion by
+// whoever owns the run — the serve layer's UpdateRefresher after a
+// full recompute, or any embedding host — so a scraper sees engine
+// totals accumulate across the service lifetime instead of dying with
+// each RunReport.
+//
+// Registration is idempotent (the registry dedupes by name+label), so
+// calling this once per run is cheap: handle lookup under the cold
+// mutex plus a handful of counter adds.
+#pragma once
+
+#include <string_view>
+
+#include "engines/backend.hpp"
+#include "engines/oocore_engine.hpp"
+#include "runtime/metrics.hpp"
+
+namespace hipa::engine {
+
+inline void fold_run_metrics(runtime::metrics::MetricsRegistry& reg,
+                             const RunReport& report,
+                             const OocoreStats* oocore = nullptr) {
+  namespace m = runtime::metrics;
+
+  reg.counter("hipa_engine_runs_total", "Engine runs folded into lifetime totals")
+      .inc();
+  reg.counter("hipa_engine_iterations_total", "Kernel iterations executed")
+      .inc(report.iterations);
+  reg.counter("hipa_engine_run_ns_total", "Wall time inside engine runs")
+      .inc(m::seconds_to_ns(report.seconds));
+  reg.counter("hipa_engine_preprocessing_ns_total",
+              "Partitioning + bin build + layout time")
+      .inc(m::seconds_to_ns(report.preprocessing_seconds));
+
+  const runtime::RunTelemetry& t = report.telemetry;
+  if (t.enabled) {
+    // Exporter-side consumers read the memoized Totals struct — the
+    // whole point of aggregate()-time memoization.
+    reg.counter("hipa_engine_phase_wall_ns_total",
+                "Per-thread wall time summed over phases")
+        .inc(m::seconds_to_ns(t.totals.wall_seconds));
+    reg.counter("hipa_engine_barrier_ns_total",
+                "Time blocked on phase barriers")
+        .inc(m::seconds_to_ns(t.totals.barrier_seconds));
+    reg.counter("hipa_engine_messages_produced_total",
+                "Scatter messages produced")
+        .inc(t.totals.messages_produced);
+    reg.counter("hipa_engine_messages_consumed_total",
+                "Gather messages consumed")
+        .inc(t.totals.messages_consumed);
+    for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi) {
+      const auto ph = static_cast<runtime::Phase>(pi);
+      const runtime::PhaseAggregate& agg = t[ph];
+      reg.counter("hipa_engine_phase_ns_total",
+                  "Per-thread wall time by phase",
+                  {"phase", std::string(runtime::phase_name(ph))})
+          .inc(m::seconds_to_ns(agg.wall_sum_seconds));
+    }
+    if (t.hw_available) {
+      runtime::HwCounters hw;
+      for (unsigned pi = 0; pi < runtime::kNumPhases; ++pi)
+        hw.add(t[static_cast<runtime::Phase>(pi)].hw);
+      reg.counter("hipa_engine_hw_cycles_total", "PMU cycles (multiplexed)")
+          .inc(hw.cycles);
+      reg.counter("hipa_engine_hw_instructions_total",
+                  "PMU instructions (multiplexed)")
+          .inc(hw.instructions);
+      reg.counter("hipa_engine_hw_llc_misses_total",
+                  "Last-level cache load misses")
+          .inc(hw.llc_load_misses);
+      reg.counter("hipa_engine_hw_node_misses_total",
+                  "Remote-node load misses")
+          .inc(hw.node_load_misses);
+    }
+  }
+
+  const runtime::ArenaStats& arena = report.arena;
+  if (!arena.regions.empty() || arena.fallback_bytes != 0) {
+    reg.gauge("hipa_engine_arena_used_bytes",
+              "Arena bytes used by the most recent run")
+        .set(static_cast<std::int64_t>(arena.total_used()));
+    reg.counter("hipa_engine_arena_fallback_allocations_total",
+                "Arena requests served by the plain heap")
+        .inc(arena.fallback_allocations);
+  }
+
+  if (oocore != nullptr) {
+    reg.counter("hipa_engine_io_wait_ns_total",
+                "Compute blocked on out-of-core segment data")
+        .inc(m::seconds_to_ns(oocore->io_wait_seconds));
+    reg.counter("hipa_engine_io_fetch_ns_total",
+                "Wall time inside segment reads")
+        .inc(m::seconds_to_ns(oocore->fetch_seconds));
+    reg.counter("hipa_engine_io_bytes_fetched_total",
+                "Out-of-core segment payload bytes read")
+        .inc(oocore->bytes_fetched);
+    reg.counter("hipa_engine_io_segment_fetches_total",
+                "Out-of-core segment reads issued")
+        .inc(oocore->segment_fetches);
+    reg.gauge("hipa_engine_io_peak_resident_bytes",
+              "Peak resident segment bytes of the most recent run")
+        .set(static_cast<std::int64_t>(oocore->peak_resident_bytes));
+  }
+}
+
+}  // namespace hipa::engine

@@ -1,0 +1,249 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace hipa::runtime::metrics {
+
+namespace detail {
+
+unsigned thread_shard_slot() {
+  static std::atomic<unsigned> next{0};
+  // Assigned once per thread, round-robin, so up to num_shards writer
+  // threads land on distinct cache lines; beyond that they wrap.
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+[[nodiscard]] unsigned pick_shard_count() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  unsigned shards = std::bit_ceil(hw);
+  return std::min(shards, 16u);  // 16 shards bounds per-histogram memory
+}
+
+[[nodiscard]] bool matches(std::string_view name, const MetricLabel& label,
+                           std::string_view want_name,
+                           const MetricLabel& want_label) {
+  return name == want_name && label == want_label;
+}
+
+/// Representative value for a bucket: exact for unit buckets, midpoint
+/// otherwise (halves the worst-case quantile error to width/2).
+[[nodiscard]] double bucket_value(unsigned b) {
+  const std::uint64_t w = bucket_width(b);
+  return w == 1 ? static_cast<double>(bucket_lower(b))
+                : static_cast<double>(bucket_lower(b)) +
+                      static_cast<double>(w) / 2.0;
+}
+
+[[nodiscard]] double quantile_from(
+    const std::array<std::uint64_t, kNumBuckets>& merged, std::uint64_t total,
+    double q) {
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < kNumBuckets; ++b) {
+    seen += merged[b];
+    if (seen >= rank) return bucket_value(b);
+  }
+  return bucket_value(kNumBuckets - 1);
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  struct CounterEntry {
+    std::string name, help;
+    MetricLabel label;
+    std::unique_ptr<CounterCell[]> cells;
+  };
+  struct GaugeEntry {
+    std::string name, help;
+    MetricLabel label;
+    std::unique_ptr<std::atomic<std::int64_t>> cell;
+  };
+  struct HistEntry {
+    std::string name, help;
+    MetricLabel label;
+    double scale = 1.0;
+    std::unique_ptr<HistogramShard[]> shards;
+  };
+
+  mutable std::mutex mutex;
+  double start_uptime = 0;
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistEntry> histograms;
+
+  /// Names are unique per kind+label and must not straddle kinds —
+  /// the Prometheus exposition would otherwise emit conflicting TYPE
+  /// lines for one family.
+  void check_kind_unique(std::string_view name, int kind) const {
+    if (kind != 0)
+      for (const CounterEntry& e : counters)
+        HIPA_CHECK(e.name != name, "metric name '" << std::string(name)
+                                                   << "' already a counter");
+    if (kind != 1)
+      for (const GaugeEntry& e : gauges)
+        HIPA_CHECK(e.name != name,
+                   "metric name '" << std::string(name) << "' already a gauge");
+    if (kind != 2)
+      for (const HistEntry& e : histograms)
+        HIPA_CHECK(e.name != name, "metric name '" << std::string(name)
+                                                   << "' already a histogram");
+  }
+};
+
+MetricsRegistry::MetricsRegistry()
+    : impl_(std::make_unique<Impl>()), num_shards_(pick_shard_count()) {
+  impl_->start_uptime = steady_uptime_seconds();
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                 MetricLabel label) {
+  std::lock_guard lock(impl_->mutex);
+  for (Impl::CounterEntry& e : impl_->counters)
+    if (matches(e.name, e.label, name, label))
+      return Counter(e.cells.get(), num_shards_ - 1);
+  impl_->check_kind_unique(name, 0);
+  Impl::CounterEntry& e = impl_->counters.emplace_back(
+      Impl::CounterEntry{std::string(name), std::string(help),
+                         std::move(label),
+                         std::make_unique<CounterCell[]>(num_shards_)});
+  return Counter(e.cells.get(), num_shards_ - 1);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                             MetricLabel label) {
+  std::lock_guard lock(impl_->mutex);
+  for (Impl::GaugeEntry& e : impl_->gauges)
+    if (matches(e.name, e.label, name, label)) return Gauge(e.cell.get());
+  impl_->check_kind_unique(name, 1);
+  Impl::GaugeEntry& e = impl_->gauges.emplace_back(
+      Impl::GaugeEntry{std::string(name), std::string(help), std::move(label),
+                       std::make_unique<std::atomic<std::int64_t>>(0)});
+  return Gauge(e.cell.get());
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::string_view help, MetricLabel label,
+                                     double scale) {
+  std::lock_guard lock(impl_->mutex);
+  for (Impl::HistEntry& e : impl_->histograms)
+    if (matches(e.name, e.label, name, label))
+      return Histogram(e.shards.get(), num_shards_ - 1);
+  impl_->check_kind_unique(name, 2);
+  Impl::HistEntry& e = impl_->histograms.emplace_back(
+      Impl::HistEntry{std::string(name), std::string(help), std::move(label),
+                      scale,
+                      std::make_unique<HistogramShard[]>(num_shards_)});
+  return Histogram(e.shards.get(), num_shards_ - 1);
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->counters.size() + impl_->gauges.size() +
+         impl_->histograms.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(impl_->mutex);
+  MetricsSnapshot out;
+  out.uptime_seconds = steady_uptime_seconds() - impl_->start_uptime;
+
+  out.counters.reserve(impl_->counters.size());
+  for (const Impl::CounterEntry& e : impl_->counters) {
+    std::uint64_t total = 0;
+    for (unsigned s = 0; s < num_shards_; ++s)
+      total += e.cells[s].value.load(std::memory_order_relaxed);
+    out.counters.push_back({e.name, e.help, e.label, total});
+  }
+
+  out.gauges.reserve(impl_->gauges.size());
+  for (const Impl::GaugeEntry& e : impl_->gauges)
+    out.gauges.push_back(
+        {e.name, e.help, e.label, e.cell->load(std::memory_order_relaxed)});
+
+  out.histograms.reserve(impl_->histograms.size());
+  for (const Impl::HistEntry& e : impl_->histograms) {
+    HistogramSnapshot h;
+    h.name = e.name;
+    h.help = e.help;
+    h.label = e.label;
+    h.scale = e.scale;
+    std::array<std::uint64_t, kNumBuckets> merged{};
+    std::uint64_t sum = 0;
+    for (unsigned s = 0; s < num_shards_; ++s) {
+      const HistogramShard& shard = e.shards[s];
+      for (unsigned b = 0; b < kNumBuckets; ++b)
+        merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    // Count is derived from the merged buckets, not the per-shard
+    // `count` cells: a writer between its bucket add and count add
+    // would otherwise make count lag the buckets and skew quantile
+    // ranks. The count cells still serve the hot-path-cheap
+    // "anything recorded yet?" probe.
+    std::uint64_t total = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) total += merged[b];
+    h.count = total;
+    h.sum = static_cast<double>(sum);
+    h.p50 = quantile_from(merged, total, 0.50);
+    h.p95 = quantile_from(merged, total, 0.95);
+    h.p99 = quantile_from(merged, total, 0.99);
+    h.p999 = quantile_from(merged, total, 0.999);
+    for (unsigned b = kNumBuckets; b-- > 0;) {
+      if (merged[b] != 0) {
+        h.max = static_cast<double>(bucket_lower(b) + bucket_width(b) - 1);
+        break;
+      }
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+const CounterSnapshot* MetricsSnapshot::find_counter(
+    std::string_view name, std::string_view label_value) const {
+  for (const CounterSnapshot& c : counters)
+    if (c.name == name && (label_value.empty() || c.label.value == label_value))
+      return &c;
+  return nullptr;
+}
+
+const GaugeSnapshot* MetricsSnapshot::find_gauge(
+    std::string_view name, std::string_view label_value) const {
+  for (const GaugeSnapshot& g : gauges)
+    if (g.name == name && (label_value.empty() || g.label.value == label_value))
+      return &g;
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::find_histogram(
+    std::string_view name, std::string_view label_value) const {
+  for (const HistogramSnapshot& h : histograms)
+    if (h.name == name && (label_value.empty() || h.label.value == label_value))
+      return &h;
+  return nullptr;
+}
+
+}  // namespace hipa::runtime::metrics

@@ -52,28 +52,14 @@ void PhaseTimeline::record_region(Phase p, double seconds,
   r.sim_remote_accesses += remote;
 }
 
-double RunTelemetry::total_wall_seconds() const {
-  double s = 0.0;
-  for (const PhaseAggregate& p : phases) s += p.wall_sum_seconds;
-  return s;
-}
-
-double RunTelemetry::total_barrier_seconds() const {
-  double s = 0.0;
-  for (const PhaseAggregate& p : phases) s += p.barrier_sum_seconds;
-  return s;
-}
-
-std::uint64_t RunTelemetry::total_messages_produced() const {
-  std::uint64_t n = 0;
-  for (const PhaseAggregate& p : phases) n += p.messages_produced;
-  return n;
-}
-
-std::uint64_t RunTelemetry::total_messages_consumed() const {
-  std::uint64_t n = 0;
-  for (const PhaseAggregate& p : phases) n += p.messages_consumed;
-  return n;
+void RunTelemetry::refresh_totals() {
+  totals = Totals{};
+  for (const PhaseAggregate& p : phases) {
+    totals.wall_seconds += p.wall_sum_seconds;
+    totals.barrier_seconds += p.barrier_sum_seconds;
+    totals.messages_produced += p.messages_produced;
+    totals.messages_consumed += p.messages_consumed;
+  }
 }
 
 RunTelemetry aggregate(const PhaseTimeline& timeline) {
@@ -114,6 +100,7 @@ RunTelemetry aggregate(const PhaseTimeline& timeline) {
     agg.sim_local_accesses = r.sim_local_accesses;
     agg.sim_remote_accesses = r.sim_remote_accesses;
   }
+  out.refresh_totals();
   return out;
 }
 

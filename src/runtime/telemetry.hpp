@@ -303,16 +303,38 @@ struct RunTelemetry {
   unsigned hw_event_mask = 0;   ///< union of per-thread kHw* bits
   int hw_errno = 0;             ///< errno of a failed open (0 if none)
 
+  /// Cross-phase totals, memoized once by aggregate() (and by
+  /// refresh_totals() for hand-assembled telemetry) so exporters that
+  /// poll these per scrape don't rescan the phase table every call.
+  struct Totals {
+    double wall_seconds = 0.0;
+    double barrier_seconds = 0.0;
+    std::uint64_t messages_produced = 0;
+    std::uint64_t messages_consumed = 0;
+  };
+  Totals totals{};
+
   [[nodiscard]] const PhaseAggregate& operator[](Phase p) const {
     return phases[static_cast<unsigned>(p)];
   }
   [[nodiscard]] PhaseAggregate& operator[](Phase p) {
     return phases[static_cast<unsigned>(p)];
   }
-  [[nodiscard]] double total_wall_seconds() const;
-  [[nodiscard]] double total_barrier_seconds() const;
-  [[nodiscard]] std::uint64_t total_messages_produced() const;
-  [[nodiscard]] std::uint64_t total_messages_consumed() const;
+  /// Recompute `totals` from `phases`; call after mutating phase
+  /// aggregates outside aggregate().
+  void refresh_totals();
+  [[nodiscard]] double total_wall_seconds() const {
+    return totals.wall_seconds;
+  }
+  [[nodiscard]] double total_barrier_seconds() const {
+    return totals.barrier_seconds;
+  }
+  [[nodiscard]] std::uint64_t total_messages_produced() const {
+    return totals.messages_produced;
+  }
+  [[nodiscard]] std::uint64_t total_messages_consumed() const {
+    return totals.messages_consumed;
+  }
 };
 
 /// Fold the per-thread rows + region totals into the report surface.

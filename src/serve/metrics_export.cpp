@@ -1,0 +1,375 @@
+#include "serve/metrics_export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hipa::serve {
+
+namespace m = runtime::metrics;
+
+namespace {
+
+/// Shortest round-trip double formatting (%.17g trims trailing
+/// noise via %g semantics); Prometheus and JSON both accept it.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+/// Label selector: `{key="value"}` (Prometheus escaping), empty when
+/// the metric is unlabeled. `extra` appends a second pair (quantile).
+void append_label_selector(std::string& out, const m::MetricLabel& label,
+                           std::string_view extra_key = {},
+                           std::string_view extra_value = {}) {
+  if (label.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  auto emit = [&](std::string_view k, std::string_view v) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  };
+  if (!label.empty()) emit(label.key, label.value);
+  if (!extra_key.empty()) emit(extra_key, extra_value);
+  out += '}';
+}
+
+void append_help_type(std::string& out, const std::string& name,
+                      const std::string& help, std::string_view type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// Emit one family (all same-name entries) at a time so HELP/TYPE
+/// precede every sample of the family exactly once, regardless of
+/// registration interleaving.
+template <typename Entry, typename EmitOne>
+void emit_families(std::string& out, const std::vector<Entry>& entries,
+                   std::string_view type, EmitOne&& emit_one) {
+  std::vector<bool> done(entries.size(), false);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (done[i]) continue;
+    append_help_type(out, entries[i].name, entries[i].help, type);
+    for (std::size_t j = i; j < entries.size(); ++j) {
+      if (done[j] || entries[j].name != entries[i].name) continue;
+      done[j] = true;
+      emit_one(entries[j]);
+    }
+  }
+}
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const m::MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  out += "# HELP hipa_uptime_seconds Seconds since registry creation\n";
+  out += "# TYPE hipa_uptime_seconds gauge\n";
+  out += "hipa_uptime_seconds ";
+  append_double(out, snap.uptime_seconds);
+  out += '\n';
+
+  emit_families(out, snap.counters, "counter",
+                [&](const m::CounterSnapshot& c) {
+                  out += c.name;
+                  append_label_selector(out, c.label);
+                  out += ' ';
+                  append_u64(out, c.value);
+                  out += '\n';
+                });
+
+  emit_families(out, snap.gauges, "gauge", [&](const m::GaugeSnapshot& g) {
+    out += g.name;
+    append_label_selector(out, g.label);
+    out += ' ';
+    append_i64(out, g.value);
+    out += '\n';
+  });
+
+  // Histograms as Prometheus summaries: pre-computed quantiles are
+  // what the log-linear buckets give us, and they keep the scrape
+  // payload small (4 quantiles vs 592 buckets).
+  emit_families(
+      out, snap.histograms, "summary", [&](const m::HistogramSnapshot& h) {
+        const struct {
+          const char* q;
+          double v;
+        } quantiles[] = {{"0.5", h.p50},
+                         {"0.95", h.p95},
+                         {"0.99", h.p99},
+                         {"0.999", h.p999}};
+        for (const auto& [q, v] : quantiles) {
+          out += h.name;
+          append_label_selector(out, h.label, "quantile", q);
+          out += ' ';
+          append_double(out, v * h.scale);
+          out += '\n';
+        }
+        out += h.name;
+        out += "_sum";
+        append_label_selector(out, h.label);
+        out += ' ';
+        append_double(out, h.sum * h.scale);
+        out += '\n';
+        out += h.name;
+        out += "_count";
+        append_label_selector(out, h.label);
+        out += ' ';
+        append_u64(out, h.count);
+        out += '\n';
+      });
+
+  return out;
+}
+
+std::string to_json(const m::MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  auto name_label = [&](const auto& e) {
+    out += "{\"name\":\"";
+    json_escape_into(out, e.name);
+    out += "\",\"label_key\":\"";
+    json_escape_into(out, e.label.key);
+    out += "\",\"label_value\":\"";
+    json_escape_into(out, e.label.value);
+    out += "\"";
+  };
+
+  out += "{\"uptime_seconds\":";
+  append_double(out, snap.uptime_seconds);
+  out += ",\"counters\":[";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    name_label(snap.counters[i]);
+    out += ",\"value\":";
+    append_u64(out, snap.counters[i].value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    name_label(snap.gauges[i]);
+    out += ",\"value\":";
+    append_i64(out, snap.gauges[i].value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const m::HistogramSnapshot& h = snap.histograms[i];
+    if (i != 0) out += ',';
+    name_label(h);
+    out += ",\"count\":";
+    append_u64(out, h.count);
+    auto field = [&](const char* key, double raw) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      append_double(out, raw * h.scale);
+    };
+    field("sum", h.sum);
+    field("p50", h.p50);
+    field("p95", h.p95);
+    field("p99", h.p99);
+    field("p999", h.p999);
+    field("max", h.max);
+    field("mean", h.mean());
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsHttpServer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; a scraper will retry
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, std::string_view status,
+                   std::string_view content_type, std::string_view body) {
+  std::string head;
+  head.reserve(160);
+  head += "HTTP/1.0 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  append_u64(head, body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, body);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(
+    const runtime::metrics::MetricsRegistry& registry, int port)
+    : registry_(registry) {
+  HIPA_CHECK(port >= 0 && port <= 65535,
+             "metrics port " << port << " out of range");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  HIPA_CHECK(listen_fd_ >= 0,
+             "metrics listener: socket() failed, errno " << errno);
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    HIPA_CHECK(false, "metrics listener: cannot bind 127.0.0.1:"
+                          << port << ", errno " << err);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  thread_ = std::thread([this] { loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::loop() {
+  while (!stopped_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or transient error: re-check stop
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Bounded blocking read of the request head; scrapers send tiny
+    // requests, so one second is generous.
+    timeval tv{1, 0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char buf[2048];
+    const ssize_t n = ::recv(client, buf, sizeof buf - 1, 0);
+    if (n <= 0) {
+      ::close(client);
+      continue;
+    }
+    buf[n] = '\0';
+
+    // "GET <path> HTTP/1.x" — everything else is a 404/405.
+    std::string_view req(buf, static_cast<std::size_t>(n));
+    std::string_view path;
+    if (req.substr(0, 4) == "GET ") {
+      const std::size_t end = req.find(' ', 4);
+      if (end != std::string_view::npos) path = req.substr(4, end - 4);
+    }
+    if (path == "/metrics") {
+      send_response(client, "200 OK", "text/plain; version=0.0.4",
+                    to_prometheus(registry_.snapshot()));
+      scrapes_.fetch_add(1, std::memory_order_relaxed);
+    } else if (path == "/metrics.json") {
+      send_response(client, "200 OK", "application/json",
+                    to_json(registry_.snapshot()));
+      scrapes_.fetch_add(1, std::memory_order_relaxed);
+    } else if (path == "/") {
+      send_response(client, "200 OK", "text/plain",
+                    "hipa metrics endpoint\n/metrics       Prometheus "
+                    "text format\n/metrics.json  JSON snapshot\n");
+    } else {
+      send_response(client, "404 Not Found", "text/plain", "not found\n");
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace hipa::serve

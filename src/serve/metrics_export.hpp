@@ -1,0 +1,86 @@
+// Exposition of the process-lifetime metrics registry: Prometheus text
+// format, a JSON snapshot, and a minimal self-contained HTTP listener
+// so an external poller (Prometheus, curl, tools/hipa-top) can scrape
+// a running service.
+//
+// Wire formats:
+//   * to_prometheus() — Prometheus text exposition v0.0.4. Counters
+//     and gauges map directly; histograms are emitted as `summary`
+//     families with quantile labels (0.5/0.95/0.99/0.999) plus _sum
+//     and _count, pre-scaled by the histogram's registered export
+//     scale (latency histograms record nanoseconds, export seconds).
+//     This is also the per-shard health feed ROADMAP item 3's routers
+//     will consume.
+//   * to_json() — the same snapshot as one JSON object, consumed by
+//     `hipa-top --file` and the bench/test harnesses.
+//
+// The listener is a deliberately tiny poll-loop server (one thread,
+// blocking per-connection I/O, Connection: close) — a scrape target,
+// not a web server. No third-party dependencies; plain POSIX sockets.
+// It binds 127.0.0.1 only: operators who want remote scrapes are
+// expected to front it with their own forwarding, not expose it raw.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "runtime/metrics.hpp"
+
+namespace hipa::serve {
+
+/// Prometheus text exposition (v0.0.4) of one snapshot.
+[[nodiscard]] std::string to_prometheus(
+    const runtime::metrics::MetricsSnapshot& snap);
+
+/// JSON rendering of one snapshot:
+/// {"uptime_seconds": .., "counters": [{"name","label_key","label_value",
+///  "value"}..], "gauges": [..], "histograms": [{"name",..,"count","sum",
+///  "p50","p95","p99","p999","max","mean"}..]} — histogram values
+/// pre-scaled like the Prometheus form.
+[[nodiscard]] std::string to_json(
+    const runtime::metrics::MetricsSnapshot& snap);
+
+/// Minimal HTTP/1.0 scrape endpoint over a registry.
+///
+///   GET /metrics       -> Prometheus text format
+///   GET /metrics.json  -> JSON snapshot
+///   anything else      -> 404
+///
+/// `port` 0 binds an ephemeral port (tests); a fixed port that cannot
+/// be bound throws hipa::Error. The listener thread snapshots the
+/// registry per request — writers are never blocked.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(const runtime::metrics::MetricsRegistry& registry,
+                    int port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Actual bound port (resolves ephemeral binds).
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return !stopped_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+  /// Join the listener (idempotent; destructor calls it).
+  void stop();
+
+ private:
+  void loop();
+
+  const runtime::metrics::MetricsRegistry& registry_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace hipa::serve

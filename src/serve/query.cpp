@@ -104,6 +104,7 @@ LatencySummary LatencyRecorder::summarize() const {
   s.p50_seconds = pct(0.50);
   s.p95_seconds = pct(0.95);
   s.p99_seconds = pct(0.99);
+  s.p999_seconds = pct(0.999);
   s.max_seconds = sorted.back();
   return s;
 }

@@ -116,6 +116,7 @@ struct LatencySummary {
   double p50_seconds = 0.0;
   double p95_seconds = 0.0;
   double p99_seconds = 0.0;
+  double p999_seconds = 0.0;
   double max_seconds = 0.0;
 };
 

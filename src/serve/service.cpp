@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/trace.hpp"
+#include "serve/metrics_export.hpp"
 
 namespace hipa::serve {
 
@@ -43,6 +44,44 @@ RankService::RankService(const SnapshotStore& store, ServiceOptions opt)
   if (!opt_.trace_path.empty()) timeline_.enable_spans();
   latency_.reserve(opt_.latency_reserve);
 
+  namespace m = runtime::metrics;
+  m::MetricsRegistry* reg = nullptr;
+  if (opt_.metrics) {
+    reg = opt_.registry != nullptr ? opt_.registry
+                                   : &m::MetricsRegistry::global();
+    const QueryKind kinds[] = {QueryKind::kPoint, QueryKind::kBatch,
+                               QueryKind::kTopK};
+    for (const QueryKind k : kinds) {
+      const auto i = static_cast<unsigned>(k);
+      const m::MetricLabel label{"class", std::string(query_kind_name(k))};
+      metrics_.requests[i] = reg->counter(
+          "hipa_queries_total", "Queries answered by class", label);
+      metrics_.latency[i] = reg->histogram(
+          "hipa_query_latency_seconds", "Per-request latency by class",
+          label, /*scale=*/1e-9);
+    }
+    metrics_.batches =
+        reg->counter("hipa_batches_total", "execute_batch calls");
+    metrics_.shards_dispatched = reg->counter(
+        "hipa_shards_dispatched_total", "Per-node shard tasks enqueued");
+    metrics_.vertices_looked_up = reg->counter(
+        "hipa_vertices_looked_up_total", "Rank cells read for lookups");
+    metrics_.batch_size =
+        reg->histogram("hipa_batch_size_queries", "Queries per batch");
+    metrics_.queue_depth = reg->gauge(
+        "hipa_worker_queue_depth", "Deepest worker queue at last dispatch");
+    metrics_.answer_epoch = reg->gauge(
+        "hipa_answer_epoch", "Snapshot epoch of the last answered batch");
+    metrics_.epoch_lag = reg->gauge(
+        "hipa_answer_epoch_lag",
+        "Live store epoch minus last answered epoch (replica staleness)");
+  }
+  if (opt_.metrics_port >= 0) {
+    metrics_server_ = std::make_unique<MetricsHttpServer>(
+        reg != nullptr ? *reg : m::MetricsRegistry::global(),
+        opt_.metrics_port);
+  }
+
   workers_.reserve(nodes);
   for (unsigned w = 0; w < nodes; ++w) {
     workers_.push_back(std::make_unique<Worker>());
@@ -58,9 +97,14 @@ RankService::RankService(const SnapshotStore& store, ServiceOptions opt)
 
 RankService::~RankService() { stop(); }
 
+int RankService::metrics_http_port() const {
+  return metrics_server_ == nullptr ? -1 : metrics_server_->port();
+}
+
 void RankService::stop() {
   if (stopped_) return;
   stopped_ = true;
+  metrics_server_.reset();
   for (auto& worker : workers_) {
     {
       std::lock_guard<std::mutex> lock(worker->mutex);
@@ -234,14 +278,17 @@ std::vector<QueryResult> RankService::execute_batch(
   }
   latch.remaining = static_cast<unsigned>(dispatched.size());
   if (!dispatched.empty()) {
+    std::size_t deepest_queue = 0;
     for (unsigned w : dispatched) {
       Worker& worker = *workers_[w];
       {
         std::lock_guard<std::mutex> lock(worker.mutex);
         worker.queue.push_back(Task{&s, std::move(shards[w]), &latch});
+        deepest_queue = std::max(deepest_queue, worker.queue.size());
       }
       worker.cv.notify_one();
     }
+    metrics_.queue_depth.set(static_cast<std::int64_t>(deepest_queue));
     latch.wait();
   }
 
@@ -252,6 +299,30 @@ std::vector<QueryResult> RankService::execute_batch(
 
   // ---- Record stats + per-request latency --------------------------
   const double wall = batch_timer.seconds();
+
+  // Lifetime metrics first, outside the stats mutex: each record is a
+  // few relaxed atomic adds, so caller threads never serialize here.
+  {
+    const std::uint64_t wall_ns = runtime::metrics::seconds_to_ns(wall);
+    std::array<std::uint64_t, 3> by_class{};
+    for (const Query& q : queries) ++by_class[static_cast<unsigned>(q.kind)];
+    for (unsigned c = 0; c < 3; ++c) {
+      if (by_class[c] == 0) continue;
+      metrics_.requests[c].inc(by_class[c]);
+      // Every request in the batch observed the batch's wall time
+      // (mirrors the LatencyRecorder accounting below).
+      for (std::uint64_t i = 0; i < by_class[c]; ++i) {
+        metrics_.latency[c].record(wall_ns);
+      }
+    }
+    metrics_.batches.inc();
+    metrics_.shards_dispatched.inc(dispatched.size());
+    metrics_.vertices_looked_up.inc(vertices_looked_up);
+    metrics_.batch_size.record(queries.size());
+    metrics_.answer_epoch.set(static_cast<std::int64_t>(s.epoch()));
+    metrics_.epoch_lag.set(
+        static_cast<std::int64_t>(store_.epoch() - s.epoch()));
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.requests += queries.size();

@@ -37,6 +37,7 @@
 // the engines use.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -48,11 +49,14 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/metrics.hpp"
 #include "runtime/telemetry.hpp"
 #include "serve/query.hpp"
 #include "serve/snapshot.hpp"
 
 namespace hipa::serve {
+
+class MetricsHttpServer;
 
 /// Service construction knobs.
 struct ServiceOptions {
@@ -63,6 +67,16 @@ struct ServiceOptions {
   std::string trace_path;
   /// Pre-reserved latency samples (grows beyond as needed).
   std::size_t latency_reserve = 1 << 16;
+  /// Lifetime metrics (per-class latency histograms, batch sizes,
+  /// queue depth, epoch lag). false = no-op handles, behavior
+  /// byte-identical.
+  bool metrics = true;
+  /// Registry to record into; nullptr = the process-global registry.
+  runtime::metrics::MetricsRegistry* registry = nullptr;
+  /// Metrics scrape endpoint (serve/metrics_export): -1 = no listener
+  /// (default), 0 = ephemeral port (tests; see metrics_http_port()),
+  /// 1..65535 = fixed port on 127.0.0.1.
+  int metrics_port = -1;
 };
 
 /// The batched query engine. Thread-safe: any number of caller threads
@@ -100,6 +114,10 @@ class RankService {
   [[nodiscard]] unsigned num_workers() const {
     return static_cast<unsigned>(workers_.size());
   }
+
+  /// Actual port of the metrics HTTP listener (-1 when
+  /// ServiceOptions::metrics_port was left disabled).
+  [[nodiscard]] int metrics_http_port() const;
 
   /// Join the workers and, when a trace path was configured, write the
   /// Chrome trace. Idempotent; the destructor calls it.
@@ -162,6 +180,21 @@ class RankService {
   ServiceOptions opt_;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool stopped_ = false;
+
+  /// Lifetime metric handles, indexed by QueryKind where per-class.
+  struct Instruments {
+    std::array<runtime::metrics::Counter, 3> requests;
+    std::array<runtime::metrics::Histogram, 3> latency;
+    runtime::metrics::Counter batches;
+    runtime::metrics::Counter shards_dispatched;
+    runtime::metrics::Counter vertices_looked_up;
+    runtime::metrics::Histogram batch_size;
+    runtime::metrics::Gauge queue_depth;
+    runtime::metrics::Gauge answer_epoch;
+    runtime::metrics::Gauge epoch_lag;
+  };
+  Instruments metrics_;
+  std::unique_ptr<MetricsHttpServer> metrics_server_;
 
   // Stats + caller-side telemetry, shared by caller threads.
   mutable std::mutex stats_mutex_;

@@ -78,6 +78,30 @@ SnapshotStore::SnapshotStore(vid_t num_vertices, StoreOptions opt)
     }
     slot.snap.topk_.configure(opt.topk_k, nodes, arena_);
   }
+
+  if (opt.metrics) {
+    namespace m = runtime::metrics;
+    m::MetricsRegistry& reg =
+        opt.registry != nullptr ? *opt.registry : m::MetricsRegistry::global();
+    publishes_metric_ =
+        reg.counter("hipa_snapshot_publishes_total", "Snapshots published");
+    pins_metric_ =
+        reg.counter("hipa_snapshot_pins_total", "Reader pins acquired");
+    reclaim_waits_metric_ = reg.counter(
+        "hipa_snapshot_reclaim_waits_total",
+        "Publishes that waited out a retired slot's straggling readers");
+    epoch_metric_ =
+        reg.gauge("hipa_snapshot_epoch", "Epoch of the live snapshot");
+    arena_used_metric_ = reg.gauge("hipa_store_arena_used_bytes",
+                                   "Store arena bytes in use");
+    topk_build_metric_ = reg.histogram(
+        "hipa_topk_build_seconds", "Per-publish top-k replica build time", {},
+        /*scale=*/1e-9);
+    // The ring + replicas are carved once at construction; publishes
+    // only overwrite bytes, so this gauge is static until resharding.
+    arena_used_metric_.set(
+        static_cast<std::int64_t>(arena_->stats().total_used()));
+  }
 }
 
 std::uint64_t SnapshotStore::publish(std::span<const rank_t> ranks) {
@@ -106,17 +130,24 @@ std::uint64_t SnapshotStore::publish(std::span<const rank_t> ranks) {
     waited = true;
     std::this_thread::yield();
   }
-  if (waited) reclaim_waits_.fetch_add(1, std::memory_order_relaxed);
+  if (waited) {
+    reclaim_waits_.fetch_add(1, std::memory_order_relaxed);
+    reclaim_waits_metric_.inc();
+  }
 
   // Fill the slot: overwrite the placed pages and rebuild the top-k
   // replicas (parallel per node).
   std::copy(ranks.begin(), ranks.end(), slot->snap.ranks_.data());
-  slot->snap.topk_.build(slot->snap.ranks_.span(), node_ranges_);
+  const double topk_seconds =
+      slot->snap.topk_.build(slot->snap.ranks_.span(), node_ranges_);
   slot->snap.epoch_ = next_epoch_++;
 
   // The one-word publication: release makes every write above visible
   // to any reader that acquires this pointer.
   current_.store(slot, std::memory_order_release);
+  publishes_metric_.inc();
+  epoch_metric_.set(static_cast<std::int64_t>(slot->snap.epoch_));
+  topk_build_metric_.record(runtime::metrics::seconds_to_ns(topk_seconds));
   return slot->snap.epoch_;
 }
 
@@ -130,6 +161,7 @@ SnapshotRef SnapshotStore::current() const {
     // *retired* slots only), so the pin is safe. Otherwise back off
     // and retry — we only touched the counter, never the data.
     if (current_.load(std::memory_order_acquire) == s) {
+      pins_metric_.inc();
       return SnapshotRef(&s->snap, &s->readers);
     }
     s->readers.fetch_sub(1, std::memory_order_release);

@@ -44,6 +44,7 @@
 #include "common/types.hpp"
 #include "engines/backend.hpp"
 #include "runtime/arena.hpp"
+#include "runtime/metrics.hpp"
 #include "serve/topk_index.hpp"
 
 namespace hipa::serve {
@@ -146,6 +147,11 @@ struct StoreOptions {
   /// plan's node_vertex_range, to mirror the compute layout). Empty =
   /// even page-aligned split over num_nodes.
   std::vector<VertexRange> node_ranges;
+  /// Lifetime metrics (publishes, reader pins, reclaim waits, top-k
+  /// build latency). false = no-op handles, behavior byte-identical.
+  bool metrics = true;
+  /// Registry to record into; nullptr = the process-global registry.
+  runtime::metrics::MetricsRegistry* registry = nullptr;
 };
 
 /// The versioned snapshot store. One publisher at a time (publish is
@@ -220,6 +226,15 @@ class SnapshotStore {
   std::uint64_t next_epoch_ = 1;    ///< under publish_mutex_
   unsigned next_slot_ = 0;          ///< under publish_mutex_
   std::atomic<std::uint64_t> reclaim_waits_{0};
+
+  // Lifetime metric handles (no-ops when StoreOptions::metrics is
+  // false); value types, so no registry lifetime coupling.
+  runtime::metrics::Counter publishes_metric_;
+  runtime::metrics::Counter pins_metric_;
+  runtime::metrics::Counter reclaim_waits_metric_;
+  runtime::metrics::Gauge epoch_metric_;
+  runtime::metrics::Gauge arena_used_metric_;
+  runtime::metrics::Histogram topk_build_metric_;
 };
 
 /// Even, page-aligned split of [0, n) over `nodes` slices (the store's

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/placement.hpp"
 #include "runtime/thread_pool.hpp"
@@ -93,8 +94,9 @@ void TopKIndex::configure(unsigned k, unsigned num_nodes,
   }
 }
 
-void TopKIndex::build(std::span<const rank_t> ranks,
-                      std::span<const VertexRange> node_ranges) {
+double TopKIndex::build(std::span<const rank_t> ranks,
+                        std::span<const VertexRange> node_ranges) {
+  Timer timer;
   HIPA_CHECK(!replicas_.empty(), "configure() before build()");
   HIPA_CHECK(node_ranges.size() == replicas_.size(),
              "one vertex range per node replica");
@@ -119,6 +121,7 @@ void TopKIndex::build(std::span<const rank_t> ranks,
     pin_to_node(node);
     std::copy(merged.begin(), merged.end(), replicas_[node].data());
   });
+  return timer.seconds();
 }
 
 }  // namespace hipa::serve

@@ -72,9 +72,11 @@ class TopKIndex {
   /// Rebuild every replica from `ranks`. `node_ranges[n]` is node n's
   /// locally-placed slice of the rank array (the same slices the
   /// snapshot store placed); slices must tile [0, ranks.size()).
-  /// Runs one pinned builder thread per node.
-  void build(std::span<const rank_t> ranks,
-             std::span<const VertexRange> node_ranges);
+  /// Runs one pinned builder thread per node. Returns the build wall
+  /// time so callers (the snapshot store) can feed publish-cost
+  /// metrics without timing around the call.
+  double build(std::span<const rank_t> ranks,
+               std::span<const VertexRange> node_ranges);
 
   [[nodiscard]] unsigned k() const { return k_; }
   [[nodiscard]] unsigned num_nodes() const {

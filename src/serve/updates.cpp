@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "engines/backend.hpp"
+#include "engines/metrics_bridge.hpp"
 
 namespace hipa::serve {
 
@@ -77,6 +78,32 @@ UpdateRefresher::UpdateRefresher(vid_t num_vertices,
                              << num_vertices_);
   }
   graph_ = graph::build_graph(num_vertices_, edges_, opt_.build);
+
+  if (opt_.metrics) {
+    namespace m = runtime::metrics;
+    registry_ = opt_.registry != nullptr ? opt_.registry
+                                         : &m::MetricsRegistry::global();
+    delta_refreshes_metric_ =
+        registry_->counter("hipa_refreshes_total", "Refresh cycles by kind",
+                           {"kind", "delta"});
+    full_refreshes_metric_ =
+        registry_->counter("hipa_refreshes_total", "Refresh cycles by kind",
+                           {"kind", "full"});
+    updates_applied_metric_ = registry_->counter(
+        "hipa_updates_applied_total", "Edge updates applied to the graph");
+    delta_latency_metric_ = registry_->histogram(
+        "hipa_refresh_seconds", "Refresh cycle latency by kind",
+        {"kind", "delta"}, /*scale=*/1e-9);
+    full_latency_metric_ = registry_->histogram(
+        "hipa_refresh_seconds", "Refresh cycle latency by kind",
+        {"kind", "full"}, /*scale=*/1e-9);
+    batch_updates_metric_ = registry_->histogram(
+        "hipa_refresh_batch_updates", "Edge updates per refresh batch");
+    publish_epoch_metric_ = registry_->gauge(
+        "hipa_publish_epoch", "Last epoch published by the refresher");
+    queue_lag_metric_ = registry_->gauge(
+        "hipa_update_queue_lag", "Updates still pending after a drain");
+  }
 }
 
 UpdateRefresher::~UpdateRefresher() { stop(); }
@@ -109,10 +136,19 @@ engine::RunResult UpdateRefresher::full_run() {
 
 std::uint64_t UpdateRefresher::publish_initial() {
   std::lock_guard<std::mutex> lock(refresh_mutex_);
+  Timer timer;
   const engine::RunResult result = full_run();
   full_refreshes_.fetch_add(1, std::memory_order_relaxed);
   refreshes_.fetch_add(1, std::memory_order_relaxed);
-  return store_.publish(result);
+  const std::uint64_t epoch = store_.publish(result);
+  full_refreshes_metric_.inc();
+  full_latency_metric_.record(
+      runtime::metrics::seconds_to_ns(timer.seconds()));
+  publish_epoch_metric_.set(static_cast<std::int64_t>(epoch));
+  if (registry_ != nullptr) {
+    engine::fold_run_metrics(*registry_, result.report);
+  }
+  return epoch;
 }
 
 void UpdateRefresher::apply(const std::vector<EdgeUpdate>& updates) {
@@ -150,6 +186,9 @@ RefreshReport UpdateRefresher::refresh_now() {
     report.iterations = result.report.iterations;
     report.epoch = store_.publish(result);
     full_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    if (registry_ != nullptr) {
+      engine::fold_run_metrics(*registry_, result.report);
+    }
   } else {
     engine::NativeBackend backend;
     const algo::DeltaResult result =
@@ -160,6 +199,20 @@ RefreshReport UpdateRefresher::refresh_now() {
   }
   refreshes_.fetch_add(1, std::memory_order_relaxed);
   report.seconds = timer.seconds();
+
+  const std::uint64_t wall_ns = runtime::metrics::seconds_to_ns(report.seconds);
+  if (report.full_run) {
+    full_refreshes_metric_.inc();
+    full_latency_metric_.record(wall_ns);
+  } else {
+    delta_refreshes_metric_.inc();
+    delta_latency_metric_.record(wall_ns);
+  }
+  updates_applied_metric_.inc(batch.size());
+  batch_updates_metric_.record(batch.size());
+  publish_epoch_metric_.set(static_cast<std::int64_t>(report.epoch));
+  queue_lag_metric_.set(
+      static_cast<std::int64_t>(queue_.approx_pending()));
   return report;
 }
 

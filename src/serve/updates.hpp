@@ -35,6 +35,7 @@
 #include "algos/pagerank_delta.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr.hpp"
+#include "runtime/metrics.hpp"
 #include "serve/snapshot.hpp"
 
 namespace hipa::serve {
@@ -105,6 +106,12 @@ struct RefreshOptions {
                             .remove_duplicates = true};
   /// Background-thread poll period.
   double poll_seconds = 0.005;
+  /// Lifetime metrics (refresh latency by kind, applied updates,
+  /// publish epoch, queue lag, folded engine-run totals). false =
+  /// no-op handles, behavior byte-identical.
+  bool metrics = true;
+  /// Registry to record into; nullptr = the process-global registry.
+  runtime::metrics::MetricsRegistry* registry = nullptr;
 };
 
 /// What one refresh cycle did.
@@ -188,6 +195,18 @@ class UpdateRefresher {
   std::atomic<std::uint64_t> refreshes_{0};
   std::atomic<std::uint64_t> delta_refreshes_{0};
   std::atomic<std::uint64_t> full_refreshes_{0};
+
+  // Lifetime metric handles; registry_ doubles as the "metrics on"
+  // flag and the sink for fold_run_metrics after full engine runs.
+  runtime::metrics::MetricsRegistry* registry_ = nullptr;
+  runtime::metrics::Counter delta_refreshes_metric_;
+  runtime::metrics::Counter full_refreshes_metric_;
+  runtime::metrics::Counter updates_applied_metric_;
+  runtime::metrics::Histogram delta_latency_metric_;
+  runtime::metrics::Histogram full_latency_metric_;
+  runtime::metrics::Histogram batch_updates_metric_;
+  runtime::metrics::Gauge publish_epoch_metric_;
+  runtime::metrics::Gauge queue_lag_metric_;
 };
 
 }  // namespace hipa::serve

@@ -1,0 +1,382 @@
+// hipa-top: live operator view of a running HiPa service.
+//
+// Polls a RankService metrics endpoint (serve/metrics_export's
+// /metrics.json) — or reads a JSON snapshot from a file — and renders
+// a refreshing terminal dashboard: QPS, per-class latency quantiles,
+// refresh activity, snapshot-store and NUMA/arena health, folded
+// engine-run totals.
+//
+//   hipa-top --endpoint=127.0.0.1:9464            # poll a live service
+//   hipa-top --file=snap.json --once              # render one frame
+//   hipa-top --demo                               # built-in sample frame
+//
+// QPS and refresh rates are derived client-side from counter deltas
+// between consecutive frames; the first frame shows lifetime averages.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/minijson.hpp"
+
+namespace {
+
+using hipa::json::Value;
+
+// ---------------------------------------------------------------------------
+// Snapshot model: flat lookup maps over the exporter's JSON.
+
+struct HistRow {
+  std::string label_value;
+  double count = 0, sum = 0, p50 = 0, p95 = 0, p99 = 0, p999 = 0, max = 0;
+};
+
+struct Frame {
+  double uptime = 0;
+  std::map<std::string, double> scalars;  ///< "name" or "name/label"
+  std::map<std::string, std::vector<HistRow>> histograms;
+  double polled_at = 0;  ///< client-side monotonic seconds
+
+  [[nodiscard]] double scalar(const std::string& key) const {
+    const auto it = scalars.find(key);
+    return it == scalars.end() ? 0.0 : it->second;
+  }
+};
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double num_field(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is(Value::Type::kNumber) ? v->number : 0.0;
+}
+
+std::string str_field(const Value& obj, const char* key) {
+  const Value* v = obj.find(key);
+  return v != nullptr && v->is(Value::Type::kString) ? v->str : std::string();
+}
+
+std::optional<Frame> parse_frame(const std::string& json_text) {
+  hipa::json::Parser parser(json_text);
+  hipa::json::ValuePtr root;
+  try {
+    root = parser.parse();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hipa-top: bad snapshot JSON: %s\n", e.what());
+    return std::nullopt;
+  }
+  if (root == nullptr || !root->is(Value::Type::kObject)) return std::nullopt;
+  Frame f;
+  f.polled_at = monotonic_seconds();
+  f.uptime = num_field(*root, "uptime_seconds");
+  for (const char* section : {"counters", "gauges"}) {
+    const Value* arr = root->find(section);
+    if (arr == nullptr || !arr->is(Value::Type::kArray)) continue;
+    for (const auto& entry : arr->array) {
+      if (!entry->is(Value::Type::kObject)) continue;
+      std::string key = str_field(*entry, "name");
+      const std::string label = str_field(*entry, "label_value");
+      if (!label.empty()) key += "/" + label;
+      f.scalars[key] = num_field(*entry, "value");
+    }
+  }
+  if (const Value* arr = root->find("histograms");
+      arr != nullptr && arr->is(Value::Type::kArray)) {
+    for (const auto& entry : arr->array) {
+      if (!entry->is(Value::Type::kObject)) continue;
+      HistRow row;
+      row.label_value = str_field(*entry, "label_value");
+      row.count = num_field(*entry, "count");
+      row.sum = num_field(*entry, "sum");
+      row.p50 = num_field(*entry, "p50");
+      row.p95 = num_field(*entry, "p95");
+      row.p99 = num_field(*entry, "p99");
+      row.p999 = num_field(*entry, "p999");
+      row.max = num_field(*entry, "max");
+      f.histograms[str_field(*entry, "name")].push_back(std::move(row));
+    }
+  }
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot sources.
+
+std::optional<std::string> http_get_json(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string req =
+      "GET /metrics.json HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t body = response.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return response.substr(body + 4);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// A canned frame so the renderer is exercisable (tests, demos)
+/// without a live service or a snapshot file.
+constexpr const char* kDemoJson = R"({"uptime_seconds":125.4,
+"counters":[
+ {"name":"hipa_queries_total","label_key":"class","label_value":"point","value":1510230},
+ {"name":"hipa_queries_total","label_key":"class","label_value":"batch","value":92140},
+ {"name":"hipa_queries_total","label_key":"class","label_value":"topk","value":48770},
+ {"name":"hipa_batches_total","label_key":"","label_value":"","value":205580},
+ {"name":"hipa_snapshot_pins_total","label_key":"","label_value":"","value":205802},
+ {"name":"hipa_snapshot_publishes_total","label_key":"","label_value":"","value":218},
+ {"name":"hipa_snapshot_reclaim_waits_total","label_key":"","label_value":"","value":3},
+ {"name":"hipa_refreshes_total","label_key":"kind","label_value":"delta","value":201},
+ {"name":"hipa_refreshes_total","label_key":"kind","label_value":"full","value":17},
+ {"name":"hipa_updates_applied_total","label_key":"","label_value":"","value":18433},
+ {"name":"hipa_engine_runs_total","label_key":"","label_value":"","value":17},
+ {"name":"hipa_engine_iterations_total","label_key":"","label_value":"","value":340},
+ {"name":"hipa_engine_io_wait_ns_total","label_key":"","label_value":"","value":122000000}],
+"gauges":[
+ {"name":"hipa_publish_epoch","label_key":"","label_value":"","value":218},
+ {"name":"hipa_answer_epoch_lag","label_key":"","label_value":"","value":0},
+ {"name":"hipa_update_queue_lag","label_key":"","label_value":"","value":12},
+ {"name":"hipa_worker_queue_depth","label_key":"","label_value":"","value":1},
+ {"name":"hipa_store_arena_used_bytes","label_key":"","label_value":"","value":6291456}],
+"histograms":[
+ {"name":"hipa_query_latency_seconds","label_key":"class","label_value":"point","count":1510230,"sum":19.4,"p50":1.1e-05,"p95":2.9e-05,"p99":6.2e-05,"p999":0.00021,"max":0.0014,"mean":1.28e-05},
+ {"name":"hipa_query_latency_seconds","label_key":"class","label_value":"batch","count":92140,"sum":6.1,"p50":5.5e-05,"p95":0.00013,"p99":0.00027,"p999":0.0009,"max":0.0041,"mean":6.6e-05},
+ {"name":"hipa_query_latency_seconds","label_key":"class","label_value":"topk","count":48770,"sum":1.2,"p50":1.9e-05,"p95":5.1e-05,"p99":9.8e-05,"p999":0.00033,"max":0.0019,"mean":2.4e-05},
+ {"name":"hipa_refresh_seconds","label_key":"kind","label_value":"delta","count":201,"sum":0.71,"p50":0.003,"p95":0.0061,"p99":0.009,"p999":0.012,"max":0.012,"mean":0.0035},
+ {"name":"hipa_refresh_seconds","label_key":"kind","label_value":"full","count":17,"sum":1.9,"p50":0.1,"p95":0.16,"p99":0.18,"p999":0.18,"max":0.18,"mean":0.11},
+ {"name":"hipa_topk_build_seconds","label_key":"","label_value":"","count":218,"sum":0.09,"p50":0.0004,"p95":0.0006,"p99":0.0008,"p999":0.001,"max":0.0011,"mean":0.00041}]})";
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+std::string fmt_si(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+std::string fmt_latency(double seconds) {
+  char buf[32];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.0fns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  }
+  return buf;
+}
+
+/// Rate of a counter between frames; falls back to the lifetime
+/// average when there is no previous frame.
+double rate(const Frame& now, const Frame* prev, const std::string& key) {
+  if (prev != nullptr && now.polled_at > prev->polled_at) {
+    return (now.scalar(key) - prev->scalar(key)) /
+           (now.polled_at - prev->polled_at);
+  }
+  return now.uptime > 0 ? now.scalar(key) / now.uptime : 0.0;
+}
+
+void render(const Frame& f, const Frame* prev, bool clear_screen) {
+  if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
+
+  const double qps = rate(f, prev, "hipa_queries_total/point") +
+                     rate(f, prev, "hipa_queries_total/batch") +
+                     rate(f, prev, "hipa_queries_total/topk");
+  std::printf("hipa-top — uptime %.0fs   QPS %s   epoch %.0f (lag %.0f)\n",
+              f.uptime, fmt_si(qps).c_str(), f.scalar("hipa_publish_epoch"),
+              f.scalar("hipa_answer_epoch_lag"));
+  std::printf("%s\n",
+              std::string(66, '-').c_str());
+
+  std::printf("%-8s %10s %9s %9s %9s %9s %9s\n", "queries", "count", "p50",
+              "p95", "p99", "p999", "max");
+  const auto lat = f.histograms.find("hipa_query_latency_seconds");
+  if (lat != f.histograms.end()) {
+    for (const HistRow& row : lat->second) {
+      std::printf("%-8s %10s %9s %9s %9s %9s %9s\n", row.label_value.c_str(),
+                  fmt_si(row.count).c_str(), fmt_latency(row.p50).c_str(),
+                  fmt_latency(row.p95).c_str(), fmt_latency(row.p99).c_str(),
+                  fmt_latency(row.p999).c_str(), fmt_latency(row.max).c_str());
+    }
+  }
+
+  std::printf("\nrefresh: %.0f delta + %.0f full (%.2f/s), %s updates, "
+              "queue lag %.0f\n",
+              f.scalar("hipa_refreshes_total/delta"),
+              f.scalar("hipa_refreshes_total/full"),
+              rate(f, prev, "hipa_refreshes_total/delta") +
+                  rate(f, prev, "hipa_refreshes_total/full"),
+              fmt_si(f.scalar("hipa_updates_applied_total")).c_str(),
+              f.scalar("hipa_update_queue_lag"));
+  const auto refresh = f.histograms.find("hipa_refresh_seconds");
+  if (refresh != f.histograms.end()) {
+    for (const HistRow& row : refresh->second) {
+      std::printf("  %-6s p50 %s  p99 %s  max %s\n", row.label_value.c_str(),
+                  fmt_latency(row.p50).c_str(), fmt_latency(row.p99).c_str(),
+                  fmt_latency(row.max).c_str());
+    }
+  }
+
+  std::printf("\nstore: %s pins, %.0f publishes, %.0f reclaim waits, "
+              "worker queue depth %.0f\n",
+              fmt_si(f.scalar("hipa_snapshot_pins_total")).c_str(),
+              f.scalar("hipa_snapshot_publishes_total"),
+              f.scalar("hipa_snapshot_reclaim_waits_total"),
+              f.scalar("hipa_worker_queue_depth"));
+  std::printf("arena: %s B store",
+              fmt_si(f.scalar("hipa_store_arena_used_bytes")).c_str());
+  if (f.scalars.count("hipa_engine_arena_used_bytes") != 0) {
+    std::printf(" + %s B engine",
+                fmt_si(f.scalar("hipa_engine_arena_used_bytes")).c_str());
+  }
+  std::printf("\nengine: %.0f runs, %.0f iterations, io_wait %s\n",
+              f.scalar("hipa_engine_runs_total"),
+              f.scalar("hipa_engine_iterations_total"),
+              fmt_latency(f.scalar("hipa_engine_io_wait_ns_total") / 1e9)
+                  .c_str());
+  std::fflush(stdout);
+}
+
+void usage() {
+  std::fputs(
+      "usage: hipa-top (--endpoint=HOST:PORT | --file=SNAP.json | --demo)\n"
+      "                [--interval=SECONDS] [--frames=N] [--once]\n"
+      "                [--no-clear]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint_host;
+  int endpoint_port = -1;
+  std::string file;
+  bool demo = false;
+  bool once = false;
+  bool clear_screen = true;
+  double interval = 2.0;
+  std::uint64_t frames = 0;  // 0 = until interrupted
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = hipa::cli::flag_value(arg, "--endpoint=")) {
+      const std::string ep(v);
+      const std::size_t colon = ep.rfind(':');
+      if (colon == std::string::npos) {
+        usage();
+        return 2;
+      }
+      endpoint_host = ep.substr(0, colon);
+      endpoint_port = std::atoi(ep.c_str() + colon + 1);
+    } else if (const char* v2 = hipa::cli::flag_value(arg, "--file=")) {
+      file = v2;
+    } else if (const char* v3 = hipa::cli::flag_value(arg, "--interval=")) {
+      interval = std::atof(v3);
+    } else if (const char* v4 = hipa::cli::flag_value(arg, "--frames=")) {
+      frames = hipa::cli::parse_u64("--frames", v4);
+    } else if (hipa::cli::flag_is(arg, "--demo")) {
+      demo = true;
+    } else if (hipa::cli::flag_is(arg, "--once")) {
+      once = true;
+    } else if (hipa::cli::flag_is(arg, "--no-clear")) {
+      clear_screen = false;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (demo + !file.empty() + (endpoint_port > 0) != 1) {
+    usage();
+    return 2;
+  }
+  if (once) frames = 1;
+  if (demo) {
+    frames = 1;
+    clear_screen = false;
+  }
+
+  std::optional<Frame> prev;
+  std::uint64_t rendered = 0;
+  while (frames == 0 || rendered < frames) {
+    std::optional<std::string> body;
+    if (demo) {
+      body = std::string(kDemoJson);
+    } else if (!file.empty()) {
+      body = read_file(file);
+      if (!body) {
+        std::fprintf(stderr, "hipa-top: cannot read %s\n", file.c_str());
+        return 1;
+      }
+    } else {
+      body = http_get_json(endpoint_host, endpoint_port);
+      if (!body) {
+        std::fprintf(stderr, "hipa-top: cannot scrape %s:%d (%s)\n",
+                     endpoint_host.c_str(), endpoint_port,
+                     std::strerror(errno));
+        return 1;
+      }
+    }
+    const std::optional<Frame> frame = parse_frame(*body);
+    if (!frame) return 1;
+    render(*frame, prev ? &*prev : nullptr, clear_screen && rendered > 0);
+    prev = frame;
+    ++rendered;
+    if (frames != 0 && rendered >= frames) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
