@@ -25,10 +25,13 @@
 //
 // Runs as the third stage of the `perf-smoke` ctest fixture chains
 // (bench_hotpath --smoke -> bench_schema_check -> bench_regress, and
-// the same shape for bench_serve). A current document tagged "serve"
-// is gated against the `serve` bands object embedded in
+// the same shape for bench_serve and bench_dist). A current document
+// tagged "serve" is gated against the `serve` bands object embedded in
 // BENCH_baseline.json: torn reads and publish identity are hard
-// invariants, QPS/latency advisory.
+// invariants, QPS/latency advisory. A "dist" document is gated the
+// same way against the `dist` bands: merge identity and
+// zero-wrong-answer failover are hard, router QPS/latency and the
+// failover duration advisory.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -300,6 +303,98 @@ void regress_serve(const Value* cur, const Value* base) {
   }
 }
 
+const Value* find_config(const Value* root, double shards) {
+  const Value* cs = get(root, "configs");
+  if (cs == nullptr || cs->type != Value::Type::kArray) return nullptr;
+  for (const ValuePtr& c : cs->array) {
+    double s = 0.0;
+    if (get_number(c.get(), "shards", &s) && s == shards) return c.get();
+  }
+  return nullptr;
+}
+
+/// Dist-mode gate. `base` is the "dist" bands object embedded in
+/// BENCH_baseline.json (same embedding scheme as "serve").
+///
+/// Hard invariants are correctness claims about the CURRENT run and
+/// hold regardless of the baseline: the 4-shard router must answer
+/// memcmp-identically to a single-process RankService, and SIGKILLing
+/// a shard mid-load must produce zero wrong answers with a measured
+/// (non-sentinel) failover time. Router QPS, latency percentiles, and
+/// the failover duration itself are host-dependent: advisory bands.
+void regress_dist(const Value* cur, const Value* base) {
+  {  // scatter/merge correctness (hard, baseline-independent)
+    const Value* id = get(cur, "identity");
+    const Value* ident = get(id, "memcmp_identical");
+    if (ident == nullptr || ident->type != Value::Type::kBool ||
+        !ident->boolean) {
+      fail("/identity/memcmp_identical",
+           "must be true — sharded answers diverged from the "
+           "single-process service");
+    }
+    const Value* fo = get(cur, "failover");
+    double wrong = -1.0;
+    if (!get_number(fo, "wrong_answers", &wrong) || wrong != 0.0) {
+      fail("/failover/wrong_answers",
+           "must be 0 — a merged answer was wrong while a shard was down");
+    }
+    double fs = -1.0;
+    if (!get_number(fo, "failover_seconds", &fs) || fs < 0.0) {
+      fail("/failover/failover_seconds",
+           "must be >= 0 — the router never recovered from the kill");
+    }
+    double answered = 0.0;
+    if (!get_number(fo, "answered", &answered) || answered < 1.0) {
+      fail("/failover/answered",
+           "no queries were answered during the failover window — the "
+           "scenario did not exercise serving-through-failure");
+    }
+  }
+
+  if (base == nullptr) {
+    fail("/dist", "baseline has no dist bands (extend BENCH_baseline.json)");
+    return;
+  }
+
+  // Graph shape is generated deterministically from the seed.
+  compare_metric(get(cur, "dataset"), get(base, "dataset"), "/dataset",
+                 "vertices", 0.0, true);
+  compare_metric(get(cur, "dataset"), get(base, "dataset"), "/dataset",
+                 "edges", 0.0, true);
+  compare_metric(get(cur, "shard_defaults"), get(base, "shard_defaults"),
+                 "/shard_defaults", "topk_k", 0.0, true);
+
+  const Value* bconfigs = get(base, "configs");
+  if (bconfigs != nullptr && bconfigs->type == Value::Type::kArray) {
+    for (const ValuePtr& bc : bconfigs->array) {
+      double shards = 0.0;
+      if (!get_number(bc.get(), "shards", &shards)) continue;
+      const std::string cpath =
+          "/configs[shards=" + std::to_string((int)shards) + "]";
+      const Value* cc = find_config(cur, shards);
+      if (cc == nullptr) {
+        fail(cpath, "shard count present in baseline but missing in current");
+        continue;
+      }
+      double requests = 0.0;
+      if (get_number(cc, "requests", &requests) && requests < 1.0) {
+        fail(at(cpath, "requests"), "config served zero requests");
+      }
+      // Throughput through real sockets + process scheduling: the
+      // noisiest numbers in the suite — wide advisory bands only.
+      compare_metric(cc, bc.get(), cpath, "qps", 5.0, false, 1.0);
+      compare_metric(cc, bc.get(), cpath, "p50_us", 10.0, false, 1.0);
+      compare_metric(cc, bc.get(), cpath, "p99_us", 10.0, false, 1.0);
+    }
+  }
+
+  // Failover duration: dominated by health-poll cadence and kernel
+  // socket teardown latency — advisory, with a generous floor so a
+  // sub-millisecond baseline doesn't amplify scheduler noise.
+  compare_metric(get(cur, "failover"), get(base, "failover"), "/failover",
+                 "failover_seconds", 10.0, false, 0.05);
+}
+
 ValuePtr load(const char* path) {
   std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
@@ -340,6 +435,21 @@ int main(int argc, char** argv) {
                                ? base
                                : get(base, "serve");
       regress_serve(cur, sbase);
+      if (g_errors > 0) {
+        std::fprintf(stderr,
+                     "%d hard regression(s), %d warning(s) vs baseline %s\n",
+                     g_errors, g_warnings, argv[2]);
+        return 1;
+      }
+      std::printf("regress OK: %s vs %s (%d warning(s))\n", argv[1],
+                  argv[2], g_warnings);
+      return 0;
+    }
+    if (cb != nullptr && cb->str == "dist") {
+      const Value* dbase = (bb != nullptr && bb->str == "dist")
+                               ? base
+                               : get(base, "dist");
+      regress_dist(cur, dbase);
       if (g_errors > 0) {
         std::fprintf(stderr,
                      "%d hard regression(s), %d warning(s) vs baseline %s\n",

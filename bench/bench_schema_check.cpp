@@ -19,10 +19,12 @@
 //   bench_schema_check <file.json> [more.json ...]
 //
 // The top-level "bench" tag selects the schema: "hotpath",
-// "table3_microarch", or "serve" (BENCH_serve.json: QPS/latency mixes,
+// "table3_microarch", "serve" (BENCH_serve.json: QPS/latency mixes,
 // the concurrent-refresh section with its zero-torn-reads invariant,
 // the metrics-plane section with its overhead and quantile-accuracy
-// gates, and the publish-identity bit).
+// gates, and the publish-identity bit), or "dist" (BENCH_dist.json:
+// router QPS at 1/2/4 shard processes, the merge-vs-single-process
+// memcmp-identity gate, and the zero-wrong-answer failover section).
 #include <cstdio>
 #include <string>
 
@@ -713,6 +715,120 @@ void check_serve(const Value& root) {
   }
 }
 
+// ---- dist schema -----------------------------------------------------------
+
+void check_dist(const Value& root) {
+  const std::string top;
+  const Value* host = require(root, top, "host", Value::Type::kObject);
+  if (host != nullptr) {
+    const std::string hp = at(top, "host");
+    require_nonneg(*host, hp, "cpus");
+    require_nonneg(*host, hp, "numa_nodes");
+    require(*host, hp, "topology_source", Value::Type::kString);
+  }
+
+  const Value* ds = require(root, top, "dataset", Value::Type::kObject);
+  if (ds != nullptr) {
+    const std::string dp = at(top, "dataset");
+    require(*ds, dp, "name", Value::Type::kString);
+    const double v = require_nonneg(*ds, dp, "vertices");
+    const double e = require_nonneg(*ds, dp, "edges");
+    if (v < 1.0) err(at(dp, "vertices"), "must be >= 1");
+    if (e < 1.0) err(at(dp, "edges"), "must be >= 1");
+  }
+
+  const Value* sd = require(root, top, "shard_defaults", Value::Type::kObject);
+  if (sd != nullptr) {
+    const std::string sp = at(top, "shard_defaults");
+    const double iters = require_nonneg(*sd, sp, "iterations");
+    const double k = require_nonneg(*sd, sp, "topk_k");
+    if (iters < 1.0) err(at(sp, "iterations"), "must be >= 1");
+    if (k < 1.0) err(at(sp, "topk_k"), "must be >= 1");
+  }
+
+  // Scaling sweep: router throughput at 1, 2, and 4 real shard
+  // processes. Shard counts must appear in that order so the regress
+  // bands can key on the index.
+  const Value* configs = require(root, top, "configs", Value::Type::kArray);
+  if (configs != nullptr) {
+    if (configs->array.size() != 3) {
+      err(at(top, "configs"),
+          "must have exactly 3 entries (1, 2, 4 shards)");
+    }
+    static const double kShardCounts[] = {1.0, 2.0, 4.0};
+    for (std::size_t i = 0; i < configs->array.size(); ++i) {
+      const Value& c = *configs->array[i];
+      const std::string cp = at(at(top, "configs"), i);
+      const double shards = require_nonneg(c, cp, "shards");
+      if (i < 3 && shards != kShardCounts[i]) {
+        err(at(cp, "shards"),
+            "expected " + std::to_string((int)kShardCounts[i]) + " at index " +
+                std::to_string(i) + " (got " + std::to_string((int)shards) +
+                ")");
+      }
+      check_latency_block(c, cp);
+      require_nonneg(c, cp, "mean_us");
+      const Value* requests = c.find("requests");
+      if (requests != nullptr && requests->number < 1.0) {
+        err(at(cp, "requests"), "config served no requests at all");
+      }
+    }
+  }
+
+  // The scatter/merge correctness gate: a 4-shard fleet behind the
+  // router must answer bitwise-identically to one single-process
+  // RankService over the same snapshot.
+  const Value* id = require(root, top, "identity", Value::Type::kObject);
+  if (id != nullptr) {
+    const std::string ip = at(top, "identity");
+    const double shards = require_nonneg(*id, ip, "shards");
+    if (shards < 2.0) {
+      err(at(ip, "shards"),
+          "must be >= 2 — one shard never exercises the merge");
+    }
+    const double queries = require_nonneg(*id, ip, "queries");
+    if (queries < 1.0) err(at(ip, "queries"), "no identity queries ran");
+    require_nonneg(*id, ip, "epoch");
+    const Value* ident =
+        require(*id, ip, "memcmp_identical", Value::Type::kBool);
+    if (ident != nullptr && !ident->boolean) {
+      err(at(ip, "memcmp_identical"),
+          "must be true — sharded answers diverged from the "
+          "single-process service");
+    }
+  }
+
+  // Failover section: one shard is SIGKILLed mid-load; every answer
+  // the router does return must still be bitwise-correct, and the
+  // fleet must recover (failover_seconds measured, not sentinel).
+  const Value* fo = require(root, top, "failover", Value::Type::kObject);
+  if (fo != nullptr) {
+    const std::string fp = at(top, "failover");
+    require_nonneg(*fo, fp, "shards");
+    require_nonneg(*fo, fp, "killed_shard");
+    const Value* fs =
+        require(*fo, fp, "failover_seconds", Value::Type::kNumber);
+    if (fs != nullptr && fs->number < 0.0) {
+      err(at(fp, "failover_seconds"),
+          "is negative — the router never recovered from the kill");
+    }
+    const double answered = require_nonneg(*fo, fp, "answered");
+    if (answered < 1.0) {
+      err(at(fp, "answered"), "no queries answered during failover window");
+    }
+    require_nonneg(*fo, fp, "errors");
+    require_nonneg(*fo, fp, "stale_merges");
+    require_nonneg(*fo, fp, "timeouts");
+    const Value* wrong =
+        require(*fo, fp, "wrong_answers", Value::Type::kNumber);
+    if (wrong != nullptr && wrong->number != 0.0) {
+      err(at(fp, "wrong_answers"),
+          "must be 0 — a merged answer diverged from the reference while "
+          "a shard was down (" + std::to_string(wrong->number) + ")");
+    }
+  }
+}
+
 // ---- driver ----------------------------------------------------------------
 
 int check_file(const char* path) {
@@ -744,6 +860,8 @@ int check_file(const char* path) {
       check_table3(root);
     } else if (bench->str == "serve") {
       check_serve(root);
+    } else if (bench->str == "dist") {
+      check_dist(root);
     } else {
       err("/bench", "unknown bench tag '" + bench->str + "'");
     }

@@ -46,46 +46,64 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
-# ---- metrics hot path must stay allocation-free ----------------------
+# ---- marked hot paths must stay allocation-free ----------------------
+# Some regions advertise a per-event cost ("one relaxed atomic add",
+# "index arithmetic only") and are delimited by <tag>-hot-path-begin/
+# -end comment markers; any allocation or locking token appearing
+# between a begin/end pair fails the lint.
+hot_pattern='[^_[:alnum:]]new[^_[:alnum:]]|malloc\(|calloc\(|resize\(|push_back\(|emplace_back\(|make_unique|make_shared|std::string|lock_guard|unique_lock|\.lock\(\)|mutex'
+
+# check_hot_regions <file> <tag>
+# Scans <file> for <tag>-hot-path-begin/-end regions, flags hot_pattern
+# tokens inside them, and fails on an unterminated region or a file
+# with no markers at all (the regions were silently removed).
+check_hot_regions() {
+  file=$1
+  tag=$2
+  region_fail=0
+  in_region=0
+  region_begin=0
+  lineno=0
+  begins=0
+  while IFS= read -r src_line; do
+    lineno=$((lineno + 1))
+    case "$src_line" in
+      *"${tag}-hot-path-begin"*)
+        in_region=1; region_begin=$lineno; begins=$((begins + 1)); continue ;;
+      *"${tag}-hot-path-end"*)
+        in_region=0; continue ;;
+    esac
+    if [ "$in_region" -eq 1 ] && printf '%s\n' "$src_line" | grep -qE "$hot_pattern"; then
+      echo "check_allocations: $file:$lineno: allocation/locking token" \
+           "inside a ${tag} hot-path region (begins at line $region_begin)" >&2
+      echo "    $src_line" >&2
+      region_fail=1
+    fi
+  done < "$file"
+  if [ "$in_region" -eq 1 ]; then
+    echo "check_allocations: $file: unterminated ${tag}-hot-path" \
+         "region (begins at line $region_begin)" >&2
+    region_fail=1
+  fi
+  if [ "$begins" -eq 0 ]; then
+    echo "check_allocations: $file: no ${tag}-hot-path-begin markers" \
+         "found — the hot-path lint regions were removed" >&2
+    region_fail=1
+  fi
+  return $region_fail
+}
+
+hot_fail=0
 # The record/inc paths in runtime/metrics are called per request on the
 # serving fast path; their advertised cost is "one relaxed atomic add".
-# The regions are delimited by metrics-hot-path-begin/-end comment
-# markers in src/runtime/metrics.hpp; any allocation or locking token
-# appearing between a begin/end pair fails the lint.
-metrics_hdr=src/runtime/metrics.hpp
-hot_pattern='[^_[:alnum:]]new[^_[:alnum:]]|malloc\(|calloc\(|resize\(|push_back\(|emplace_back\(|make_unique|make_shared|std::string|lock_guard|unique_lock|\.lock\(\)|mutex'
-hot_fail=0
-in_region=0
-region_begin=0
-lineno=0
-begins=0
-while IFS= read -r src_line; do
-  lineno=$((lineno + 1))
-  case "$src_line" in
-    *metrics-hot-path-begin*)
-      in_region=1; region_begin=$lineno; begins=$((begins + 1)); continue ;;
-    *metrics-hot-path-end*)
-      in_region=0; continue ;;
-  esac
-  if [ "$in_region" -eq 1 ] && printf '%s\n' "$src_line" | grep -qE "$hot_pattern"; then
-    echo "check_allocations: $metrics_hdr:$lineno: allocation/locking token" \
-         "inside a metrics hot-path region (begins at line $region_begin)" >&2
-    echo "    $src_line" >&2
-    hot_fail=1
-  fi
-done < "$metrics_hdr"
-if [ "$in_region" -eq 1 ]; then
-  echo "check_allocations: $metrics_hdr: unterminated metrics-hot-path" \
-       "region (begins at line $region_begin)" >&2
-  hot_fail=1
-fi
-if [ "$begins" -eq 0 ]; then
-  echo "check_allocations: $metrics_hdr: no metrics-hot-path-begin markers" \
-       "found — the hot-path lint regions were removed" >&2
-  hot_fail=1
-fi
+check_hot_regions src/runtime/metrics.hpp metrics || hot_fail=1
+# The router's scatter/merge inner loops (ownership lookup, k-way top-k
+# merge, batch scatter-back) run once per routed request on every
+# caller thread; they advertise "index arithmetic and comparator calls
+# only" — allocation belongs in the plan/cold paths around them.
+check_hot_regions src/shard/router.cpp shard || hot_fail=1
 if [ "$hot_fail" -ne 0 ]; then
   exit 1
 fi
 
-echo "check_allocations: OK (no page-aligned allocation sites in src/ or tools/ outside runtime/arena; metrics hot paths allocation-free)"
+echo "check_allocations: OK (no page-aligned allocation sites in src/ or tools/ outside runtime/arena; metrics and shard-router hot paths allocation-free)"

@@ -286,28 +286,31 @@ void send_response(int fd, std::string_view status,
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(
-    const runtime::metrics::MetricsRegistry& registry, int port)
+    const runtime::metrics::MetricsRegistry& registry, int port,
+    const std::string& bind_addr)
     : registry_(registry) {
   HIPA_CHECK(port >= 0 && port <= 65535,
              "metrics port " << port << " out of range");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  HIPA_CHECK(::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) == 1,
+             "metrics listener: bad bind address '" << bind_addr << "'");
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   HIPA_CHECK(listen_fd_ >= 0,
              "metrics listener: socket() failed, errno " << errno);
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0 ||
       ::listen(listen_fd_, 16) != 0) {
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
-    HIPA_CHECK(false, "metrics listener: cannot bind 127.0.0.1:"
-                          << port << ", errno " << err);
+    HIPA_CHECK(false, "metrics listener: cannot bind "
+                          << bind_addr << ':' << port << ", errno " << err);
   }
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
@@ -346,12 +349,25 @@ void MetricsHttpServer::loop() {
     }
     buf[n] = '\0';
 
-    // "GET <path> HTTP/1.x" — everything else is a 404/405.
+    // "GET <path> HTTP/1.x" — everything else is a 404/405. A request
+    // line that does not terminate within kMaxRequestLine bytes is
+    // rejected outright (the endpoint serves two fixed paths; nothing
+    // legitimate comes close).
     std::string_view req(buf, static_cast<std::size_t>(n));
+    const std::size_t line_end = req.find("\r\n");
+    if (line_end == std::string_view::npos ||
+        line_end > kMaxRequestLine) {
+      send_response(client, "414 URI Too Long", "text/plain",
+                    "request line too long\n");
+      ::close(client);
+      continue;
+    }
     std::string_view path;
     if (req.substr(0, 4) == "GET ") {
       const std::size_t end = req.find(' ', 4);
-      if (end != std::string_view::npos) path = req.substr(4, end - 4);
+      if (end != std::string_view::npos && end < line_end) {
+        path = req.substr(4, end - 4);
+      }
     }
     if (path == "/metrics") {
       send_response(client, "200 OK", "text/plain; version=0.0.4",

@@ -17,8 +17,10 @@
 // The listener is a deliberately tiny poll-loop server (one thread,
 // blocking per-connection I/O, Connection: close) — a scrape target,
 // not a web server. No third-party dependencies; plain POSIX sockets.
-// It binds 127.0.0.1 only: operators who want remote scrapes are
-// expected to front it with their own forwarding, not expose it raw.
+// It binds 127.0.0.1 by default; a shard fleet scraped by a remote
+// router opts into a non-loopback bind explicitly (ServiceOptions::
+// metrics_bind_addr), and over-long request lines are rejected with
+// 414 so a garbage peer cannot grow the parse buffer.
 #pragma once
 
 #include <atomic>
@@ -49,12 +51,17 @@ namespace hipa::serve {
 ///   anything else      -> 404
 ///
 /// `port` 0 binds an ephemeral port (tests); a fixed port that cannot
-/// be bound throws hipa::Error. The listener thread snapshots the
+/// be bound throws hipa::Error, as does a `bind_addr` that is not a
+/// dotted-quad IPv4 address. The listener thread snapshots the
 /// registry per request — writers are never blocked.
 class MetricsHttpServer {
  public:
+  /// Longest accepted request line ("GET <path> HTTP/1.x"); anything
+  /// longer is answered 414 and dropped.
+  static constexpr std::size_t kMaxRequestLine = 512;
+
   MetricsHttpServer(const runtime::metrics::MetricsRegistry& registry,
-                    int port);
+                    int port, const std::string& bind_addr = "127.0.0.1");
   ~MetricsHttpServer();
 
   MetricsHttpServer(const MetricsHttpServer&) = delete;

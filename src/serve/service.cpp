@@ -79,7 +79,7 @@ RankService::RankService(const SnapshotStore& store, ServiceOptions opt)
   if (opt_.metrics_port >= 0) {
     metrics_server_ = std::make_unique<MetricsHttpServer>(
         reg != nullptr ? *reg : m::MetricsRegistry::global(),
-        opt_.metrics_port);
+        opt_.metrics_port, opt_.metrics_bind_addr);
   }
 
   workers_.reserve(nodes);

@@ -75,8 +75,12 @@ struct ServiceOptions {
   runtime::metrics::MetricsRegistry* registry = nullptr;
   /// Metrics scrape endpoint (serve/metrics_export): -1 = no listener
   /// (default), 0 = ephemeral port (tests; see metrics_http_port()),
-  /// 1..65535 = fixed port on 127.0.0.1.
+  /// 1..65535 = fixed port.
   int metrics_port = -1;
+  /// Scrape endpoint bind address. The loopback default keeps a
+  /// single-host service private; a shard scraped by a remote router
+  /// opts into "0.0.0.0" (or a specific interface) explicitly.
+  std::string metrics_bind_addr = "127.0.0.1";
 };
 
 /// The batched query engine. Thread-safe: any number of caller threads

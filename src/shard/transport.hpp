@@ -1,0 +1,101 @@
+// Frame transport: blocking, connection-oriented delivery of
+// proto::Frame messages with two interchangeable implementations —
+// POSIX TCP sockets (the real deployment path) and a same-process
+// in-memory loopback (deterministic, fd-free, the TSan test medium).
+//
+// Contract shared by both:
+//
+//   * send() is thread-safe per connection (internally serialized), so
+//     a shard can push RepublishNotice frames from its publisher
+//     thread while a handler thread writes answers on the same
+//     connection;
+//   * recv() is single-consumer: exactly one thread drains a
+//     connection. It blocks until a full, checksum-verified frame
+//     arrives and returns false on close, error, or a frame that
+//     fails validation (no resync — a poisoned stream is dead);
+//   * close() is idempotent, callable from any thread, and unblocks a
+//     pending recv().
+//
+// Listeners accept() in a loop; close() unblocks a pending accept()
+// which then returns nullptr.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "shard/proto.hpp"
+
+namespace hipa::shard {
+
+/// One bidirectional frame connection.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+  /// Serialize + deliver one frame. False = peer gone (connection is
+  /// unusable afterwards). Thread-safe.
+  virtual bool send(const Frame& frame) = 0;
+  /// Block for the next frame. False = closed / error / corrupt frame.
+  /// Single consumer.
+  virtual bool recv(Frame* out) = 0;
+  /// Idempotent; unblocks a pending recv on this end.
+  virtual void close() = 0;
+};
+
+/// One accept loop.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  /// Block for the next connection; nullptr once close()d.
+  virtual std::unique_ptr<Conn> accept() = 0;
+  virtual void close() = 0;
+  /// Bound TCP port; -1 for loopback listeners.
+  [[nodiscard]] virtual int port() const { return -1; }
+};
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// Bind + listen on `bind_addr:port` (port 0 = ephemeral; resolve via
+/// Listener::port()). Throws hipa::Error when the address cannot be
+/// bound.
+[[nodiscard]] std::unique_ptr<Listener> listen_tcp(
+    const std::string& bind_addr, int port);
+
+/// Blocking connect with an overall timeout. nullptr on failure
+/// (refused, timeout, unresolvable) — callers retry with backoff.
+[[nodiscard]] std::unique_ptr<Conn> connect_tcp(const std::string& host,
+                                                int port,
+                                                double timeout_seconds = 5.0);
+
+// ---------------------------------------------------------------------------
+// In-process loopback
+// ---------------------------------------------------------------------------
+
+/// Same-process listener: connect_loopback() enqueues a connection
+/// pair; accept() dequeues the server end. Frames move through
+/// mutex+condvar deques — no fds, fully deterministic under TSan.
+class LoopbackListener final : public Listener {
+ public:
+  LoopbackListener() = default;
+  ~LoopbackListener() override { close(); }
+
+  std::unique_ptr<Conn> accept() override;
+  void close() override;
+
+  /// Client half of a new connection to this listener; nullptr once
+  /// the listener is closed.
+  [[nodiscard]] std::unique_ptr<Conn> connect();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Conn>> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace hipa::shard

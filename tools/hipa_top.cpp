@@ -1,23 +1,25 @@
 // hipa-top: live operator view of a running HiPa service.
 //
-// Polls a RankService metrics endpoint (serve/metrics_export's
-// /metrics.json) — or reads a JSON snapshot from a file — and renders
-// a refreshing terminal dashboard: QPS, per-class latency quantiles,
-// refresh activity, snapshot-store and NUMA/arena health, folded
-// engine-run totals.
+// Polls one or more RankService metrics endpoints (serve/
+// metrics_export's /metrics.json) — or reads a JSON snapshot from a
+// file — and renders a refreshing terminal dashboard. With a single
+// endpoint: QPS, per-class latency quantiles, refresh activity,
+// snapshot-store and NUMA/arena health, folded engine-run totals.
+// With several endpoints (a shard fleet), one row per shard: uptime,
+// QPS, publish epoch, answer lag, queue depth, worst query p99 —
+// plus a fleet totals line flagging epoch skew across shards.
 //
 //   hipa-top --endpoint=127.0.0.1:9464            # poll a live service
+//   hipa-top --endpoint=H:P1 --endpoint=H:P2      # fleet view, row/shard
 //   hipa-top --file=snap.json --once              # render one frame
 //   hipa-top --demo                               # built-in sample frame
 //
 // QPS and refresh rates are derived client-side from counter deltas
 // between consecutive frames; the first frame shows lifetime averages.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
+// The scrape path is shard/poll_client's header-only HTTP client —
+// the same one the ShardRouter's health poller uses — so the tool
+// keeps its hipa_common-only link line.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +33,7 @@
 
 #include "common/cli.hpp"
 #include "common/minijson.hpp"
+#include "shard/poll_client.hpp"
 
 namespace {
 
@@ -118,36 +121,16 @@ std::optional<Frame> parse_frame(const std::string& json_text) {
 // ---------------------------------------------------------------------------
 // Snapshot sources.
 
-std::optional<std::string> http_get_json(const std::string& host, int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  const std::string req =
-      "GET /metrics.json HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
-  if (::send(fd, req.data(), req.size(), MSG_NOSIGNAL) < 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  std::string response;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  const std::size_t body = response.find("\r\n\r\n");
-  if (body == std::string::npos) return std::nullopt;
-  return response.substr(body + 4);
+/// One fleet member to scrape.
+struct Endpoint {
+  std::string host;
+  int port = -1;
+  std::string label;  ///< "host:port" as given on the command line
+};
+
+std::optional<std::string> scrape(const Endpoint& ep) {
+  const std::string ip = ep.host == "localhost" ? "127.0.0.1" : ep.host;
+  return hipa::shard::http_get(ip, ep.port, "/metrics.json");
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -230,14 +213,18 @@ double rate(const Frame& now, const Frame* prev, const std::string& key) {
   return now.uptime > 0 ? now.scalar(key) / now.uptime : 0.0;
 }
 
+double total_qps(const Frame& f, const Frame* prev) {
+  return rate(f, prev, "hipa_queries_total/point") +
+         rate(f, prev, "hipa_queries_total/batch") +
+         rate(f, prev, "hipa_queries_total/topk");
+}
+
 void render(const Frame& f, const Frame* prev, bool clear_screen) {
   if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
 
-  const double qps = rate(f, prev, "hipa_queries_total/point") +
-                     rate(f, prev, "hipa_queries_total/batch") +
-                     rate(f, prev, "hipa_queries_total/topk");
   std::printf("hipa-top — uptime %.0fs   QPS %s   epoch %.0f (lag %.0f)\n",
-              f.uptime, fmt_si(qps).c_str(), f.scalar("hipa_publish_epoch"),
+              f.uptime, fmt_si(total_qps(f, prev)).c_str(),
+              f.scalar("hipa_publish_epoch"),
               f.scalar("hipa_answer_epoch_lag"));
   std::printf("%s\n",
               std::string(66, '-').c_str());
@@ -291,19 +278,91 @@ void render(const Frame& f, const Frame* prev, bool clear_screen) {
   std::fflush(stdout);
 }
 
+/// Worst query-latency p99 across classes (the fleet row's single
+/// latency column).
+double worst_query_p99(const Frame& f) {
+  double worst = 0.0;
+  const auto it = f.histograms.find("hipa_query_latency_seconds");
+  if (it == f.histograms.end()) return worst;
+  for (const HistRow& row : it->second) worst = std::max(worst, row.p99);
+  return worst;
+}
+
+/// Fleet view: one row per endpoint. Unreachable shards render as a
+/// DOWN row (the dashboard keeps running; a restarting shard comes
+/// back on the next poll).
+void render_fleet(const std::vector<Endpoint>& endpoints,
+                  const std::vector<std::optional<Frame>>& frames,
+                  const std::vector<std::optional<Frame>>& prevs,
+                  bool clear_screen) {
+  if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
+
+  std::size_t up = 0;
+  double fleet_qps = 0.0;
+  double epoch_min = 0.0, epoch_max = 0.0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (!frames[i]) continue;
+    const Frame* prev = prevs[i] ? &*prevs[i] : nullptr;
+    fleet_qps += total_qps(*frames[i], prev);
+    const double epoch = frames[i]->scalar("hipa_publish_epoch");
+    if (up == 0) {
+      epoch_min = epoch_max = epoch;
+    } else {
+      epoch_min = std::min(epoch_min, epoch);
+      epoch_max = std::max(epoch_max, epoch);
+    }
+    ++up;
+  }
+  std::printf("hipa-top — %zu/%zu shards up   fleet QPS %s   epochs %.0f",
+              up, frames.size(), fmt_si(fleet_qps).c_str(), epoch_min);
+  if (epoch_max != epoch_min) {
+    std::printf("..%.0f  [SKEW]", epoch_max);
+  }
+  std::printf("\n%s\n", std::string(78, '-').c_str());
+
+  std::printf("%-22s %7s %9s %8s %5s %6s %9s %9s\n", "shard", "up", "QPS",
+              "epoch", "lag", "queue", "query p99", "refresh");
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (!frames[i]) {
+      std::printf("%-22s %7s\n", endpoints[i].label.c_str(), "DOWN");
+      continue;
+    }
+    const Frame& f = *frames[i];
+    const Frame* prev = prevs[i] ? &*prevs[i] : nullptr;
+    double refresh_p99 = 0.0;
+    const auto it = f.histograms.find("hipa_refresh_seconds");
+    if (it != f.histograms.end()) {
+      for (const HistRow& row : it->second) {
+        if (row.label_value == "full") refresh_p99 = row.p99;
+      }
+    }
+    std::printf("%-22s %6.0fs %9s %8.0f %5.0f %6.0f %9s %9s\n",
+                endpoints[i].label.c_str(), f.uptime,
+                fmt_si(total_qps(f, prev)).c_str(),
+                f.scalar("hipa_publish_epoch"),
+                f.scalar("hipa_answer_epoch_lag"),
+                f.scalar("hipa_worker_queue_depth"),
+                fmt_latency(worst_query_p99(f)).c_str(),
+                fmt_latency(refresh_p99).c_str());
+  }
+  std::fflush(stdout);
+}
+
 void usage() {
   std::fputs(
-      "usage: hipa-top (--endpoint=HOST:PORT | --file=SNAP.json | --demo)\n"
+      "usage: hipa-top (--endpoint=HOST:PORT [--endpoint=...] |\n"
+      "                 --file=SNAP.json | --demo)\n"
       "                [--interval=SECONDS] [--frames=N] [--once]\n"
-      "                [--no-clear]\n",
+      "                [--no-clear]\n"
+      "  several --endpoint flags switch to the fleet view: one row\n"
+      "  per shard plus fleet totals and epoch-skew detection.\n",
       stderr);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string endpoint_host;
-  int endpoint_port = -1;
+  std::vector<Endpoint> endpoints;
   std::string file;
   bool demo = false;
   bool once = false;
@@ -320,8 +379,15 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
-      endpoint_host = ep.substr(0, colon);
-      endpoint_port = std::atoi(ep.c_str() + colon + 1);
+      Endpoint e;
+      e.host = ep.substr(0, colon);
+      e.port = std::atoi(ep.c_str() + colon + 1);
+      e.label = ep;
+      if (e.host.empty() || e.port <= 0) {
+        usage();
+        return 2;
+      }
+      endpoints.push_back(std::move(e));
     } else if (const char* v2 = hipa::cli::flag_value(arg, "--file=")) {
       file = v2;
     } else if (const char* v3 = hipa::cli::flag_value(arg, "--interval=")) {
@@ -339,7 +405,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (demo + !file.empty() + (endpoint_port > 0) != 1) {
+  if (static_cast<int>(demo) + static_cast<int>(!file.empty()) +
+          static_cast<int>(!endpoints.empty()) !=
+      1) {
     usage();
     return 2;
   }
@@ -347,6 +415,26 @@ int main(int argc, char** argv) {
   if (demo) {
     frames = 1;
     clear_screen = false;
+  }
+
+  // Fleet mode: a row per shard, DOWN rows instead of hard exits.
+  if (endpoints.size() > 1) {
+    std::vector<std::optional<Frame>> prev(endpoints.size());
+    std::uint64_t rendered = 0;
+    while (frames == 0 || rendered < frames) {
+      std::vector<std::optional<Frame>> cur(endpoints.size());
+      for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        if (const std::optional<std::string> body = scrape(endpoints[i])) {
+          cur[i] = parse_frame(*body);
+        }
+      }
+      render_fleet(endpoints, cur, prev, clear_screen && rendered > 0);
+      prev = std::move(cur);
+      ++rendered;
+      if (frames != 0 && rendered >= frames) break;
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+    return 0;
   }
 
   std::optional<Frame> prev;
@@ -362,11 +450,10 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else {
-      body = http_get_json(endpoint_host, endpoint_port);
+      body = scrape(endpoints[0]);
       if (!body) {
-        std::fprintf(stderr, "hipa-top: cannot scrape %s:%d (%s)\n",
-                     endpoint_host.c_str(), endpoint_port,
-                     std::strerror(errno));
+        std::fprintf(stderr, "hipa-top: cannot scrape %s\n",
+                     endpoints[0].label.c_str());
         return 1;
       }
     }
